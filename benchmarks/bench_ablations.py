@@ -1,0 +1,75 @@
+"""Ablations: the paper's in-text claims and the GA extension.
+
+* ABL-DC: "placing only the 1% least seen histories in the don't care set
+  can reduce the size of the predictor by a factor of two with negligible
+  impact on prediction accuracy" (Section 4.3).
+* ABL-SSR: start-up states "typically account for around one half of all
+  states in the machine" (Section 4.7).
+* ABL-GA: constructed FSMs match GA-searched machines of the same size
+  without any search (the Emer & Gloy contrast of Section 3.2).
+"""
+
+from benchmarks.conftest import BRANCHES, run_once
+from repro.harness.ablations import (
+    render_dontcare,
+    render_ga,
+    render_startup,
+    run_dontcare_ablation,
+    run_ga_comparison,
+    run_startup_ablation,
+)
+from repro.harness.reporting import write_report
+
+
+def test_ablation_dontcare(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: run_dontcare_ablation(max_branches=min(BRANCHES, 40_000)),
+    )
+    baseline = rows[0]
+    one_percent = next(r for r in rows if abs(r.fraction - 0.01) < 1e-9)
+    # Size drops (the paper: "factor of two"); accuracy barely moves.
+    assert one_percent.num_states < baseline.num_states
+    assert one_percent.expected_miss_rate <= baseline.expected_miss_rate + 0.02
+    # Cover complexity is monotone non-increasing in the dc fraction.
+    terms = [r.num_terms for r in rows]
+    assert all(b <= a + 1e-9 for a, b in zip(terms, terms[1:]))
+
+    report = render_dontcare(rows)
+    print("\n" + report)
+    write_report("ablation_dontcare.txt", report)
+
+
+def test_ablation_startup_states(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: run_startup_ablation(max_branches=min(BRANCHES, 60_000)),
+    )
+    assert rows
+    for row in rows:
+        assert row.states_final <= row.states_with_startup
+    average_removed = sum(r.removed_fraction for r in rows) / len(rows)
+    # "around one half" in the paper; require a substantial share here.
+    assert average_removed > 0.15
+
+    report = render_startup(rows) + (
+        f"\n\naverage fraction of states removed: {average_removed:.2f}"
+        " (paper: ~0.5)"
+    )
+    print("\n" + report)
+    write_report("ablation_startup.txt", report)
+
+
+def test_ablation_ga_comparison(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: run_ga_comparison(max_branches=20_000, generations=30),
+    )
+    assert rows
+    for row in rows:
+        # Construction must be competitive with search at equal size.
+        assert row.constructed_accuracy >= row.ga_accuracy - 0.05
+
+    report = render_ga(rows)
+    print("\n" + report)
+    write_report("ablation_ga.txt", report)

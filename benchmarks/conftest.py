@@ -1,0 +1,20 @@
+"""Shared configuration for the figure-regeneration benchmarks.
+
+Every benchmark target regenerates one paper artifact (see DESIGN.md's
+per-experiment index), times the regeneration once via pytest-benchmark's
+pedantic mode, prints the reproduced rows/series, and tees them under
+``results/``.  Scale knobs live in this file so a quick pass and a full
+pass are one constant away.
+"""
+
+import os
+
+# Trace lengths used by the figure benches.  Override via environment,
+# e.g. REPRO_BENCH_BRANCHES=150000 for a longer, tighter run.
+BRANCHES = int(os.environ.get("REPRO_BENCH_BRANCHES", "60000"))
+LOADS = int(os.environ.get("REPRO_BENCH_LOADS", "60000"))
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Export synthesizable HDL for a benchmark's custom predictors.
+
+Designs the per-branch FSM predictors for a benchmark and writes, per
+branch: VHDL (the paper's Section 4.8 output), Verilog, and a GraphViz
+DOT rendering of the state machine, into ``hdl_out/<benchmark>/``.
+
+Run:  python examples/export_hdl.py [benchmark] [count]   (default: ijpeg 4)
+"""
+
+import os
+import sys
+
+from repro.harness.branch_training import (
+    collect_branch_models,
+    design_branch_predictors,
+    rank_branches_by_misses,
+)
+from repro.synth.area import estimate_area
+from repro.synth.verilog import generate_verilog
+from repro.synth.vhdl import generate_vhdl
+from repro.workloads.programs import BRANCH_BENCHMARKS, branch_label_map, branch_trace
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "ijpeg"
+    count = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    if benchmark not in BRANCH_BENCHMARKS:
+        raise SystemExit(f"pick one of {BRANCH_BENCHMARKS}")
+
+    out_dir = os.path.join("hdl_out", benchmark)
+    os.makedirs(out_dir, exist_ok=True)
+
+    trace = branch_trace(benchmark, "train", 60_000)
+    ranked = rank_branches_by_misses(trace)
+    models = collect_branch_models(trace)
+    designs = design_branch_predictors(models, [pc for pc, _ in ranked[:count]])
+    labels = branch_label_map(benchmark)
+
+    for pc, design in designs.items():
+        label = labels.get(pc, hex(pc)).split(":")[-1]
+        entity = f"{benchmark}_{label}".replace("-", "_")
+        machine = design.machine
+        report = estimate_area(machine)
+        base = os.path.join(out_dir, entity)
+        with open(base + ".vhd", "w") as handle:
+            handle.write(generate_vhdl(machine, entity_name=entity))
+        with open(base + ".v", "w") as handle:
+            handle.write(generate_verilog(machine, module_name=entity))
+        with open(base + ".dot", "w") as handle:
+            handle.write(machine.to_dot(name=entity))
+        print(
+            f"{entity:32s} states={machine.num_states:3d} "
+            f"area={report.area:7.1f} encoding={report.encoding_name:7s} "
+            f"-> {base}.{{vhd,v,dot}}"
+        )
+    print(f"\nWrote HDL for {len(designs)} predictors under {out_dir}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Confidence estimation for value prediction (Section 6, Figure 2).
+
+Runs the 2K-entry two-delta stride predictor over a benchmark's load
+stream, then compares saturating up/down confidence counters against an
+automatically designed FSM confidence estimator that was *cross-trained*
+on the other four benchmarks -- the paper's general-purpose protocol.
+
+Run:  python examples/value_confidence.py [benchmark]   (default: gcc)
+"""
+
+import sys
+
+from repro.core.markov import MarkovModel
+from repro.core.pipeline import DesignConfig, FSMDesigner
+from repro.harness.metrics import interpolate_coverage_at, pareto_front
+from repro.valuepred.confidence import (
+    correctness_trace,
+    evaluate_counter_confidence,
+    evaluate_fsm_confidence,
+    sud_configurations,
+)
+from repro.workloads.values import VALUE_BENCHMARKS, load_trace
+
+NUM_LOADS = 60_000
+HISTORY = 8
+THRESHOLDS = (0.5, 0.7, 0.8, 0.9, 0.95, 0.98, 0.995)
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "gcc"
+    if benchmark not in VALUE_BENCHMARKS:
+        raise SystemExit(f"pick one of {VALUE_BENCHMARKS}")
+
+    print(f"Generating correctness traces for {VALUE_BENCHMARKS} ...")
+    traces = {
+        name: correctness_trace(load_trace(name, "train", NUM_LOADS))
+        for name in VALUE_BENCHMARKS
+    }
+    indices, bits = traces[benchmark]
+    print(
+        f"{benchmark}: base value-prediction accuracy "
+        f"{sum(bits) / len(bits):.3f} over {len(bits)} loads"
+    )
+
+    print("\nSaturating up/down counter sweep (the paper's 60 configs):")
+    sud_points = []
+    for label, factory in sud_configurations():
+        stats = evaluate_counter_confidence(indices, bits, factory, label=label)
+        sud_points.append((stats.accuracy, stats.coverage))
+    sud_curve = pareto_front(sud_points)
+    for accuracy, coverage in sud_curve:
+        print(f"  accuracy {accuracy:.3f}  coverage {coverage:.3f}")
+
+    print(f"\nCross-training an FSM (history {HISTORY}) on the other benchmarks...")
+    model = MarkovModel(order=HISTORY)
+    for name, (_idx, other_bits) in traces.items():
+        if name != benchmark:
+            model.update_from_trace(other_bits)
+
+    fsm_points = []
+    for threshold in THRESHOLDS:
+        config = DesignConfig(
+            order=HISTORY, bias_threshold=threshold, dont_care_fraction=0.01
+        )
+        result = FSMDesigner(config).design_from_model(model)
+        stats = evaluate_fsm_confidence(indices, bits, result.machine)
+        fsm_points.append((stats.accuracy, stats.coverage))
+        print(
+            f"  bias>={threshold:<5g} states={result.machine.num_states:3d} "
+            f"accuracy {stats.accuracy:.3f}  coverage {stats.coverage:.3f}"
+        )
+
+    fsm_curve = pareto_front(fsm_points)
+    print("\nCoverage at target accuracies (FSM vs best SUD):")
+    for target in (0.85, 0.9, 0.95):
+        fsm_cov = interpolate_coverage_at(fsm_curve, target)
+        sud_cov = interpolate_coverage_at(sud_curve, target)
+        print(
+            f"  accuracy >= {target:.2f}:  custom FSM {fsm_cov:.3f}   "
+            f"up/down {sud_cov:.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""repro: automated design of finite state machine predictors.
+
+A full reproduction of Sherwood & Calder, "Automated Design of Finite State
+Machine Predictors for Customized Processors" (ISCA 2001): the profile-driven
+design flow (Markov modeling, logic minimization, regular-expression
+construction, subset construction, Hopcroft minimization, start-state
+reduction, VHDL synthesis), the predictor substrates it is evaluated against
+(saturating up/down counters, gshare, local/global choosers, an XScale-style
+BTB baseline, a two-delta stride value predictor), the synthetic workload
+suite standing in for the paper's SPEC95/MediaBench traces, and the harness
+that regenerates every figure of the evaluation.
+
+Quickstart::
+
+    from repro import design_predictor
+
+    trace = [0, 0, 0, 0, 1, 0, 0, 0, 1, 0, 1, 1, 1, 1, 0, 1, 1, 1, 1, 0, 1, 1, 1, 1]
+    result = design_predictor(trace, order=2)
+    print(result.machine.describe())
+"""
+
+from repro.core import (
+    DesignConfig,
+    DesignResult,
+    FSMDesigner,
+    MarkovModel,
+    PatternSets,
+    define_patterns,
+    design_predictor,
+    direct_history_machine,
+)
+from repro.automata import MooreMachine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DesignConfig",
+    "DesignResult",
+    "FSMDesigner",
+    "MarkovModel",
+    "PatternSets",
+    "define_patterns",
+    "design_predictor",
+    "direct_history_machine",
+    "MooreMachine",
+    "__version__",
+]

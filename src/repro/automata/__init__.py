@@ -1,0 +1,51 @@
+"""Finite-automata substrate.
+
+Implements the formal-language machinery of the paper's Sections 4.5-4.7:
+
+* a small regular-expression AST and parser over the binary alphabet,
+* Thompson construction (regex -> NFA with epsilon transitions),
+* subset construction (NFA -> complete DFA),
+* Hopcroft's partition-refinement minimization (output-aware, so it
+  minimizes Moore machines, not only acceptors),
+* Moore machines (per-state output) with simulation and DOT export,
+* start-state reduction (Section 4.7): removal of the start-up states that
+  are unreachable from steady-state operation.
+"""
+
+from repro.automata.regex import (
+    Regex,
+    Symbol,
+    Epsilon,
+    EmptySet,
+    Concat,
+    Alternate,
+    Star,
+    parse_regex,
+    any_symbol,
+    literal,
+)
+from repro.automata.nfa import NFA, thompson_construct
+from repro.automata.dfa import DFA, subset_construct
+from repro.automata.moore import MooreMachine
+from repro.automata.hopcroft import hopcroft_minimize
+from repro.automata.startup import steady_state_reduce
+
+__all__ = [
+    "Regex",
+    "Symbol",
+    "Epsilon",
+    "EmptySet",
+    "Concat",
+    "Alternate",
+    "Star",
+    "parse_regex",
+    "any_symbol",
+    "literal",
+    "NFA",
+    "thompson_construct",
+    "DFA",
+    "subset_construct",
+    "MooreMachine",
+    "hopcroft_minimize",
+    "steady_state_reduce",
+]

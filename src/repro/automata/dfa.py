@@ -1,0 +1,115 @@
+"""Deterministic finite automata and subset construction.
+
+"Once the non-deterministic FSM is completed it is converted to a
+deterministic state machine using subset construction" (Section 4.6).  The
+DFAs here are *complete*: every state has a transition on every alphabet
+symbol (non-accepting dead state added where needed), which is what lets the
+later Moore-machine view emit a prediction from every state on every input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.automata.nfa import NFA
+
+
+@dataclass
+class DFA:
+    """A complete DFA with dense integer states.
+
+    ``transitions[state][symbol_index]`` is the successor; symbol indices
+    follow the order of ``alphabet``.
+    """
+
+    alphabet: Tuple[str, ...]
+    start: int
+    accepts: FrozenSet[int]
+    transitions: Tuple[Tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        n = len(self.transitions)
+        width = len(self.alphabet)
+        for state, row in enumerate(self.transitions):
+            if len(row) != width:
+                raise ValueError(f"state {state} row has {len(row)} entries")
+            for nxt in row:
+                if not 0 <= nxt < n:
+                    raise ValueError(f"state {state} transitions to {nxt} (n={n})")
+        if not 0 <= self.start < n:
+            raise ValueError(f"start state {self.start} out of range")
+        for a in self.accepts:
+            if not 0 <= a < n:
+                raise ValueError(f"accept state {a} out of range")
+
+    @property
+    def num_states(self) -> int:
+        return len(self.transitions)
+
+    def symbol_index(self, symbol: str) -> int:
+        try:
+            return self.alphabet.index(symbol)
+        except ValueError:
+            raise KeyError(f"symbol {symbol!r} not in alphabet {self.alphabet}")
+
+    def step(self, state: int, symbol: str) -> int:
+        return self.transitions[state][self.symbol_index(symbol)]
+
+    def run(self, text: str, start: Optional[int] = None) -> int:
+        """Final state after consuming ``text`` from ``start`` (default:
+        the DFA's start state)."""
+        state = self.start if start is None else start
+        for symbol in text:
+            state = self.step(state, symbol)
+        return state
+
+    def accepts_string(self, text: str) -> bool:
+        return self.run(text) in self.accepts
+
+    def reachable_states(self, roots: Optional[Iterable[int]] = None) -> Set[int]:
+        """States reachable from ``roots`` (default: the start state)."""
+        frontier: List[int] = list(roots) if roots is not None else [self.start]
+        seen: Set[int] = set(frontier)
+        while frontier:
+            state = frontier.pop()
+            for nxt in self.transitions[state]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return seen
+
+
+def subset_construct(nfa: NFA) -> DFA:
+    """Determinize ``nfa`` with the classic subset construction.
+
+    The result is complete over the NFA's alphabet: the empty subset acts as
+    the (non-accepting) dead state when it arises.
+    """
+    start_set = nfa.epsilon_closure({nfa.start})
+    index: Dict[FrozenSet[int], int] = {start_set: 0}
+    order: List[FrozenSet[int]] = [start_set]
+    rows: List[List[int]] = []
+    worklist: List[FrozenSet[int]] = [start_set]
+    while worklist:
+        subset = worklist.pop(0)
+        row: List[int] = []
+        for symbol in nfa.alphabet:
+            nxt = nfa.step(subset, symbol)
+            if nxt not in index:
+                index[nxt] = len(order)
+                order.append(nxt)
+                worklist.append(nxt)
+            row.append(index[nxt])
+        rows.append(row)
+    # Rows were appended in pop order == insertion order, so rows[i]
+    # corresponds to order[i].
+    accepts = frozenset(
+        index[s] for s in order if s & nfa.accepts
+    )
+    return DFA(
+        alphabet=nfa.alphabet,
+        start=0,
+        accepts=accepts,
+        transitions=tuple(tuple(r) for r in rows),
+    )

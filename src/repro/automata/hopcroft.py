@@ -1,0 +1,132 @@
+"""Hopcroft's partition-refinement minimization, output-aware.
+
+"We start by applying Hopcroft's partitioning algorithm.  This algorithm
+removes both unreachable and redundant states" (Section 4.6).  The
+implementation below works on Moore machines: the initial partition groups
+states by *output* (for plain DFAs that degenerates to accepting vs.
+non-accepting), then refines with the classic worklist scheme.  Unreachable
+states are dropped first, as the paper notes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.automata.moore import MooreMachine
+
+
+def hopcroft_minimize(machine: MooreMachine) -> MooreMachine:
+    """Return the minimal machine equivalent to ``machine``.
+
+    Equivalence is Moore equivalence: two states are merged only when every
+    input string drives them to states with identical outputs.  The result's
+    states are renumbered in breadth-first order from the start state, which
+    makes the output deterministic and matches the renumbering shown in the
+    paper's Figure 1.
+    """
+    reachable = machine.reachable_states()
+    states = sorted(reachable)
+    if not states:
+        raise ValueError("machine has no reachable states")
+    position = {s: i for i, s in enumerate(states)}
+    n = len(states)
+    num_symbols = len(machine.alphabet)
+
+    # Pre-compute the inverse transition relation over reachable states.
+    inverse: List[List[List[int]]] = [
+        [[] for _ in range(num_symbols)] for _ in range(n)
+    ]
+    for s in states:
+        for a in range(num_symbols):
+            nxt = machine.transitions[s][a]
+            inverse[position[nxt]][a].append(position[s])
+
+    # Initial partition: group by output value.
+    by_output: Dict[int, Set[int]] = {}
+    for s in states:
+        by_output.setdefault(machine.outputs[s], set()).add(position[s])
+    partition: List[Set[int]] = [group for _, group in sorted(by_output.items())]
+    block_of: List[int] = [0] * n
+    for block_id, group in enumerate(partition):
+        for s in group:
+            block_of[s] = block_id
+
+    worklist: List[int] = list(range(len(partition)))
+    in_worklist: Set[int] = set(worklist)
+
+    while worklist:
+        splitter_id = worklist.pop()
+        in_worklist.discard(splitter_id)
+        splitter = frozenset(partition[splitter_id])
+        for a in range(num_symbols):
+            # X = states with an a-transition into the splitter.
+            x: Set[int] = set()
+            for t in splitter:
+                x.update(inverse[t][a])
+            if not x:
+                continue
+            # Split every block crossed by X.
+            touched: Dict[int, Set[int]] = {}
+            for s in x:
+                touched.setdefault(block_of[s], set()).add(s)
+            for block_id, inside in touched.items():
+                block = partition[block_id]
+                if len(inside) == len(block):
+                    continue  # block entirely inside X; no split
+                outside = block - inside
+                # Keep the larger half in place, spin off the smaller.
+                if len(inside) <= len(outside):
+                    small, large = inside, outside
+                else:
+                    small, large = outside, inside
+                partition[block_id] = large
+                new_id = len(partition)
+                partition.append(small)
+                for s in small:
+                    block_of[s] = new_id
+                if block_id in in_worklist:
+                    worklist.append(new_id)
+                    in_worklist.add(new_id)
+                else:
+                    # Process the smaller of the two halves.
+                    smaller_id = new_id if len(small) <= len(large) else block_id
+                    worklist.append(smaller_id)
+                    in_worklist.add(smaller_id)
+
+    # Build the quotient machine, renumbering blocks breadth-first from the
+    # start state so the result is canonical.
+    start_block = block_of[position[machine.start]]
+    order: List[int] = [start_block]
+    seen: Set[int] = {start_block}
+    queue: List[int] = [start_block]
+    block_successor: Dict[Tuple[int, int], int] = {}
+    while queue:
+        block_id = queue.pop(0)
+        representative = states[next(iter(partition[block_id]))]
+        for a in range(num_symbols):
+            nxt_state = machine.transitions[representative][a]
+            nxt_block = block_of[position[nxt_state]]
+            block_successor[(block_id, a)] = nxt_block
+            if nxt_block not in seen:
+                seen.add(nxt_block)
+                order.append(nxt_block)
+                queue.append(nxt_block)
+
+    renumber = {block_id: i for i, block_id in enumerate(order)}
+    outputs: List[int] = []
+    rows: List[Tuple[int, ...]] = []
+    for block_id in order:
+        representative = states[next(iter(partition[block_id]))]
+        outputs.append(machine.outputs[representative])
+        rows.append(
+            tuple(
+                renumber[block_successor[(block_id, a)]]
+                for a in range(num_symbols)
+            )
+        )
+    return MooreMachine(
+        alphabet=machine.alphabet,
+        start=0,
+        outputs=tuple(outputs),
+        transitions=tuple(rows),
+    )

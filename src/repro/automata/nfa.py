@@ -1,0 +1,143 @@
+"""Nondeterministic finite automata and Thompson construction.
+
+"The first step in building a FSM from a regular expression is the
+construction of a non-deterministic finite state machine ... a fairly
+straight forward process of enumerating paths" (Section 4.6).  We use the
+textbook Thompson construction: every regex node contributes a constant
+number of states and epsilon transitions, so the NFA has a single start
+state and a single accept state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.automata import regex as rx
+
+EPSILON = ""  # the label used for epsilon transitions
+
+
+@dataclass
+class NFA:
+    """An NFA with epsilon transitions.
+
+    States are dense integers ``0..num_states-1``.  ``transitions`` maps
+    ``(state, symbol)`` to a set of successor states; ``symbol`` may be
+    :data:`EPSILON`.
+    """
+
+    num_states: int
+    alphabet: Tuple[str, ...]
+    start: int
+    accepts: FrozenSet[int]
+    transitions: Dict[Tuple[int, str], FrozenSet[int]]
+
+    def successors(self, state: int, symbol: str) -> FrozenSet[int]:
+        return self.transitions.get((state, symbol), frozenset())
+
+    def epsilon_closure(self, states: Iterable[int]) -> FrozenSet[int]:
+        """All states reachable from ``states`` via epsilon transitions."""
+        closure: Set[int] = set(states)
+        stack: List[int] = list(closure)
+        while stack:
+            state = stack.pop()
+            for nxt in self.successors(state, EPSILON):
+                if nxt not in closure:
+                    closure.add(nxt)
+                    stack.append(nxt)
+        return frozenset(closure)
+
+    def step(self, states: FrozenSet[int], symbol: str) -> FrozenSet[int]:
+        """One symbol step (epsilon closure of the moved set)."""
+        moved: Set[int] = set()
+        for state in states:
+            moved.update(self.successors(state, symbol))
+        return self.epsilon_closure(moved)
+
+    def accepts_string(self, text: str) -> bool:
+        """Simulate the NFA on ``text``."""
+        current = self.epsilon_closure({self.start})
+        for symbol in text:
+            if symbol not in self.alphabet:
+                return False
+            current = self.step(current, symbol)
+            if not current:
+                return False
+        return bool(current & self.accepts)
+
+
+class _Builder:
+    """Mutable helper accumulating Thompson fragments."""
+
+    def __init__(self) -> None:
+        self.transitions: Dict[Tuple[int, str], Set[int]] = {}
+        self.count = 0
+
+    def new_state(self) -> int:
+        state = self.count
+        self.count += 1
+        return state
+
+    def add(self, src: int, symbol: str, dst: int) -> None:
+        self.transitions.setdefault((src, symbol), set()).add(dst)
+
+    def build(self, node: rx.Regex) -> Tuple[int, int]:
+        """Return the (start, accept) fragment for ``node``."""
+        if isinstance(node, rx.EmptySet):
+            return self.new_state(), self.new_state()
+        if isinstance(node, rx.Epsilon):
+            start, accept = self.new_state(), self.new_state()
+            self.add(start, EPSILON, accept)
+            return start, accept
+        if isinstance(node, rx.Symbol):
+            start, accept = self.new_state(), self.new_state()
+            self.add(start, node.char, accept)
+            return start, accept
+        if isinstance(node, rx.Concat):
+            first_start, prev_accept = self.build(node.parts[0])
+            for part in node.parts[1:]:
+                start, accept = self.build(part)
+                self.add(prev_accept, EPSILON, start)
+                prev_accept = accept
+            return first_start, prev_accept
+        if isinstance(node, rx.Alternate):
+            start, accept = self.new_state(), self.new_state()
+            for option in node.options:
+                o_start, o_accept = self.build(option)
+                self.add(start, EPSILON, o_start)
+                self.add(o_accept, EPSILON, accept)
+            return start, accept
+        if isinstance(node, rx.Star):
+            start, accept = self.new_state(), self.new_state()
+            i_start, i_accept = self.build(node.inner)
+            self.add(start, EPSILON, i_start)
+            self.add(start, EPSILON, accept)
+            self.add(i_accept, EPSILON, i_start)
+            self.add(i_accept, EPSILON, accept)
+            return start, accept
+        raise TypeError(f"unknown regex node {node!r}")
+
+
+def thompson_construct(
+    node: rx.Regex, alphabet: Optional[Tuple[str, ...]] = None
+) -> NFA:
+    """Build an NFA from a regex via Thompson's construction.
+
+    ``alphabet`` defaults to the symbols occurring in the expression; pass
+    it explicitly when the automaton must be complete over a larger
+    alphabet (the predictor pipeline always passes ``("0", "1")``).
+    """
+    builder = _Builder()
+    start, accept = builder.build(node)
+    if alphabet is None:
+        alphabet = rx.alphabet_of(node)
+    return NFA(
+        num_states=builder.count,
+        alphabet=alphabet,
+        start=start,
+        accepts=frozenset({accept}),
+        transitions={
+            key: frozenset(dsts) for key, dsts in builder.transitions.items()
+        },
+    )

@@ -1,0 +1,249 @@
+"""Regular-expression AST and parser for the predictor design flow.
+
+The paper builds expressions like ``{0|1} { 1{0|1} | {0|1}1 }`` (Section
+4.5): an arbitrary prefix over the alphabet followed by an alternation of
+fixed-length history patterns.  We model exactly the operators needed --
+symbols, epsilon, the empty language, concatenation, alternation, Kleene
+star -- plus a small concrete-syntax parser useful in tests and examples.
+
+Grammar accepted by :func:`parse_regex` (either ``{}`` or ``()`` may group):
+
+    alt    := concat ('|' concat)*
+    concat := repeat+
+    repeat := atom '*'?
+    atom   := '0' | '1' | '.' | 'ε' | '(' alt ')' | '{' alt '}'
+
+``.`` abbreviates ``(0|1)`` and ``ε`` the empty string.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple, Union
+
+
+class Regex:
+    """Base class of all regular-expression nodes."""
+
+    def __or__(self, other: "Regex") -> "Regex":
+        return Alternate((self, other))
+
+    def __add__(self, other: "Regex") -> "Regex":
+        return Concat((self, other))
+
+    def star(self) -> "Regex":
+        return Star(self)
+
+
+@dataclass(frozen=True)
+class Symbol(Regex):
+    """A single alphabet symbol (for predictors: ``"0"`` or ``"1"``)."""
+
+    char: str
+
+    def __post_init__(self) -> None:
+        if len(self.char) != 1:
+            raise ValueError(f"symbol must be one character, got {self.char!r}")
+
+    def __str__(self) -> str:
+        return self.char
+
+
+@dataclass(frozen=True)
+class Epsilon(Regex):
+    """The empty string."""
+
+    def __str__(self) -> str:
+        return "ε"
+
+
+@dataclass(frozen=True)
+class EmptySet(Regex):
+    """The empty language (matches nothing)."""
+
+    def __str__(self) -> str:
+        return "∅"
+
+
+@dataclass(frozen=True)
+class Concat(Regex):
+    """Concatenation of two or more expressions."""
+
+    parts: Tuple[Regex, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ValueError("Concat needs at least two parts")
+
+    def __str__(self) -> str:
+        return "".join(_wrap(p, for_concat=True) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Alternate(Regex):
+    """Alternation (union) of two or more expressions."""
+
+    options: Tuple[Regex, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.options) < 2:
+            raise ValueError("Alternate needs at least two options")
+
+    def __str__(self) -> str:
+        return "|".join(_wrap(o, for_concat=False) for o in self.options)
+
+
+@dataclass(frozen=True)
+class Star(Regex):
+    """Kleene star."""
+
+    inner: Regex
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.inner, for_concat=True)}*"
+
+
+def _wrap(node: Regex, for_concat: bool) -> str:
+    """Parenthesize a child where the concrete syntax needs it."""
+    text = str(node)
+    if isinstance(node, Alternate):
+        return f"({text})"
+    if for_concat and isinstance(node, Concat):
+        return text
+    return text
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors used by the design pipeline
+# ----------------------------------------------------------------------
+
+BINARY_ALPHABET: Tuple[str, str] = ("0", "1")
+
+
+def any_symbol(alphabet: Sequence[str] = BINARY_ALPHABET) -> Regex:
+    """``(0|1)`` -- matches any single symbol of the alphabet."""
+    symbols: List[Regex] = [Symbol(ch) for ch in alphabet]
+    if len(symbols) == 1:
+        return symbols[0]
+    return Alternate(tuple(symbols))
+
+
+def literal(text: str) -> Regex:
+    """Concatenation of the characters of ``text`` (``""`` gives epsilon)."""
+    if not text:
+        return Epsilon()
+    if len(text) == 1:
+        return Symbol(text)
+    return Concat(tuple(Symbol(ch) for ch in text))
+
+
+def concat_all(parts: Iterable[Regex]) -> Regex:
+    """Concatenate a sequence, flattening the degenerate cases."""
+    flat = [p for p in parts if not isinstance(p, Epsilon)]
+    if not flat:
+        return Epsilon()
+    if len(flat) == 1:
+        return flat[0]
+    return Concat(tuple(flat))
+
+
+def alternate_all(options: Iterable[Regex]) -> Regex:
+    """Alternate a sequence, flattening the degenerate cases."""
+    flat = [o for o in options if not isinstance(o, EmptySet)]
+    if not flat:
+        return EmptySet()
+    if len(flat) == 1:
+        return flat[0]
+    return Alternate(tuple(flat))
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+_OPENERS = {"(": ")", "{": "}"}
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text.replace(" ", "")
+        self.pos = 0
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def take(self) -> str:
+        ch = self.peek()
+        self.pos += 1
+        return ch
+
+    def parse(self) -> Regex:
+        node = self.alt()
+        if self.pos != len(self.text):
+            raise ValueError(
+                f"unexpected {self.peek()!r} at position {self.pos} in regex"
+            )
+        return node
+
+    def alt(self) -> Regex:
+        options = [self.concat()]
+        while self.peek() == "|":
+            self.take()
+            options.append(self.concat())
+        return alternate_all(options)
+
+    def concat(self) -> Regex:
+        parts: List[Regex] = []
+        while self.peek() and self.peek() not in "|)}":
+            parts.append(self.repeat())
+        if not parts:
+            return Epsilon()
+        return concat_all(parts)
+
+    def repeat(self) -> Regex:
+        node = self.atom()
+        while self.peek() == "*":
+            self.take()
+            node = Star(node)
+        return node
+
+    def atom(self) -> Regex:
+        ch = self.take()
+        if ch in _OPENERS:
+            node = self.alt()
+            closer = self.take()
+            if closer != _OPENERS[ch]:
+                raise ValueError(f"expected {_OPENERS[ch]!r}, got {closer!r}")
+            return node
+        if ch == ".":
+            return any_symbol()
+        if ch in ("ε", "e"):
+            return Epsilon()
+        if ch in ("0", "1"):
+            return Symbol(ch)
+        raise ValueError(f"unexpected character {ch!r} in regex")
+
+
+def parse_regex(text: str) -> Regex:
+    """Parse the concrete syntax described in the module docstring."""
+    return _Parser(text).parse()
+
+
+def alphabet_of(node: Regex) -> Tuple[str, ...]:
+    """The sorted set of symbols appearing in the expression."""
+    symbols: set = set()
+
+    def walk(n: Regex) -> None:
+        if isinstance(n, Symbol):
+            symbols.add(n.char)
+        elif isinstance(n, Concat):
+            for p in n.parts:
+                walk(p)
+        elif isinstance(n, Alternate):
+            for o in n.options:
+                walk(o)
+        elif isinstance(n, Star):
+            walk(n.inner)
+
+    walk(node)
+    return tuple(sorted(symbols))

@@ -1,0 +1,95 @@
+"""Start-state reduction (Section 4.7).
+
+A machine built to recognize ``(0|1)* patterns`` spends its first N inputs
+in *start-up* states that can never be revisited once N history bits exist.
+"There can be up to 2^N start-up states, and they typically account for
+around one half of all states in the machine."  Since only steady-state
+behaviour matters for a predictor, those states are removed.
+
+The steady-state core is computed exactly as the paper describes: take the
+set of states the machine can be in after any input of length >= N (for a
+machine derived from length-N history patterns this is the image of all
+length-N strings), close it under transitions, and drop everything else.
+A new start state is chosen inside the core (canonically, the state reached
+by the all-zero history), which only affects the machine's first N outputs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.automata.moore import MooreMachine
+
+
+def steady_state_core(machine: MooreMachine, horizon: int) -> Set[int]:
+    """States the machine can occupy after ``horizon`` or more inputs.
+
+    Computed by iterating the one-step image of the full reachable set
+    ``horizon`` times; the result is transition-closed by construction
+    because the image is taken from a closed set only at the end.
+    """
+    current: Set[int] = machine.reachable_states()
+    for _ in range(horizon):
+        nxt: Set[int] = set()
+        for state in current:
+            nxt.update(machine.transitions[state])
+        if nxt == current:
+            break  # already steady
+        current = nxt
+    # Close under transitions (steady states can reach only steady states,
+    # but the fixed horizon may stop before the image stabilizes).
+    frontier: List[int] = list(current)
+    closed: Set[int] = set(current)
+    while frontier:
+        state = frontier.pop()
+        for nxt_state in machine.transitions[state]:
+            if nxt_state not in closed:
+                closed.add(nxt_state)
+                frontier.append(nxt_state)
+    return closed
+
+
+def steady_state_reduce(
+    machine: MooreMachine,
+    horizon: int,
+    canonical_history: Optional[str] = None,
+) -> MooreMachine:
+    """Remove start-up states unreachable from steady-state operation.
+
+    ``horizon`` is the history length N used to build the machine.
+    ``canonical_history`` picks the new start state (the state reached by
+    that input from the old start); it defaults to ``"0" * horizon``.
+    Kept states are renumbered in breadth-first order from the new start,
+    matching the re-numbering of the paper's Figure 1.
+    """
+    core = steady_state_core(machine, horizon)
+    if canonical_history is None:
+        canonical_history = machine.alphabet[0] * horizon
+    new_start = machine.run(canonical_history)
+    if new_start not in core:
+        raise AssertionError(
+            "canonical history landed outside the steady-state core"
+        )
+    # Breadth-first ordering from the new start for deterministic output.
+    order: List[int] = [new_start]
+    seen: Set[int] = {new_start}
+    queue: List[int] = [new_start]
+    while queue:
+        state = queue.pop(0)
+        for nxt in machine.transitions[state]:
+            if nxt not in seen:
+                seen.add(nxt)
+                order.append(nxt)
+                queue.append(nxt)
+    # Everything reachable from the new start lies inside the core.
+    missing = seen - core
+    if missing:
+        raise AssertionError(f"core not transition-closed: {sorted(missing)}")
+    return machine.restrict_to(order, start=new_start)
+
+
+def startup_state_count(machine: MooreMachine, horizon: int) -> int:
+    """How many states start-state reduction would remove."""
+    reachable = machine.reachable_states()
+    core = steady_state_core(machine, horizon)
+    return len(reachable - core)

@@ -1,0 +1,183 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror what a user of the paper's flow would do:
+
+``design``
+    Run the design flow on a 0/1 trace (from a file or stdin) and print
+    the machine; optionally emit VHDL/Verilog/DOT.
+``customize``
+    Profile a bundled benchmark, design per-branch custom predictors, and
+    report the customized architecture's miss rate vs the baselines.
+``figures``
+    Regenerate a paper figure (fig1/fig2/fig4/fig5/fig67) and print it.
+
+Examples::
+
+    echo 000010001011110111101111 | python -m repro design --order 2
+    python -m repro design --order 4 --trace-file trace.txt --vhdl out.vhd
+    python -m repro customize gsm --branches 6
+    python -m repro figures fig5 --benchmark ijpeg
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.pipeline import design_predictor
+from repro.synth.area import estimate_area
+from repro.synth.verilog import generate_verilog
+from repro.synth.vhdl import generate_vhdl
+
+
+def _read_trace(path: Optional[str]) -> List[int]:
+    text = open(path).read() if path else sys.stdin.read()
+    bits = [ch for ch in text if ch in "01"]
+    if not bits:
+        raise SystemExit("no 0/1 symbols found in the trace input")
+    return [int(ch) for ch in bits]
+
+
+def _cmd_design(args: argparse.Namespace) -> int:
+    trace = _read_trace(args.trace_file)
+    result = design_predictor(
+        trace,
+        order=args.order,
+        bias_threshold=args.threshold,
+        dont_care_fraction=args.dont_care,
+    )
+    print(f"trace length   : {len(trace)}")
+    print(f"cover          : {' | '.join(result.cover_strings()) or '(empty)'}")
+    print(f"regex          : {result.regex}")
+    print(
+        f"states         : nfa={result.nfa_states} dfa={result.dfa_states} "
+        f"minimized={result.minimized_states} final={result.machine.num_states}"
+    )
+    print(result.machine.describe())
+    if args.area:
+        print(estimate_area(result.machine))
+    if args.vhdl:
+        with open(args.vhdl, "w") as handle:
+            handle.write(generate_vhdl(result.machine))
+        print(f"wrote {args.vhdl}")
+    if args.verilog:
+        with open(args.verilog, "w") as handle:
+            handle.write(generate_verilog(result.machine))
+        print(f"wrote {args.verilog}")
+    if args.dot:
+        with open(args.dot, "w") as handle:
+            handle.write(result.machine.to_dot())
+        print(f"wrote {args.dot}")
+    return 0
+
+
+def _cmd_customize(args: argparse.Namespace) -> int:
+    from repro.harness.branch_training import (
+        collect_branch_models,
+        design_branch_predictors,
+        rank_branches_by_misses,
+        rank_by_improvement,
+    )
+    from repro.predictors.base import simulate_predictor
+    from repro.predictors.custom import CustomBranchPredictor
+    from repro.predictors.gshare import GSharePredictor
+    from repro.predictors.local_global import LocalGlobalChooser
+    from repro.predictors.xscale import XScalePredictor
+    from repro.workloads.programs import branch_trace
+
+    train = branch_trace(args.benchmark, "train", args.length)
+    evaluation = branch_trace(args.benchmark, "eval", args.length)
+    ranked = rank_branches_by_misses(train)
+    models = collect_branch_models(train)
+    designs = design_branch_predictors(
+        models, [pc for pc, _ in ranked[: args.branches * 2]]
+    )
+    chosen = rank_by_improvement(train, designs, dict(ranked))[: args.branches]
+    custom = CustomBranchPredictor.from_machines(
+        {pc: designs[pc].machine for pc in chosen}
+    )
+    print(f"{'predictor':<14s} {'miss rate':>10s} {'area':>10s}")
+    for predictor in (
+        XScalePredictor(),
+        custom,
+        GSharePredictor(12),
+        LocalGlobalChooser(10),
+    ):
+        stats = simulate_predictor(predictor, evaluation)
+        print(
+            f"{predictor.name:<14s} {stats.miss_rate:>10.4f} "
+            f"{predictor.area():>10.0f}"
+        )
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    if args.figure == "fig1":
+        trace = [int(c) for c in "000010001011110111101111"]
+        result = design_predictor(trace, order=2)
+        print(result.summary())
+        print(result.machine.describe())
+    elif args.figure == "fig2":
+        from repro.harness.fig2 import run_fig2_benchmark
+
+        result = run_fig2_benchmark(args.benchmark or "gcc")
+        print(result.render())
+    elif args.figure == "fig4":
+        from repro.harness.fig4 import run_fig4
+
+        print(run_fig4().render())
+    elif args.figure == "fig5":
+        from repro.harness.fig5 import run_fig5_benchmark
+
+        result = run_fig5_benchmark(args.benchmark or "gsm")
+        print(result.render())
+    elif args.figure == "fig67":
+        from repro.harness.fig67 import run_fig67
+
+        for name, example in run_fig67().items():
+            print(f"== {name} ==")
+            print(example.render())
+    else:
+        raise SystemExit(f"unknown figure {args.figure!r}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Automated design of FSM predictors (ISCA 2001 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    design = sub.add_parser("design", help="design a predictor from a 0/1 trace")
+    design.add_argument("--order", type=int, default=4, help="history length N")
+    design.add_argument("--threshold", type=float, default=0.5)
+    design.add_argument("--dont-care", type=float, default=0.01)
+    design.add_argument("--trace-file", help="file of 0/1 symbols (default: stdin)")
+    design.add_argument("--area", action="store_true", help="print the area report")
+    design.add_argument("--vhdl", help="write VHDL to this path")
+    design.add_argument("--verilog", help="write Verilog to this path")
+    design.add_argument("--dot", help="write GraphViz DOT to this path")
+    design.set_defaults(func=_cmd_design)
+
+    customize = sub.add_parser("customize", help="customize a benchmark's predictor")
+    customize.add_argument("benchmark")
+    customize.add_argument("--branches", type=int, default=6)
+    customize.add_argument("--length", type=int, default=60_000)
+    customize.set_defaults(func=_cmd_customize)
+
+    figures = sub.add_parser("figures", help="regenerate a paper figure")
+    figures.add_argument("figure", choices=["fig1", "fig2", "fig4", "fig5", "fig67"])
+    figures.add_argument("--benchmark")
+    figures.set_defaults(func=_cmd_figures)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

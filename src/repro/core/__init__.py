@@ -1,0 +1,26 @@
+"""The paper's primary contribution: the automated FSM-predictor design flow.
+
+Profile trace -> order-N Markov model -> predict-1/0/don't-care partition ->
+logic minimization -> regular expression -> NFA -> DFA -> Hopcroft
+minimization -> start-state reduction -> Moore-machine predictor
+(Sections 4.1-4.7 of Sherwood & Calder, ISCA 2001).
+"""
+
+from repro.core.markov import MarkovModel
+from repro.core.patterns import PatternSets, define_patterns
+from repro.core.regex_build import cubes_to_regex, history_language_regex
+from repro.core.pipeline import DesignConfig, DesignResult, FSMDesigner, design_predictor
+from repro.core.direct import direct_history_machine
+
+__all__ = [
+    "MarkovModel",
+    "PatternSets",
+    "define_patterns",
+    "cubes_to_regex",
+    "history_language_regex",
+    "DesignConfig",
+    "DesignResult",
+    "FSMDesigner",
+    "design_predictor",
+    "direct_history_machine",
+]

@@ -1,0 +1,65 @@
+"""Direct history-automaton construction: the pipeline's test oracle.
+
+The language built by the pipeline is suffix-determined: for any input of
+length >= N, membership depends only on the last N bits.  A machine for such
+a language can be written down directly -- one state per length-N history,
+transitions by shifting, output = cover evaluated on the history -- and
+Hopcroft-minimizing that machine gives the *canonical* minimal steady-state
+predictor.
+
+The design flow of the paper must therefore produce a machine equivalent to
+this one on all strings of length >= N; the test suite checks exactly that.
+This module is not part of the paper's flow (the paper goes through the
+regular expression), it exists to cross-validate it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.automata.hopcroft import hopcroft_minimize
+from repro.automata.moore import BINARY_ALPHABET, MooreMachine
+from repro.logic.cube import Cube, cover_contains
+
+
+def direct_history_machine(
+    cover: Sequence[Cube],
+    order: int,
+    start_history: str = "",
+    minimize: bool = True,
+) -> MooreMachine:
+    """Build the 2^N-state shift-register machine for ``cover`` and
+    optionally Hopcroft-minimize it.
+
+    ``start_history`` selects the start state (default: all zeros).  State
+    integers encode the history with bit 0 = newest outcome, matching
+    :mod:`repro.core.markov`.
+    """
+    if order < 1:
+        raise ValueError("order must be >= 1")
+    for cube in cover:
+        if cube.width != order:
+            raise ValueError(
+                f"cube width {cube.width} does not match order {order}"
+            )
+    if not start_history:
+        start_history = "0" * order
+    if len(start_history) != order:
+        raise ValueError("start_history length must equal order")
+
+    n_states = 1 << order
+    mask = n_states - 1
+    outputs: List[int] = []
+    rows: List[Tuple[int, int]] = []
+    for history in range(n_states):
+        outputs.append(1 if cover_contains(list(cover), history) else 0)
+        rows.append((((history << 1) | 0) & mask, ((history << 1) | 1) & mask))
+    machine = MooreMachine(
+        alphabet=BINARY_ALPHABET,
+        start=int(start_history, 2),
+        outputs=tuple(outputs),
+        transitions=tuple(rows),
+    )
+    if minimize:
+        machine = hopcroft_minimize(machine)
+    return machine

@@ -1,0 +1,116 @@
+"""Pattern definition: partition histories into predict-1/0/don't-care sets.
+
+Section 4.3: "We simply pick all the histories that have a probability of
+preceding a 1 which is greater than or equal to 1/2 to form the language
+'predict 1'."  Two refinements from the paper are supported:
+
+* **bias threshold** -- for confidence estimation the threshold is swept
+  above 1/2 to trade coverage for accuracy (a history only joins the
+  predict-1 set when ``P[1|h] >= threshold``), producing the Pareto curves
+  of Figure 2;
+* **don't-care set** -- "by placing only the 1% least seen histories in the
+  'don't care' set [we] can reduce the size of the predictor by a factor of
+  two with negligible impact on prediction accuracy."  Histories never seen
+  in the profile are always don't-cares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Tuple
+
+from repro.core.markov import MarkovModel
+from repro.logic.truth_table import TruthTable
+
+
+@dataclass(frozen=True)
+class PatternSets:
+    """The three history sets, plus the truth-table view the logic
+    minimizer consumes."""
+
+    order: int
+    predict_one: FrozenSet[int]
+    predict_zero: FrozenSet[int]
+
+    @property
+    def dont_care(self) -> FrozenSet[int]:
+        full = frozenset(range(1 << self.order))
+        return full - self.predict_one - self.predict_zero
+
+    def to_truth_table(self) -> TruthTable:
+        return TruthTable(
+            width=self.order,
+            on_set=self.predict_one,
+            off_set=self.predict_zero,
+        )
+
+    def history_strings(self, which: FrozenSet[int]) -> List[str]:
+        return [format(h, f"0{self.order}b") for h in sorted(which)]
+
+    def __str__(self) -> str:
+        return (
+            f"PatternSets(order={self.order}, "
+            f"predict1={self.history_strings(self.predict_one)}, "
+            f"predict0={self.history_strings(self.predict_zero)}, "
+            f"dontcare={self.history_strings(self.dont_care)})"
+        )
+
+
+def define_patterns(
+    model: MarkovModel,
+    bias_threshold: float = 0.5,
+    dont_care_fraction: float = 0.0,
+) -> PatternSets:
+    """Partition the model's histories into the three sets.
+
+    ``bias_threshold`` is the minimum ``P[1|h]`` for the predict-1 set; the
+    paper's branch predictors use 0.5 (ties predict 1 -- "histories with
+    probability equal to 1/2 can go either way", we resolve toward 1), and
+    the confidence study sweeps it upward.
+
+    ``dont_care_fraction`` moves the least-seen histories into the
+    don't-care set: histories are dropped rarest-first until just before
+    the dropped share of total observations would exceed the fraction.
+    Unseen histories are don't-cares unconditionally.
+    """
+    if not 0.0 <= bias_threshold <= 1.0:
+        raise ValueError("bias_threshold must be in [0, 1]")
+    if not 0.0 <= dont_care_fraction < 1.0:
+        raise ValueError("dont_care_fraction must be in [0, 1)")
+
+    total = model.total_observations
+    budget = total * dont_care_fraction
+    dropped: set = set()
+    if budget > 0 and total > 0:
+        # Rarest first; ties broken by history value for determinism.
+        by_rarity = sorted(
+            model.totals.items(), key=lambda item: (item[1], item[0])
+        )
+        spent = 0
+        for history, count in by_rarity:
+            if spent + count > budget:
+                break
+            dropped.add(history)
+            spent += count
+
+    ones: List[int] = []
+    zeros: List[int] = []
+    for history in model.histories():
+        if history in dropped:
+            continue
+        probability = model.probability_of_one(history)
+        assert probability is not None  # histories() only yields seen ones
+        if probability >= bias_threshold:
+            ones.append(history)
+        else:
+            zeros.append(history)
+    return PatternSets(
+        order=model.order,
+        predict_one=frozenset(ones),
+        predict_zero=frozenset(zeros),
+    )
+
+
+def pattern_sets_summary(sets: PatternSets) -> Tuple[int, int, int]:
+    """(``|predict1|``, ``|predict0|``, ``|dontcare|``) for reporting."""
+    return len(sets.predict_one), len(sets.predict_zero), len(sets.dont_care)

@@ -1,0 +1,200 @@
+"""The end-to-end FSM-predictor design flow (Section 4).
+
+``FSMDesigner`` chains every stage of the paper's design chain and records
+the intermediate artifacts so that examples, tests, and the experiment
+harness can inspect each step:
+
+    trace -> MarkovModel -> PatternSets -> SOP cover (logic minimization)
+          -> regular expression -> NFA (Thompson) -> DFA (subset
+          construction) -> Hopcroft minimization -> start-state reduction
+          -> final MooreMachine
+
+The worked example of Sections 4.2-4.7 (trace ``t``, N=2, final 3-state
+machine) is reproduced verbatim in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.automata import regex as rx
+from repro.automata.dfa import DFA, subset_construct
+from repro.automata.hopcroft import hopcroft_minimize
+from repro.automata.moore import BINARY_ALPHABET, MooreMachine
+from repro.automata.nfa import NFA, thompson_construct
+from repro.automata.startup import startup_state_count, steady_state_reduce
+from repro.core.markov import MarkovModel
+from repro.core.patterns import PatternSets, define_patterns
+from repro.core.regex_build import history_language_regex
+from repro.logic.cube import Cube
+from repro.logic.espresso import minimize as logic_minimize
+
+
+@dataclass(frozen=True)
+class DesignConfig:
+    """Knobs of the design flow.
+
+    ``order``
+        History length N (the paper uses 2-10; 9 for the custom branch
+        predictors).
+    ``bias_threshold``
+        Minimum ``P[1|h]`` for the predict-1 set; 0.5 for plain branch
+        prediction, swept upward for confidence estimation.
+    ``dont_care_fraction``
+        Share of the least-seen histories moved to the don't-care set
+        (the paper recommends 0.01).
+    ``reduce_startup``
+        Apply start-state reduction (Section 4.7).  On by default; off is
+        only useful for the ablation that measures how many start-up
+        states exist.
+    ``canonical_history``
+        The history that selects the post-reduction start state; defaults
+        to all zeros.
+    """
+
+    order: int = 4
+    bias_threshold: float = 0.5
+    dont_care_fraction: float = 0.0
+    reduce_startup: bool = True
+    canonical_history: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.order < 1:
+            raise ValueError("order must be >= 1")
+        if self.canonical_history is not None:
+            if len(self.canonical_history) != self.order:
+                raise ValueError("canonical_history length must equal order")
+            if set(self.canonical_history) - {"0", "1"}:
+                raise ValueError("canonical_history must be a 0/1 string")
+
+
+@dataclass
+class DesignResult:
+    """Every artifact of one run of the design flow."""
+
+    config: DesignConfig
+    model: MarkovModel
+    patterns: PatternSets
+    cover: List[Cube]
+    regex: rx.Regex
+    nfa_states: int
+    dfa_states: int
+    minimized_states: int
+    startup_states_removed: int
+    machine: MooreMachine
+
+    @property
+    def num_states(self) -> int:
+        """State count of the final predictor."""
+        return self.machine.num_states
+
+    def cover_strings(self) -> List[str]:
+        """The minimized patterns in the paper's ``{0,1,x}`` notation."""
+        return [str(c).replace("-", "x") for c in self.cover]
+
+    def summary(self) -> str:
+        return (
+            f"order={self.config.order} "
+            f"cover={'|'.join(self.cover_strings()) or '(empty)'} "
+            f"nfa={self.nfa_states} dfa={self.dfa_states} "
+            f"minimized={self.minimized_states} "
+            f"startup_removed={self.startup_states_removed} "
+            f"final={self.num_states}"
+        )
+
+
+class FSMDesigner:
+    """Runs the automated design flow for one configuration."""
+
+    def __init__(self, config: DesignConfig):
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def design_from_trace(self, trace: Sequence[int]) -> DesignResult:
+        """Full flow starting from a raw 0/1 trace."""
+        model = MarkovModel.from_trace(trace, self.config.order)
+        return self.design_from_model(model)
+
+    def design_from_model(self, model: MarkovModel) -> DesignResult:
+        """Full flow starting from a pre-built Markov model (the branch
+        flow builds per-branch models during one profiling pass)."""
+        if model.order != self.config.order:
+            model = model.truncated(self.config.order)
+        patterns = define_patterns(
+            model,
+            bias_threshold=self.config.bias_threshold,
+            dont_care_fraction=self.config.dont_care_fraction,
+        )
+        return self.design_from_patterns(model, patterns)
+
+    def design_from_patterns(
+        self, model: MarkovModel, patterns: PatternSets
+    ) -> DesignResult:
+        """Remaining flow once the three history sets are fixed."""
+        cover = logic_minimize(patterns.to_truth_table())
+        regex = history_language_regex(cover)
+        machine, nfa_states, dfa_states, minimized_states = self._compile(regex)
+        removed = 0
+        if self.config.reduce_startup and machine.num_states > 1:
+            removed = startup_state_count(machine, self.config.order)
+            # Run the reduction even when no states get removed: it also
+            # normalizes the start to the canonical-history state, so the
+            # predictor powers up as if it had seen that history.
+            machine = steady_state_reduce(
+                machine,
+                self.config.order,
+                canonical_history=self.config.canonical_history,
+            )
+            if removed:
+                # Reduction can expose new merges; re-minimize.
+                machine = hopcroft_minimize(machine)
+        return DesignResult(
+            config=self.config,
+            model=model,
+            patterns=patterns,
+            cover=cover,
+            regex=regex,
+            nfa_states=nfa_states,
+            dfa_states=dfa_states,
+            minimized_states=minimized_states,
+            startup_states_removed=removed,
+            machine=machine,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _compile(self, regex: rx.Regex):
+        """regex -> minimized Moore machine (+ stage state counts)."""
+        if isinstance(regex, rx.EmptySet):
+            # Never predict 1: the one-state always-0 machine.
+            machine = MooreMachine(
+                alphabet=BINARY_ALPHABET,
+                start=0,
+                outputs=(0,),
+                transitions=((0, 0),),
+            )
+            return machine, 0, 1, 1
+        nfa = thompson_construct(regex, alphabet=BINARY_ALPHABET)
+        dfa = subset_construct(nfa)
+        moore = MooreMachine.from_dfa(dfa)
+        minimized = hopcroft_minimize(moore)
+        return minimized, nfa.num_states, dfa.num_states, minimized.num_states
+
+
+def design_predictor(
+    trace: Sequence[int],
+    order: int = 4,
+    bias_threshold: float = 0.5,
+    dont_care_fraction: float = 0.0,
+) -> DesignResult:
+    """One-call convenience wrapper: trace in, designed predictor out."""
+    config = DesignConfig(
+        order=order,
+        bias_threshold=bias_threshold,
+        dont_care_fraction=dont_care_fraction,
+    )
+    return FSMDesigner(config).design_from_trace(trace)

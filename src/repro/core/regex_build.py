@@ -1,0 +1,61 @@
+"""Build the regular expression of the predict-1 language (Section 4.5).
+
+Each minimized product term over N history bits becomes a fixed-length
+pattern over ``{0, 1, x}``; e.g. the cube ``(1 x)`` becomes ``1(0|1)``.  The
+full language must accept *any* input string ending in one of the patterns,
+so the terms are alternated and prefixed with ``(0|1)*``:
+
+    {0|1}* { 1{0|1} | {0|1}1 }
+
+(The paper writes the prefix as ``{0|1}`` in its example; the language
+intended -- and the one its machines recognize -- is the arbitrary-prefix
+closure, which is what we construct.)
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.automata import regex as rx
+from repro.logic.cube import Cube
+
+
+def cube_to_regex(cube: Cube) -> rx.Regex:
+    """One product term -> the concatenation of its positions.
+
+    Cube positions are taken MSB-first, i.e. oldest history bit first, so
+    the regex consumes history in arrival order.
+    """
+    parts: List[rx.Regex] = []
+    for ch in str(cube):
+        if ch == "-":
+            parts.append(rx.any_symbol())
+        else:
+            parts.append(rx.Symbol(ch))
+    if not parts:
+        return rx.Epsilon()
+    return rx.concat_all(parts)
+
+
+def cubes_to_regex(cubes: Sequence[Cube]) -> rx.Regex:
+    """Alternation of the per-term regexes (no prefix closure)."""
+    if not cubes:
+        return rx.EmptySet()
+    return rx.alternate_all([cube_to_regex(c) for c in cubes])
+
+
+def history_language_regex(cubes: Sequence[Cube]) -> rx.Regex:
+    """The complete predict-1 language: ``(0|1)* (term_1 | ... | term_k)``.
+
+    An empty cover yields the empty language (the machine never predicts 1);
+    a universal cover -- a single all-don't-care cube -- yields ``(0|1)*``
+    so the machine always predicts 1.
+    """
+    if not cubes:
+        return rx.EmptySet()
+    suffix = cubes_to_regex(cubes)
+    if isinstance(suffix, rx.Epsilon):
+        # Degenerate zero-width cover: every string qualifies.
+        return rx.Star(rx.any_symbol())
+    prefix = rx.Star(rx.any_symbol())
+    return rx.concat_all([prefix, suffix])

@@ -1,0 +1,37 @@
+"""Experiment harness: drivers that regenerate every figure of the paper.
+
+One module per paper artifact (see DESIGN.md's per-experiment index):
+
+* :mod:`repro.harness.fig2` -- value-prediction confidence (Figure 2);
+* :mod:`repro.harness.fig4` -- FSM area vs. state count (Figure 4);
+* :mod:`repro.harness.fig5` -- misprediction rate vs. estimated area for
+  the customized branch predictors (Figure 5);
+* :mod:`repro.harness.fig67` -- the example machines of Figures 6 and 7;
+* :mod:`repro.harness.ablations` -- the paper's in-text claims
+  (don't-care sizing, start-up state counts) and the GA extension study;
+
+plus shared infrastructure: metrics, the linear area model, the
+per-branch FSM training flow of Section 7.3, and plain-text reporting.
+"""
+
+from repro.harness.metrics import pareto_front
+from repro.harness.area_model import LinearAreaModel, fit_area_model
+from repro.harness.branch_training import (
+    PerBranchModels,
+    collect_branch_models,
+    design_branch_predictors,
+    rank_branches_by_misses,
+)
+from repro.harness.reporting import format_table, write_report
+
+__all__ = [
+    "pareto_front",
+    "LinearAreaModel",
+    "fit_area_model",
+    "PerBranchModels",
+    "collect_branch_models",
+    "design_branch_predictors",
+    "rank_branches_by_misses",
+    "format_table",
+    "write_report",
+]

@@ -1,0 +1,70 @@
+"""The linear states->area bound of Figure 4 (Section 7.4).
+
+The paper synthesizes a 10% random sample of all generated FSM predictors,
+observes that area is linearly bounded by state count, and uses the fitted
+line "to estimate the area for the rest of the FSM predictors" so that
+high-level design trade-offs never wait on synthesis.  This module fits
+the same bound on our cost model's reports and exposes it as an estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.synth.area import AreaReport
+
+
+@dataclass(frozen=True)
+class LinearAreaModel:
+    """``area ≈ slope * num_states + intercept``."""
+
+    slope: float
+    intercept: float
+    sample_size: int
+
+    def estimate(self, num_states: int) -> float:
+        return self.slope * num_states + self.intercept
+
+    def __str__(self) -> str:
+        return (
+            f"area ≈ {self.slope:.2f} * states + {self.intercept:.2f} "
+            f"(fit on {self.sample_size} machines)"
+        )
+
+
+def fit_area_model(points: Sequence[Tuple[int, float]]) -> LinearAreaModel:
+    """Least-squares line through (num_states, area) points.
+
+    Pure-Python normal equations -- two unknowns do not need numpy -- with
+    the degenerate single-point/vertical cases handled by falling back to
+    a proportional model.
+    """
+    n = len(points)
+    if n == 0:
+        raise ValueError("cannot fit an area model to zero samples")
+    sum_x = float(sum(x for x, _ in points))
+    sum_y = float(sum(y for _, y in points))
+    sum_xx = float(sum(x * x for x, _ in points))
+    sum_xy = float(sum(x * y for x, y in points))
+    denominator = n * sum_xx - sum_x * sum_x
+    if denominator == 0:
+        # All machines the same size: proportional estimate.
+        mean_x = sum_x / n
+        slope = (sum_y / n) / mean_x if mean_x else 0.0
+        return LinearAreaModel(slope=slope, intercept=0.0, sample_size=n)
+    slope = (n * sum_xy - sum_x * sum_y) / denominator
+    intercept = (sum_y - slope * sum_x) / n
+    return LinearAreaModel(slope=slope, intercept=intercept, sample_size=n)
+
+
+def fit_from_reports(reports: Iterable[AreaReport]) -> LinearAreaModel:
+    return fit_area_model([(r.num_states, r.area) for r in reports])
+
+
+def residuals(
+    model: LinearAreaModel, points: Sequence[Tuple[int, float]]
+) -> List[float]:
+    """Per-point ``actual - estimated`` (Figure 4's below-the-line large
+    regular machines show up as negative residuals)."""
+    return [area - model.estimate(states) for states, area in points]

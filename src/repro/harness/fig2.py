@@ -1,0 +1,172 @@
+"""Figure 2: value-prediction confidence, SUD counters vs. designed FSMs.
+
+For each benchmark in the value suite the driver produces:
+
+* the scatter of saturating up/down counter configurations (the paper's
+  sweep of max value x wrong decrement x threshold);
+* one accuracy/coverage *curve* per FSM history length (2, 4, 6, 8, 10),
+  obtained by sweeping the bias threshold of the pattern-definition stage
+  -- the knob that trades coverage for accuracy;
+* everything **cross-trained**: the FSM for benchmark X is designed from
+  the merged correctness traces of every benchmark *except* X
+  (Section 6.3), so the predictors are general purpose, not specialized.
+
+Each trace element is "was this load correctly value predicted by the
+2K-entry two-delta stride predictor"; at runtime there is one confidence
+unit (FSM state register) per value-table entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.markov import MarkovModel
+from repro.core.pipeline import DesignConfig, FSMDesigner
+from repro.harness.metrics import pareto_front
+from repro.harness.reporting import format_table
+from repro.valuepred.confidence import (
+    ConfidenceStats,
+    correctness_trace,
+    evaluate_counter_confidence,
+    evaluate_fsm_confidence,
+    sud_configurations,
+)
+from repro.workloads.values import VALUE_BENCHMARKS, load_trace
+
+DEFAULT_HISTORY_LENGTHS: Tuple[int, ...] = (2, 4, 6, 8, 10)
+DEFAULT_BIAS_THRESHOLDS: Tuple[float, ...] = (
+    0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.98, 0.995,
+)
+
+
+@dataclass
+class ConfidencePoint:
+    label: str
+    accuracy: float
+    coverage: float
+
+
+@dataclass
+class FigureTwoResult:
+    """One panel of Figure 2."""
+
+    benchmark: str
+    sud_points: List[ConfidencePoint]
+    fsm_curves: Dict[int, List[ConfidencePoint]]  # history length -> curve
+
+    def fsm_pareto(self, history: int) -> List[Tuple[float, float]]:
+        return pareto_front(
+            [(p.accuracy, p.coverage) for p in self.fsm_curves[history]]
+        )
+
+    def sud_pareto(self) -> List[Tuple[float, float]]:
+        return pareto_front([(p.accuracy, p.coverage) for p in self.sud_points])
+
+    def render(self) -> str:
+        rows: List[Tuple[str, str, float, float]] = []
+        for point in self.sud_points:
+            rows.append(("up/down", point.label, point.accuracy, point.coverage))
+        for history in sorted(self.fsm_curves):
+            for point in self.fsm_curves[history]:
+                rows.append(
+                    (f"custom h={history}", point.label, point.accuracy, point.coverage)
+                )
+        return format_table(
+            ["series", "config", "accuracy", "coverage"],
+            rows,
+            title=(
+                f"Figure 2 ({self.benchmark}): value prediction confidence, "
+                "accuracy vs coverage"
+            ),
+        )
+
+
+def _correctness_traces(
+    benchmarks: Sequence[str], variant: str, num_loads: int
+) -> Dict[str, Tuple[List[int], List[int]]]:
+    return {
+        benchmark: correctness_trace(load_trace(benchmark, variant, num_loads))
+        for benchmark in benchmarks
+    }
+
+
+def _cross_trained_model(
+    traces: Dict[str, Tuple[List[int], List[int]]],
+    held_out: str,
+    order: int,
+) -> MarkovModel:
+    """Merge the correctness bits of every benchmark except ``held_out``
+    into one Markov model (the aggregate general-purpose trace)."""
+    model = MarkovModel(order=order)
+    for benchmark, (_indices, bits) in traces.items():
+        if benchmark == held_out:
+            continue
+        model.update_from_trace(bits)
+    return model
+
+
+def run_fig2_benchmark(
+    benchmark: str,
+    traces: Optional[Dict[str, Tuple[List[int], List[int]]]] = None,
+    num_loads: int = 80_000,
+    history_lengths: Sequence[int] = DEFAULT_HISTORY_LENGTHS,
+    bias_thresholds: Sequence[float] = DEFAULT_BIAS_THRESHOLDS,
+) -> FigureTwoResult:
+    """One benchmark's panel.  Pass pre-computed ``traces`` when sweeping
+    all benchmarks so the load streams are generated only once."""
+    if traces is None:
+        traces = _correctness_traces(VALUE_BENCHMARKS, "train", num_loads)
+    indices, bits = traces[benchmark]
+
+    sud_points: List[ConfidencePoint] = []
+    for label, factory in sud_configurations():
+        stats = evaluate_counter_confidence(indices, bits, factory, label=label)
+        sud_points.append(
+            ConfidencePoint(label=label, accuracy=stats.accuracy, coverage=stats.coverage)
+        )
+
+    fsm_curves: Dict[int, List[ConfidencePoint]] = {}
+    max_order = max(history_lengths)
+    full_model = _cross_trained_model(traces, benchmark, max_order)
+    for history in history_lengths:
+        model = full_model.truncated(history)
+        curve: List[ConfidencePoint] = []
+        for threshold in bias_thresholds:
+            config = DesignConfig(
+                order=history,
+                bias_threshold=threshold,
+                dont_care_fraction=0.01,
+            )
+            result = FSMDesigner(config).design_from_model(model)
+            label = f"h{history}-t{threshold:g}"
+            stats = evaluate_fsm_confidence(
+                indices, bits, result.machine, label=label
+            )
+            curve.append(
+                ConfidencePoint(
+                    label=label, accuracy=stats.accuracy, coverage=stats.coverage
+                )
+            )
+        fsm_curves[history] = curve
+    return FigureTwoResult(
+        benchmark=benchmark, sud_points=sud_points, fsm_curves=fsm_curves
+    )
+
+
+def run_fig2(
+    benchmarks: Sequence[str] = VALUE_BENCHMARKS,
+    num_loads: int = 80_000,
+    history_lengths: Sequence[int] = DEFAULT_HISTORY_LENGTHS,
+    bias_thresholds: Sequence[float] = DEFAULT_BIAS_THRESHOLDS,
+) -> Dict[str, FigureTwoResult]:
+    traces = _correctness_traces(VALUE_BENCHMARKS, "train", num_loads)
+    return {
+        benchmark: run_fig2_benchmark(
+            benchmark,
+            traces=traces,
+            history_lengths=history_lengths,
+            bias_thresholds=bias_thresholds,
+        )
+        for benchmark in benchmarks
+    }

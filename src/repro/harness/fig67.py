@@ -1,0 +1,116 @@
+"""Figures 6 and 7: the example machines the paper walks through.
+
+Figure 6 is a machine generated for an ijpeg branch that "captures the
+history pattern 1x" -- predict taken iff the branch two back was taken --
+in four states.  Figure 7, from gs, captures several patterns with
+don't-cares at once.  The driver designs the custom predictors for both
+benchmarks and returns the machine whose cover matches each figure's
+description, plus the DOT rendering used to eyeball the state diagrams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.pipeline import DesignResult
+from repro.harness.branch_training import (
+    collect_branch_models,
+    design_branch_predictors,
+    rank_branches_by_misses,
+)
+from repro.workloads.programs import branch_label_map, branch_trace
+
+
+@dataclass
+class ExampleMachine:
+    benchmark: str
+    branch_label: str
+    design: DesignResult
+
+    def render(self) -> str:
+        lines = [
+            f"Benchmark: {self.benchmark}   branch: {self.branch_label}",
+            f"Minimized patterns: {' | '.join(self.design.cover_strings())}",
+            f"States: {self.design.machine.num_states} "
+            f"(start-up states removed: {self.design.startup_states_removed})",
+            "",
+            self.design.machine.describe(),
+            "",
+            self.design.machine.to_dot(name="example"),
+        ]
+        return "\n".join(lines)
+
+
+def design_all_branches(
+    benchmark: str, max_branches: int = 60_000, top: int = 10
+) -> Dict[str, DesignResult]:
+    """Design predictors for the benchmark's worst branches, keyed by the
+    human-readable branch label."""
+    trace = branch_trace(benchmark, "train", max_branches)
+    ranked = rank_branches_by_misses(trace)
+    models = collect_branch_models(trace)
+    designs = design_branch_predictors(models, [pc for pc, _m in ranked[:top]])
+    labels = branch_label_map(benchmark)
+    return {labels.get(pc, hex(pc)): d for pc, d in designs.items()}
+
+
+def find_smallest_short_pattern(
+    designs: Dict[str, DesignResult],
+    max_states: int = 8,
+) -> Optional[Tuple[str, DesignResult]]:
+    """The Figure 6 exemplar: the smallest machine whose cover is a single
+    short pattern (few literals), like the paper's ``1x``."""
+    candidates = [
+        (label, d)
+        for label, d in designs.items()
+        if len(d.cover) == 1
+        and d.cover[0].num_literals >= 1
+        and 2 <= d.machine.num_states <= max_states
+    ]
+    if not candidates:
+        return None
+    return min(
+        candidates,
+        key=lambda item: (item[1].machine.num_states, item[0]),
+    )
+
+
+def find_multi_pattern(
+    designs: Dict[str, DesignResult],
+) -> Optional[Tuple[str, DesignResult]]:
+    """The Figure 7 exemplar: a machine capturing two or more patterns
+    with don't-cares."""
+    candidates = [
+        (label, d) for label, d in designs.items() if len(d.cover) >= 2
+    ]
+    if not candidates:
+        return None
+    return min(
+        candidates,
+        key=lambda item: (item[1].machine.num_states, item[0]),
+    )
+
+
+def run_fig67(max_branches: int = 60_000) -> Dict[str, ExampleMachine]:
+    """Reproduce both example figures.  Keys: ``fig6`` and ``fig7``."""
+    examples: Dict[str, ExampleMachine] = {}
+
+    ijpeg_designs = design_all_branches("ijpeg", max_branches)
+    fig6 = find_smallest_short_pattern(ijpeg_designs)
+    if fig6 is None:
+        fig6 = min(
+            ijpeg_designs.items(), key=lambda item: item[1].machine.num_states
+        )
+    examples["fig6"] = ExampleMachine(
+        benchmark="ijpeg", branch_label=fig6[0], design=fig6[1]
+    )
+
+    gs_designs = design_all_branches("gs", max_branches)
+    fig7 = find_multi_pattern(gs_designs)
+    if fig7 is None:
+        fig7 = max(gs_designs.items(), key=lambda item: len(item[1].cover))
+    examples["fig7"] = ExampleMachine(
+        benchmark="gs", branch_label=fig7[0], design=fig7[1]
+    )
+    return examples

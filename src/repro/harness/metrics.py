@@ -1,0 +1,54 @@
+"""Metric helpers shared by the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def pareto_front(
+    points: Iterable[Tuple[float, float]],
+) -> List[Tuple[float, float]]:
+    """The non-dominated subset of (accuracy, coverage) points, sorted by
+    accuracy ascending.  A point dominates another when it is at least as
+    good on both axes and strictly better on one (both axes maximized).
+    """
+    unique = sorted(set(points))
+    front: List[Tuple[float, float]] = []
+    # Sweep from the highest accuracy down, keeping points whose coverage
+    # exceeds everything already kept (which all have higher accuracy).
+    best_coverage = float("-inf")
+    for accuracy, coverage in sorted(unique, reverse=True):
+        if coverage > best_coverage:
+            front.append((accuracy, coverage))
+            best_coverage = coverage
+    front.reverse()
+    return front
+
+
+def dominates(a: Tuple[float, float], b: Tuple[float, float]) -> bool:
+    """True when point ``a`` dominates ``b`` (both axes maximized)."""
+    return a[0] >= b[0] and a[1] >= b[1] and a != b
+
+
+def interpolate_coverage_at(
+    curve: Sequence[Tuple[float, float]], accuracy: float
+) -> float:
+    """Coverage a (sorted ascending-accuracy) Pareto curve attains at a
+    target accuracy: the best coverage among points with accuracy >= the
+    target (0.0 when the curve never reaches it).  This is how "coverage
+    at 80% accuracy" comparisons like the paper's gcc example are read off
+    Figure 2."""
+    eligible = [cov for acc, cov in curve if acc >= accuracy]
+    return max(eligible) if eligible else 0.0
+
+
+def weighted_miss_rate(pairs: Iterable[Tuple[int, int]]) -> float:
+    """Overall miss rate from per-branch (executions, misses) pairs."""
+    total_execs = 0
+    total_misses = 0
+    for execs, misses in pairs:
+        total_execs += execs
+        total_misses += misses
+    if total_execs == 0:
+        return 0.0
+    return total_misses / total_execs

@@ -1,0 +1,37 @@
+"""Two-level logic minimization substrate.
+
+The paper compresses the "predict 1" / "predict 0" / "don't care" history sets
+with the Espresso logic minimizer (Section 4.4).  This package is the
+reproduction's stand-in for Espresso: an exact Quine-McCluskey minimizer with
+don't-care support for the small truth tables the paper actually uses
+(history length N <= 10, i.e. at most 1024 minterms), plus an Espresso-style
+heuristic (EXPAND / IRREDUNDANT) for wider functions.
+
+The public contract mirrors Espresso's: a :class:`TruthTable` with on-set,
+off-set and dc-set in, a list of :class:`Cube` product terms out, such that the
+cover contains every on-set minterm and no off-set minterm.
+"""
+
+from repro.logic.cube import Cube
+from repro.logic.truth_table import TruthTable
+from repro.logic.quine_mccluskey import prime_implicants, minimize_exact
+from repro.logic.covering import (
+    essential_primes,
+    greedy_cover,
+    exact_cover,
+    select_cover,
+)
+from repro.logic.espresso import minimize_heuristic, minimize
+
+__all__ = [
+    "Cube",
+    "TruthTable",
+    "prime_implicants",
+    "minimize_exact",
+    "essential_primes",
+    "greedy_cover",
+    "exact_cover",
+    "select_cover",
+    "minimize_heuristic",
+    "minimize",
+]

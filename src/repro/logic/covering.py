@@ -1,0 +1,155 @@
+"""Unate covering: choose a minimum-cost subset of primes.
+
+Quine-McCluskey reduces minimization to set covering: every on-set minterm
+must be contained in at least one chosen prime.  We implement the standard
+pipeline -- essential primes, row/column dominance free greedy selection, and
+a small exact branch-and-bound.  The cube cost is ``Cube.pattern_cost``
+(literals plus an exponential penalty on how far back in history the cube
+reaches) rather than Espresso's plain literal count: for predictor design the
+automaton's state count is governed by the oldest care bit, so the covering
+step prefers recent-history primes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.logic.cube import Cube
+
+
+def _build_rows(
+    primes: Sequence[Cube], minterms: Iterable[int]
+) -> Dict[int, FrozenSet[int]]:
+    """Map each minterm to the set of prime indices covering it."""
+    rows: Dict[int, Set[int]] = {m: set() for m in minterms}
+    for idx, prime in enumerate(primes):
+        for m in rows:
+            if prime.contains_minterm(m):
+                rows[m].add(idx)
+    uncoverable = [m for m, cols in rows.items() if not cols]
+    if uncoverable:
+        raise ValueError(f"minterms {sorted(uncoverable)} covered by no prime")
+    return {m: frozenset(cols) for m, cols in rows.items()}
+
+
+def essential_primes(
+    primes: Sequence[Cube], minterms: Iterable[int]
+) -> Tuple[List[int], Set[int]]:
+    """Indices of essential primes, plus the minterms they leave uncovered.
+
+    A prime is essential when it is the only prime covering some required
+    minterm; every minimum cover must include it.
+    """
+    rows = _build_rows(primes, minterms)
+    essential: Set[int] = set()
+    for cols in rows.values():
+        if len(cols) == 1:
+            essential.add(next(iter(cols)))
+    remaining = {
+        m for m, cols in rows.items() if not (cols & essential)
+    }
+    return sorted(essential), remaining
+
+
+def greedy_cover(
+    primes: Sequence[Cube],
+    minterms: Iterable[int],
+    preselected: Optional[Iterable[int]] = None,
+) -> List[int]:
+    """Greedy covering: repeatedly take the prime covering the most
+    still-uncovered minterms, breaking ties toward lower pattern cost,
+    then toward lower index (for determinism).  Returns sorted chosen
+    indices, including any ``preselected`` ones.
+    """
+    chosen: Set[int] = set(preselected or ())
+    rows = _build_rows(primes, minterms)
+    uncovered = {m for m, cols in rows.items() if not (cols & chosen)}
+    while uncovered:
+        gain: Dict[int, int] = {}
+        for m in uncovered:
+            for idx in rows[m]:
+                gain[idx] = gain.get(idx, 0) + 1
+        # Classic weighted set cover: cheapest cost per newly-covered
+        # minterm wins (ties toward bigger gain, then lower index).
+        best = min(
+            gain,
+            key=lambda idx: (
+                primes[idx].pattern_cost / gain[idx],
+                -gain[idx],
+                idx,
+            ),
+        )
+        chosen.add(best)
+        uncovered = {m for m in uncovered if best not in rows[m]}
+    return sorted(chosen)
+
+
+def exact_cover(
+    primes: Sequence[Cube],
+    minterms: Iterable[int],
+    preselected: Optional[Iterable[int]] = None,
+    node_limit: int = 200_000,
+) -> List[int]:
+    """Branch-and-bound minimum-cost cover (cost = total pattern cost,
+    tie on cube count).  Falls back to the greedy answer if the node
+    budget is exhausted, so worst-case behaviour is always bounded.
+    """
+    pre = set(preselected or ())
+    rows_all = _build_rows(primes, minterms)
+    uncovered0 = frozenset(m for m, cols in rows_all.items() if not (cols & pre))
+
+    best_choice = set(greedy_cover(primes, minterms, preselected=pre))
+    best_cost = _cover_cost(primes, best_choice)
+    nodes = [0]
+
+    def branch(uncovered: FrozenSet[int], chosen: Set[int]) -> None:
+        nonlocal best_choice, best_cost
+        nodes[0] += 1
+        if nodes[0] > node_limit:
+            return
+        cost = _cover_cost(primes, chosen)
+        if cost >= best_cost:
+            return
+        if not uncovered:
+            best_choice, best_cost = set(chosen), cost
+            return
+        # Branch on the hardest row (fewest covering columns).
+        pivot = min(uncovered, key=lambda m: (len(rows_all[m]), m))
+        for idx in sorted(rows_all[pivot], key=lambda i: primes[i].pattern_cost):
+            if idx in chosen:
+                continue
+            chosen.add(idx)
+            branch(
+                frozenset(m for m in uncovered if idx not in rows_all[m]), chosen
+            )
+            chosen.discard(idx)
+
+    branch(uncovered0, set(pre))
+    return sorted(best_choice)
+
+
+def _cover_cost(primes: Sequence[Cube], chosen: Iterable[int]) -> Tuple[int, int]:
+    chosen = list(chosen)
+    return (sum(primes[i].pattern_cost for i in chosen), len(chosen))
+
+
+def select_cover(
+    primes: Sequence[Cube],
+    on_set: Iterable[int],
+    exact: bool = True,
+) -> List[Cube]:
+    """Full covering pipeline: essentials, then exact or greedy residual.
+
+    Returns the selected cubes sorted for determinism.
+    """
+    on_list = list(on_set)
+    if not on_list:
+        return []
+    ess, remaining = essential_primes(primes, on_list)
+    if not remaining:
+        return sorted(primes[i] for i in ess)
+    if exact and len(primes) <= 64:
+        chosen = exact_cover(primes, on_list, preselected=ess)
+    else:
+        chosen = greedy_cover(primes, on_list, preselected=ess)
+    return sorted(primes[i] for i in chosen)

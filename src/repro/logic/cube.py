@@ -1,0 +1,214 @@
+"""Ternary cubes: the product terms of two-level logic minimization.
+
+A cube over ``n`` boolean variables is a string in ``{0, 1, -}^n``; ``-``
+("don't care" position, the paper writes it as ``x``) matches either value.
+A cube denotes the set of minterms it contains, so it doubles as the pattern
+notation of the paper's Section 4.4 (e.g. the cover ``{(x 1), (1 x)}``).
+
+Internally a cube is a pair of integers ``(value, mask)``: bit ``i`` of
+``mask`` is 1 when position ``i`` is a *care* position, and in that case bit
+``i`` of ``value`` holds the required value.  Bit 0 of the integers maps to
+the **rightmost** character of the string form, so ``Cube.from_string("10-")``
+has its ``-`` at bit 0.  All set operations reduce to integer arithmetic,
+which keeps Quine-McCluskey fast enough in pure Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+
+@dataclass(frozen=True, order=True)
+class Cube:
+    """An immutable product term over ``width`` boolean variables."""
+
+    width: int
+    value: int
+    mask: int
+
+    def __post_init__(self) -> None:
+        full = (1 << self.width) - 1
+        if self.mask & ~full:
+            raise ValueError(f"mask {self.mask:#x} wider than {self.width} bits")
+        if self.value & ~self.mask:
+            raise ValueError("value has bits set outside the care mask")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_string(cls, text: str) -> "Cube":
+        """Parse a cube from its string form, e.g. ``"1-0"``.
+
+        The leftmost character is the most-significant position.  Both ``-``
+        and ``x`` (any case) are accepted for don't-care positions.
+        """
+        value = 0
+        mask = 0
+        for ch in text:
+            value <<= 1
+            mask <<= 1
+            if ch == "1":
+                value |= 1
+                mask |= 1
+            elif ch == "0":
+                mask |= 1
+            elif ch in ("-", "x", "X"):
+                pass
+            else:
+                raise ValueError(f"invalid cube character {ch!r} in {text!r}")
+        return cls(width=len(text), value=value, mask=mask)
+
+    @classmethod
+    def from_minterm(cls, minterm: int, width: int) -> "Cube":
+        """The cube containing exactly one minterm."""
+        full = (1 << width) - 1
+        if minterm & ~full:
+            raise ValueError(f"minterm {minterm} does not fit in {width} bits")
+        return cls(width=width, value=minterm, mask=full)
+
+    @classmethod
+    def universe(cls, width: int) -> "Cube":
+        """The cube covering every minterm (all positions don't-care)."""
+        return cls(width=width, value=0, mask=0)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        chars = []
+        for i in reversed(range(self.width)):
+            bit = 1 << i
+            if not self.mask & bit:
+                chars.append("-")
+            elif self.value & bit:
+                chars.append("1")
+            else:
+                chars.append("0")
+        return "".join(chars)
+
+    def __repr__(self) -> str:
+        return f"Cube({str(self)!r})"
+
+    @property
+    def num_literals(self) -> int:
+        """Number of care positions (the literal count of the product term)."""
+        return bin(self.mask).count("1")
+
+    @property
+    def num_minterms(self) -> int:
+        """How many minterms this cube contains."""
+        return 1 << (self.width - self.num_literals)
+
+    @property
+    def oldest_care_index(self) -> int:
+        """Highest care bit index, or -1 for the universal cube.
+
+        In the predictor pipeline bit 0 is the most recent history bit, so
+        this is how far back in history the pattern reaches -- the property
+        that governs how many states the recognizing automaton needs
+        (roughly ``2**oldest_care_index``).
+        """
+        if self.mask == 0:
+            return -1
+        return self.mask.bit_length() - 1
+
+    @property
+    def pattern_cost(self) -> int:
+        """Covering cost used by the minimizer: literal count plus an
+        exponential penalty for reaching deep into history.  Two covers
+        with equal literal counts can recognize the same on-set, yet the
+        one caring about *recent* bits yields a far smaller FSM; weighting
+        by ``2**oldest_care_index`` makes the covering step prefer it."""
+        if self.mask == 0:
+            return 0
+        return self.num_literals + (1 << self.oldest_care_index)
+
+    def contains_minterm(self, minterm: int) -> bool:
+        """True when ``minterm`` is in this cube."""
+        return (minterm & self.mask) == self.value
+
+    def covers(self, other: "Cube") -> bool:
+        """True when every minterm of ``other`` is also in ``self``."""
+        if self.width != other.width:
+            raise ValueError("cube widths differ")
+        if self.mask & ~other.mask:
+            return False  # self cares about a position other leaves free
+        return (other.value & self.mask) == self.value
+
+    def intersects(self, other: "Cube") -> bool:
+        """True when the two cubes share at least one minterm."""
+        if self.width != other.width:
+            raise ValueError("cube widths differ")
+        common = self.mask & other.mask
+        return (self.value & common) == (other.value & common)
+
+    def intersection(self, other: "Cube") -> Optional["Cube"]:
+        """The cube of shared minterms, or None when disjoint."""
+        if not self.intersects(other):
+            return None
+        return Cube(
+            width=self.width,
+            value=self.value | other.value,
+            mask=self.mask | other.mask,
+        )
+
+    def minterms(self) -> Iterator[int]:
+        """Yield every minterm contained in this cube, ascending."""
+        free_bits = [i for i in range(self.width) if not self.mask & (1 << i)]
+        for combo in range(1 << len(free_bits)):
+            minterm = self.value
+            for j, bit_index in enumerate(free_bits):
+                if combo & (1 << j):
+                    minterm |= 1 << bit_index
+            yield minterm
+
+    # ------------------------------------------------------------------
+    # Quine-McCluskey primitives
+    # ------------------------------------------------------------------
+    def merge(self, other: "Cube") -> Optional["Cube"]:
+        """Combine two cubes that differ in exactly one care position.
+
+        Returns the merged cube (with that position freed) or None when the
+        cubes are not adjacent.  This is the combining step of
+        Quine-McCluskey.
+        """
+        if self.width != other.width or self.mask != other.mask:
+            return None
+        diff = self.value ^ other.value
+        if diff == 0 or diff & (diff - 1):
+            return None  # identical, or differ in more than one position
+        return Cube(width=self.width, value=self.value & ~diff, mask=self.mask & ~diff)
+
+    def expand_position(self, position: int) -> "Cube":
+        """Free one care position (raise the cube along one variable)."""
+        bit = 1 << position
+        if not self.mask & bit:
+            return self
+        return Cube(width=self.width, value=self.value & ~bit, mask=self.mask & ~bit)
+
+    def cofactor_positions(self) -> List[int]:
+        """Indices of care positions, most-significant first."""
+        return [i for i in reversed(range(self.width)) if self.mask & (1 << i)]
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def matches_bits(self, bits: str) -> bool:
+        """Evaluate the cube on a bit string (MSB first), e.g. ``"101"``."""
+        if len(bits) != self.width:
+            raise ValueError(
+                f"bit string length {len(bits)} != cube width {self.width}"
+            )
+        return self.contains_minterm(int(bits, 2) if bits else 0)
+
+
+def cover_contains(cover: List[Cube], minterm: int) -> bool:
+    """True when any cube in ``cover`` contains ``minterm``."""
+    return any(cube.contains_minterm(minterm) for cube in cover)
+
+
+def cover_literals(cover: List[Cube]) -> int:
+    """Total literal count of a cover (the standard minimization cost)."""
+    return sum(cube.num_literals for cube in cover)

@@ -1,0 +1,90 @@
+"""Espresso-style heuristic minimization for wide functions.
+
+Exact Quine-McCluskey is our default at the paper's sizes (N <= 10), but the
+library also exposes a heuristic minimizer in the spirit of Espresso's
+EXPAND / IRREDUNDANT loop so that nothing in the design flow has an
+exponential cliff.  The heuristic takes an initial cover (the on-set
+minterms), expands every cube against the off-set as far as possible, and
+drops redundant cubes.
+
+Like Espresso, correctness is unconditional -- the result always covers the
+on-set and avoids the off-set -- only optimality is heuristic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+from repro.logic.cube import Cube
+from repro.logic.truth_table import TruthTable
+
+
+def _expand_cube(cube: Cube, off_cubes: Sequence[Cube]) -> Cube:
+    """Raise (free) care positions of ``cube`` greedily while staying
+    disjoint from every off-set cube.  Positions are tried MSB-first, which
+    matches how the paper's history patterns prefer dropping old history
+    bits first.
+    """
+    current = cube
+    for position in current.cofactor_positions():
+        candidate = current.expand_position(position)
+        if not any(candidate.intersects(off) for off in off_cubes):
+            current = candidate
+    return current
+
+
+def _irredundant(cover: List[Cube], on_set: Set[int]) -> List[Cube]:
+    """Remove cubes whose on-set minterms are all covered elsewhere.
+
+    Cubes are examined smallest-first so small cubes get removed in favour
+    of large ones.  Only on-set minterms are tested for membership (never
+    enumerated from the cube -- an expanded cube can contain exponentially
+    many minterms).
+    """
+    kept = list(cover)
+    for cube in sorted(cover, key=lambda c: (c.num_literals, str(c)), reverse=True):
+        others = [c for c in kept if c is not cube]
+        if not others:
+            continue
+        still_covered = all(
+            any(o.contains_minterm(m) for o in others)
+            for m in on_set
+            if cube.contains_minterm(m)
+        )
+        if still_covered:
+            kept = others
+    return kept
+
+
+def minimize_heuristic(table: TruthTable) -> List[Cube]:
+    """Espresso-like EXPAND + IRREDUNDANT heuristic minimization."""
+    if not table.on_set:
+        return []
+    if not table.off_set:
+        return [Cube.universe(table.width)]
+    off_cubes = [Cube.from_minterm(m, table.width) for m in sorted(table.off_set)]
+    expanded: List[Cube] = []
+    for m in sorted(table.on_set):
+        if any(cube.contains_minterm(m) for cube in expanded):
+            continue
+        cube = _expand_cube(Cube.from_minterm(m, table.width), off_cubes)
+        expanded.append(cube)
+    result = _irredundant(expanded, set(table.on_set))
+    return sorted(result)
+
+
+# Exact minimization is affordable up to this many input variables; beyond
+# it we switch to the heuristic.  2^12 minterm enumeration is still fast.
+_EXACT_WIDTH_LIMIT = 12
+
+
+def minimize(table: TruthTable) -> List[Cube]:
+    """Minimize ``table``, choosing exact or heuristic mode by width.
+
+    This is the entry point the design pipeline uses as its "Espresso".
+    """
+    from repro.logic.quine_mccluskey import minimize_exact
+
+    if table.width <= _EXACT_WIDTH_LIMIT:
+        return minimize_exact(table)
+    return minimize_heuristic(table)

@@ -1,0 +1,84 @@
+"""Exact two-level minimization via Quine-McCluskey.
+
+The paper runs Espresso over truth tables with 2^N rows, N <= 10; at that
+size exact prime-implicant generation is cheap, so the exact method is our
+default.  Don't-cares participate in prime generation (they let adjacent on
+minterms merge) but impose no covering obligation, exactly as in Espresso.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.logic.cube import Cube
+from repro.logic.truth_table import TruthTable
+
+
+def prime_implicants(table: TruthTable) -> List[Cube]:
+    """All prime implicants of ``table`` (on-set ∪ dc-set).
+
+    Classic tabular method: start from the minterms of the on and dc sets,
+    repeatedly merge cubes adjacent in one position, and keep every cube that
+    never merged.  Returns primes sorted for determinism.
+    """
+    width = table.width
+    current: Set[Cube] = {
+        Cube.from_minterm(m, width) for m in (table.on_set | table.dc_set)
+    }
+    primes: Set[Cube] = set()
+    while current:
+        merged_away: Set[Cube] = set()
+        next_level: Set[Cube] = set()
+        # Group by mask so only compatible cubes are compared, and inside a
+        # mask group bucket by popcount of the value: merges only happen
+        # between popcounts k and k+1.
+        by_mask: Dict[int, Dict[int, List[Cube]]] = {}
+        for cube in current:
+            by_mask.setdefault(cube.mask, {}).setdefault(
+                bin(cube.value).count("1"), []
+            ).append(cube)
+        for groups in by_mask.values():
+            for count, cubes in groups.items():
+                partners = groups.get(count + 1, [])
+                for a in cubes:
+                    for b in partners:
+                        merged = a.merge(b)
+                        if merged is not None:
+                            merged_away.add(a)
+                            merged_away.add(b)
+                            next_level.add(merged)
+        primes.update(current - merged_away)
+        current = next_level
+    return sorted(primes)
+
+
+def _coverage_map(
+    primes: List[Cube], required: FrozenSet[int]
+) -> Dict[int, List[int]]:
+    """For each required minterm, the indices of primes that contain it."""
+    coverage: Dict[int, List[int]] = {m: [] for m in required}
+    for idx, prime in enumerate(primes):
+        for m in required:
+            if prime.contains_minterm(m):
+                coverage[m].append(idx)
+    return coverage
+
+
+def minimize_exact(table: TruthTable, max_branch_minterms: int = 4096) -> List[Cube]:
+    """Minimum-cost prime cover of ``table`` (literal count, then cube count).
+
+    Degenerate cases (empty on-set, or no off-set at all) are handled without
+    covering.  Otherwise we take essential primes first, then solve the
+    residual covering problem exactly when small (branch and bound) and
+    greedily when large.  Guarded by ``max_branch_minterms`` so callers can
+    never trip an exponential blow-up by accident.
+    """
+    from repro.logic.covering import select_cover
+
+    if not table.on_set:
+        return []
+    if not table.off_set:
+        return [Cube.universe(table.width)]
+    primes = prime_implicants(table)
+    exact = len(table.on_set) <= max_branch_minterms
+    return select_cover(primes, table.on_set, exact=exact)

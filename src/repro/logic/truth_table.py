@@ -1,0 +1,124 @@
+"""Truth tables with explicit on/off/don't-care partitions.
+
+This is the interchange format between the paper's pattern-definition step
+(Section 4.3) and its pattern-compression step (Section 4.4): every history
+of length N is assigned to exactly one of the "predict 1" (on), "predict 0"
+(off) or "don't care" (dc) sets, and the minimizer is free to merge the dc
+set into either side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping
+
+from repro.logic.cube import Cube
+
+
+@dataclass(frozen=True)
+class TruthTable:
+    """A single-output incompletely-specified boolean function.
+
+    Minterms absent from both ``on_set`` and ``off_set`` are implicitly
+    don't-cares; ``dc_set`` is derived, so the three sets always partition
+    the full minterm space.
+    """
+
+    width: int
+    on_set: FrozenSet[int]
+    off_set: FrozenSet[int]
+
+    def __post_init__(self) -> None:
+        if self.width < 0:
+            raise ValueError("width must be non-negative")
+        full = 1 << self.width
+        overlap = self.on_set & self.off_set
+        if overlap:
+            raise ValueError(f"on/off sets overlap on minterms {sorted(overlap)}")
+        for m in self.on_set | self.off_set:
+            if not 0 <= m < full:
+                raise ValueError(f"minterm {m} out of range for width {self.width}")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sets(
+        cls,
+        width: int,
+        on: Iterable[int],
+        off: Iterable[int],
+    ) -> "TruthTable":
+        return cls(width=width, on_set=frozenset(on), off_set=frozenset(off))
+
+    @classmethod
+    def from_mapping(cls, width: int, outputs: Mapping[int, str]) -> "TruthTable":
+        """Build from ``{minterm: "1" | "0" | "-"}``; unmentioned ⇒ don't care."""
+        on: List[int] = []
+        off: List[int] = []
+        for minterm, symbol in outputs.items():
+            if symbol == "1":
+                on.append(minterm)
+            elif symbol == "0":
+                off.append(minterm)
+            elif symbol not in ("-", "x", "X"):
+                raise ValueError(f"invalid output symbol {symbol!r}")
+        return cls.from_sets(width, on, off)
+
+    @classmethod
+    def from_strings(cls, width: int, rows: Mapping[str, str]) -> "TruthTable":
+        """Build from ``{"01": "1", ...}`` with MSB-first bit strings."""
+        return cls.from_mapping(
+            width,
+            {int(bits, 2) if bits else 0: symbol for bits, symbol in rows.items()},
+        )
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def dc_set(self) -> FrozenSet[int]:
+        full = frozenset(range(1 << self.width))
+        return full - self.on_set - self.off_set
+
+    @property
+    def num_specified(self) -> int:
+        return len(self.on_set) + len(self.off_set)
+
+    def output_of(self, minterm: int) -> str:
+        """The specified output: ``"1"``, ``"0"`` or ``"-"``."""
+        if minterm in self.on_set:
+            return "1"
+        if minterm in self.off_set:
+            return "0"
+        return "-"
+
+    def complement(self) -> "TruthTable":
+        """Swap on and off sets (minimize the predict-0 side)."""
+        return TruthTable(width=self.width, on_set=self.off_set, off_set=self.on_set)
+
+    def is_cover_valid(self, cover: List[Cube]) -> bool:
+        """A valid cover contains every on minterm and no off minterm."""
+        for cube in cover:
+            if cube.width != self.width:
+                return False
+        for m in self.on_set:
+            if not any(cube.contains_minterm(m) for cube in cover):
+                return False
+        for m in self.off_set:
+            if any(cube.contains_minterm(m) for cube in cover):
+                return False
+        return True
+
+    def as_rows(self) -> Dict[str, str]:
+        """Render as ``{"00": "0", "01": "1", ...}``, MSB-first keys."""
+        rows: Dict[str, str] = {}
+        for m in range(1 << self.width):
+            rows[format(m, f"0{self.width}b") if self.width else ""] = self.output_of(m)
+        return rows
+
+    def __str__(self) -> str:
+        lines = [f"TruthTable(width={self.width})"]
+        for bits, out in self.as_rows().items():
+            lines.append(f"  {bits} -> {out}")
+        return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Runtime predictor structures.
+
+The counters and table predictors the paper uses as baselines and building
+blocks: parameterized saturating up/down counters (Section 3.1), resetting
+counters (Jacobsen et al.), the XScale-style BTB-coupled 2-bit baseline,
+gshare (McFarling), a local/global-chooser in the style of the Alpha 21264
+(the paper's "LGC"), the customized architecture of Figure 3 (baseline plus
+per-branch custom FSM predictors with the update-all-on-every-branch
+policy), and -- as a prior-work extension -- the PPM predictor of Chen et
+al.
+"""
+
+from repro.predictors.base import BranchPredictor, PredictionStats, simulate_predictor
+from repro.predictors.sud import SaturatingUpDownCounter, TwoBitCounter, FULL_DECREMENT
+from repro.predictors.resetting import ResettingCounter
+from repro.predictors.fsm import FSMPredictor
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.xscale import XScalePredictor
+from repro.predictors.gshare import GSharePredictor
+from repro.predictors.local_global import LocalGlobalChooser
+from repro.predictors.custom import CustomBranchPredictor, CustomEntry
+from repro.predictors.ppm import PPMPredictor
+
+__all__ = [
+    "BranchPredictor",
+    "PredictionStats",
+    "simulate_predictor",
+    "SaturatingUpDownCounter",
+    "TwoBitCounter",
+    "FULL_DECREMENT",
+    "ResettingCounter",
+    "FSMPredictor",
+    "BimodalPredictor",
+    "XScalePredictor",
+    "GSharePredictor",
+    "LocalGlobalChooser",
+    "CustomBranchPredictor",
+    "CustomEntry",
+    "PPMPredictor",
+]

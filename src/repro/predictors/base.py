@@ -1,0 +1,100 @@
+"""Branch predictor protocol and simulation loop.
+
+Every branch predictor exposes ``predict(pc) -> bool`` and
+``update(pc, taken) -> None``; the simulator drives them over a trace of
+``(pc, taken)`` records and accumulates a :class:`PredictionStats`.
+
+Updates happen after the prediction for the same branch, which models the
+usual speculative-update-free evaluation methodology of the paper's era.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterable, Tuple
+
+
+class BranchPredictor(abc.ABC):
+    """Interface for conditional branch direction predictors."""
+
+    name: str = "predictor"
+
+    @abc.abstractmethod
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc`` (True = taken)."""
+
+    @abc.abstractmethod
+    def update(self, pc: int, taken: bool) -> None:
+        """Train with the resolved outcome of the branch at ``pc``."""
+
+    @abc.abstractmethod
+    def area(self) -> float:
+        """Estimated implementation area in the repo's common area units
+        (see :mod:`repro.synth.area`)."""
+
+    def reset(self) -> None:
+        """Restore power-on state.  Default: predictors that keep all state
+        in constructor-initialized fields may override; base raises so a
+        forgotten override cannot silently alias runs."""
+        raise NotImplementedError(f"{type(self).__name__} does not support reset")
+
+
+@dataclass
+class PredictionStats:
+    """Hit/miss accounting for one simulation."""
+
+    lookups: int = 0
+    hits: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.lookups - self.hits
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of mispredicted branches (0.0 when no lookups)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.misses / self.lookups
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def record(self, correct: bool) -> None:
+        self.lookups += 1
+        if correct:
+            self.hits += 1
+
+    def merged(self, other: "PredictionStats") -> "PredictionStats":
+        return PredictionStats(
+            lookups=self.lookups + other.lookups, hits=self.hits + other.hits
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"PredictionStats(lookups={self.lookups}, "
+            f"miss_rate={self.miss_rate:.4f})"
+        )
+
+
+def simulate_predictor(
+    predictor: BranchPredictor,
+    trace: Iterable[Tuple[int, bool]],
+    warmup: int = 0,
+) -> PredictionStats:
+    """Run ``predictor`` over ``trace``; the first ``warmup`` branches
+    train the predictor without being counted."""
+    stats = PredictionStats()
+    remaining_warmup = warmup
+    for pc, taken in trace:
+        prediction = predictor.predict(pc)
+        if remaining_warmup > 0:
+            remaining_warmup -= 1
+        else:
+            stats.record(prediction == bool(taken))
+        predictor.update(pc, bool(taken))
+    return stats

@@ -1,0 +1,48 @@
+"""Bimodal predictor: a PC-indexed table of 2-bit counters (Smith).
+
+The simplest table predictor; also the building block of the XScale
+baseline and the LGC chooser.  The table is untagged: distinct branches may
+alias, exactly as in hardware.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.predictors.base import BranchPredictor
+from repro.predictors.sud import SaturatingUpDownCounter, TwoBitCounter
+from repro.synth.area import table_bits_area
+
+
+class BimodalPredictor(BranchPredictor):
+    """``num_entries`` 2-bit counters indexed by the branch address.
+
+    ``pc_shift`` drops the byte-offset bits of the PC before indexing
+    (2 for the fixed 4-byte instructions of the paper's Alpha/ARM world).
+    """
+
+    def __init__(self, num_entries: int, pc_shift: int = 2):
+        if num_entries < 1 or num_entries & (num_entries - 1):
+            raise ValueError("num_entries must be a positive power of two")
+        self.name = f"bimodal-{num_entries}"
+        self.num_entries = num_entries
+        self.pc_shift = pc_shift
+        self._counters: List[SaturatingUpDownCounter] = [
+            TwoBitCounter() for _ in range(num_entries)
+        ]
+
+    def _index(self, pc: int) -> int:
+        return (pc >> self.pc_shift) & (self.num_entries - 1)
+
+    def predict(self, pc: int) -> bool:
+        return self._counters[self._index(pc)].predict()
+
+    def update(self, pc: int, taken: bool) -> None:
+        self._counters[self._index(pc)].update(taken)
+
+    def area(self) -> float:
+        return table_bits_area(2 * self.num_entries)
+
+    def reset(self) -> None:
+        for counter in self._counters:
+            counter.reset()

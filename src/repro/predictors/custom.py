@@ -1,0 +1,99 @@
+"""The customized branch prediction architecture of Figure 3.
+
+"We extend XScale's coupled BTB branch prediction architecture with a set
+of custom predictors that are hard-wired to particular branches ...  The
+address of the branch is used to index into the BTB as well as the custom
+predictors.  The custom branch entries perform a fully associative tag
+lookup ...  We update all of the custom predictors in parallel on every
+branch, rather than only matching branches" (Sections 7.2-7.3).
+
+The update-all policy is what makes global-correlation FSMs work: each
+custom machine continuously consumes the global outcome stream, so by the
+time its own branch is fetched the machine has traversed the last H global
+outcomes and sits in the state its training history dictates (Section 7.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.automata.moore import MooreMachine
+from repro.predictors.base import BranchPredictor
+from repro.predictors.fsm import FSMPredictor
+from repro.predictors.xscale import TAG_BITS, TARGET_BITS, XScalePredictor
+from repro.synth.area import cam_bits_area, estimate_area
+
+
+@dataclass
+class CustomEntry:
+    """One hard-wired predictor: the branch address it is locked to and
+    the runtime FSM instance."""
+
+    pc: int
+    predictor: FSMPredictor
+    area: float  # synthesized FSM area, cached at construction
+
+
+class CustomBranchPredictor(BranchPredictor):
+    """XScale baseline + fully-associative custom FSM entries."""
+
+    def __init__(
+        self,
+        entries: Sequence[CustomEntry],
+        baseline: Optional[XScalePredictor] = None,
+    ):
+        self.baseline = baseline if baseline is not None else XScalePredictor()
+        self.entries: List[CustomEntry] = list(entries)
+        self._by_pc: Dict[int, CustomEntry] = {e.pc: e for e in self.entries}
+        if len(self._by_pc) != len(self.entries):
+            raise ValueError("duplicate custom entries for one branch address")
+        self.name = f"custom-{len(self.entries)}"
+
+    @classmethod
+    def from_machines(
+        cls,
+        machines: Dict[int, MooreMachine],
+        baseline: Optional[XScalePredictor] = None,
+    ) -> "CustomBranchPredictor":
+        """Build from ``{branch pc: designed machine}``, synthesizing each
+        machine once for area accounting."""
+        entries = [
+            CustomEntry(
+                pc=pc,
+                predictor=FSMPredictor(machine),
+                area=estimate_area(machine).area,
+            )
+            for pc, machine in sorted(machines.items())
+        ]
+        return cls(entries, baseline=baseline)
+
+    # ------------------------------------------------------------------
+    def predict(self, pc: int) -> bool:
+        entry = self._by_pc.get(pc)
+        if entry is not None:
+            return entry.predictor.predict()
+        return self.baseline.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> None:
+        # Every custom FSM consumes every branch outcome (update-all).
+        for entry in self.entries:
+            entry.predictor.update(taken)
+        # The baseline trains only on branches the custom table does not
+        # own; its entries stay available for everything else.
+        if pc not in self._by_pc:
+            self.baseline.update(pc, taken)
+
+    def area(self) -> float:
+        total = self.baseline.area()
+        for entry in self.entries:
+            # Each custom entry stores a CAM tag and a target in addition
+            # to the synthesized state machine itself (Figure 3).
+            total += cam_bits_area(TAG_BITS) + cam_bits_area(TARGET_BITS)
+            total += entry.area
+        return total
+
+    def reset(self) -> None:
+        self.baseline.reset()
+        for entry in self.entries:
+            entry.predictor.reset()

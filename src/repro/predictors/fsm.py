@@ -1,0 +1,47 @@
+"""Runtime wrapper turning a designed Moore machine into a predictor.
+
+The counter-style interface (``predict()`` / ``update(bit)``) lets a
+generated FSM drop in anywhere a SUD counter is used: the prediction is the
+output of the current state, and an update traverses the edge labelled with
+the actual outcome (Section 7.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.automata.moore import MooreMachine
+
+
+@dataclass
+class FSMPredictor:
+    """Mutable runtime state over an immutable designed machine."""
+
+    machine: MooreMachine
+    state: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if len(self.machine.alphabet) != 2:
+            raise ValueError("FSMPredictor requires a binary-alphabet machine")
+        self.state = self.machine.start
+
+    def predict(self) -> bool:
+        """The Moore output of the current state."""
+        return bool(self.machine.outputs[self.state])
+
+    def update(self, event: bool) -> None:
+        """Traverse the edge labelled with the observed outcome."""
+        self.state = self.machine.step_bit(self.state, 1 if event else 0)
+
+    def reset(self) -> None:
+        self.state = self.machine.start
+
+    @property
+    def num_states(self) -> int:
+        return self.machine.num_states
+
+    @property
+    def storage_bits(self) -> int:
+        """Bits of state register a hardware instance needs."""
+        return max(1, (self.machine.num_states - 1).bit_length())

@@ -1,0 +1,55 @@
+"""gshare (McFarling): global history XORed with the PC indexes a table of
+2-bit counters.
+
+One of the two general-purpose comparison predictors of Figure 5, simulated
+over a range of table sizes.  History length equals the index width, the
+standard gshare configuration.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.predictors.base import BranchPredictor
+from repro.predictors.sud import SaturatingUpDownCounter, TwoBitCounter
+from repro.synth.area import table_bits_area
+
+
+class GSharePredictor(BranchPredictor):
+    """Classic gshare with ``2**index_bits`` two-bit counters."""
+
+    def __init__(self, index_bits: int, pc_shift: int = 2):
+        if not 1 <= index_bits <= 24:
+            raise ValueError("index_bits must be in [1, 24]")
+        self.name = f"gshare-{index_bits}"
+        self.index_bits = index_bits
+        self.pc_shift = pc_shift
+        self.num_entries = 1 << index_bits
+        self._mask = self.num_entries - 1
+        self._history = 0
+        self._counters: List[SaturatingUpDownCounter] = [
+            TwoBitCounter() for _ in range(self.num_entries)
+        ]
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> self.pc_shift) ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._counters[self._index(pc)].predict()
+
+    def update(self, pc: int, taken: bool) -> None:
+        self._counters[self._index(pc)].update(taken)
+        self._history = ((self._history << 1) | int(taken)) & self._mask
+
+    def area(self) -> float:
+        return table_bits_area(2 * self.num_entries)
+
+    def reset(self) -> None:
+        self._history = 0
+        for counter in self._counters:
+            counter.reset()
+
+    @property
+    def history(self) -> int:
+        """Current global history register (for tests)."""
+        return self._history

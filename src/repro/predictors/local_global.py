@@ -1,0 +1,106 @@
+"""The Local/Global Chooser (LGC) predictor.
+
+"a meta chooser predictor that contains a two-level local history branch
+prediction table, a global history table, and a meta chooser table that
+determines whether to use the local or global prediction ... similar to the
+predictor found in the Alpha 21264" (Section 7.5).
+
+Structure (21264-flavored, scaled by ``scale_bits``):
+
+* local: a PC-indexed table of local history registers feeding a pattern
+  table of 3-bit counters;
+* global: a global-history-indexed table of 2-bit counters;
+* chooser: a global-history-indexed table of 2-bit counters picking the
+  global side when high.
+
+The chooser trains only when the two components disagree, the standard
+tournament update rule.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.predictors.base import BranchPredictor
+from repro.predictors.sud import SaturatingUpDownCounter
+from repro.synth.area import table_bits_area
+
+
+class LocalGlobalChooser(BranchPredictor):
+    """Tournament predictor scaled from a single size knob.
+
+    ``scale_bits`` = b gives: 2^b local histories of length b, a 2^b-entry
+    local pattern table of 3-bit counters, 2^b-entry global and chooser
+    tables of 2-bit counters.  (The 21264 is roughly b = 10-12.)
+    """
+
+    def __init__(self, scale_bits: int, pc_shift: int = 2):
+        if not 2 <= scale_bits <= 20:
+            raise ValueError("scale_bits must be in [2, 20]")
+        self.name = f"lgc-{scale_bits}"
+        self.scale_bits = scale_bits
+        self.pc_shift = pc_shift
+        self.num_entries = 1 << scale_bits
+        self._mask = self.num_entries - 1
+        self._local_histories: List[int] = [0] * self.num_entries
+        self._local_counters: List[SaturatingUpDownCounter] = [
+            SaturatingUpDownCounter(max_value=7, threshold=4)
+            for _ in range(self.num_entries)
+        ]
+        self._global_counters: List[SaturatingUpDownCounter] = [
+            SaturatingUpDownCounter(max_value=3, threshold=2)
+            for _ in range(self.num_entries)
+        ]
+        self._chooser: List[SaturatingUpDownCounter] = [
+            SaturatingUpDownCounter(max_value=3, threshold=2, initial=2)
+            for _ in range(self.num_entries)
+        ]
+        self._global_history = 0
+
+    # ------------------------------------------------------------------
+    def _pc_index(self, pc: int) -> int:
+        return (pc >> self.pc_shift) & self._mask
+
+    def _components(self, pc: int):
+        local_history = self._local_histories[self._pc_index(pc)]
+        local = self._local_counters[local_history].predict()
+        global_ = self._global_counters[self._global_history].predict()
+        use_global = self._chooser[self._global_history].predict()
+        return local, global_, use_global
+
+    def predict(self, pc: int) -> bool:
+        local, global_, use_global = self._components(pc)
+        return global_ if use_global else local
+
+    def update(self, pc: int, taken: bool) -> None:
+        local, global_, use_global = self._components(pc)
+        pc_index = self._pc_index(pc)
+        local_history = self._local_histories[pc_index]
+        # Train the chooser only on disagreement, toward whichever side
+        # was right.
+        if local != global_:
+            self._chooser[self._global_history].update(global_ == taken)
+        self._local_counters[local_history].update(taken)
+        self._global_counters[self._global_history].update(taken)
+        self._local_histories[pc_index] = (
+            (local_history << 1) | int(taken)
+        ) & self._mask
+        self._global_history = (
+            (self._global_history << 1) | int(taken)
+        ) & self._mask
+
+    def area(self) -> float:
+        local_history_bits = self.scale_bits * self.num_entries
+        local_pattern_bits = 3 * self.num_entries
+        global_bits = 2 * self.num_entries
+        chooser_bits = 2 * self.num_entries
+        return table_bits_area(
+            local_history_bits + local_pattern_bits + global_bits + chooser_bits
+        )
+
+    def reset(self) -> None:
+        self._global_history = 0
+        self._local_histories = [0] * self.num_entries
+        for bank in (self._local_counters, self._global_counters, self._chooser):
+            for counter in bank:
+                counter.reset()

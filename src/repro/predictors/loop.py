@@ -1,0 +1,93 @@
+"""Loop termination prediction (extension; Sherwood & Calder [35]).
+
+Discussing compress, the paper notes the one branch its custom FSMs cannot
+fully capture "would benefit from having a loop count instruction ... or
+could easily be captured via customizing the branch predictor to perform
+loop termination prediction".  This module implements that predictor so
+the claim can be tested: per branch, learn the trip count of the loop it
+closes (consecutive taken outcomes between not-takens) and predict
+not-taken exactly at the learned count.
+
+A trip count is *learned* once it has been observed ``confidence_trips``
+times in a row, which keeps the predictor from chasing noise -- the same
+two-in-a-row idea as the two-delta stride rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.predictors.base import BranchPredictor
+from repro.synth.area import table_bits_area
+
+_COUNT_BITS = 10  # per-entry trip/current counters assumed for area
+
+
+@dataclass
+class _LoopEntry:
+    current_run: int = 0        # taken streak in progress
+    last_trip: int = -1         # previous completed trip count
+    predicted_trip: int = -1    # adopted trip count (-1 = none yet)
+    agreement: int = 0          # consecutive identical trip counts seen
+
+
+class LoopTerminationPredictor(BranchPredictor):
+    """Per-branch trip-count table; falls back to predict-taken.
+
+    ``confidence_trips`` consecutive equal trip counts are needed before a
+    count is used for exit prediction (2 by default).
+    """
+
+    def __init__(self, num_entries: int = 128, confidence_trips: int = 2,
+                 pc_shift: int = 2):
+        if num_entries < 1 or num_entries & (num_entries - 1):
+            raise ValueError("num_entries must be a positive power of two")
+        if confidence_trips < 1:
+            raise ValueError("confidence_trips must be >= 1")
+        self.name = f"loopterm-{num_entries}"
+        self.num_entries = num_entries
+        self.confidence_trips = confidence_trips
+        self.pc_shift = pc_shift
+        self._entries: Dict[int, _LoopEntry] = {}
+
+    def _index(self, pc: int) -> int:
+        return (pc >> self.pc_shift) & (self.num_entries - 1)
+
+    def _entry(self, pc: int) -> _LoopEntry:
+        index = self._index(pc)
+        entry = self._entries.get(index)
+        if entry is None:
+            entry = _LoopEntry()
+            self._entries[index] = entry
+        return entry
+
+    def predict(self, pc: int) -> bool:
+        entry = self._entry(pc)
+        if entry.predicted_trip >= 0:
+            # Predict the exit exactly at the learned trip count.
+            return entry.current_run < entry.predicted_trip
+        return True  # loop branches are taken by default
+
+    def update(self, pc: int, taken: bool) -> None:
+        entry = self._entry(pc)
+        if taken:
+            entry.current_run += 1
+            return
+        trip = entry.current_run
+        entry.current_run = 0
+        if trip == entry.last_trip:
+            entry.agreement += 1
+        else:
+            entry.agreement = 1
+            entry.last_trip = trip
+        if entry.agreement >= self.confidence_trips:
+            entry.predicted_trip = trip
+
+    def area(self) -> float:
+        # current counter + last trip + predicted trip + small confidence.
+        bits_per_entry = 3 * _COUNT_BITS + 2
+        return table_bits_area(bits_per_entry * self.num_entries)
+
+    def reset(self) -> None:
+        self._entries = {}

@@ -1,0 +1,80 @@
+"""Prediction by Partial Matching (Chen, Coffey & Mudge; paper Section 3.2).
+
+"there are M tables from size 2 to 2^M.  Each PPM entry contains a
+frequency for the number of times the next bit was 0 ... and the number of
+times it was 1.  All of the PPM tables are then searched in parallel for
+each history length.  The PPM table entry that had the highest probability
+was then used for the prediction."
+
+Implemented as a prior-work extension baseline: a per-branch-free global
+predictor over the global outcome history (frequencies laplace-smoothed so
+unseen entries are neutral).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.predictors.base import BranchPredictor
+from repro.synth.area import table_bits_area
+
+_COUNT_BITS = 8  # per-entry frequency width assumed for area accounting
+
+
+class PPMPredictor(BranchPredictor):
+    """Global-history PPM with history lengths 1..max_order."""
+
+    def __init__(self, max_order: int):
+        if not 1 <= max_order <= 16:
+            raise ValueError("max_order must be in [1, 16]")
+        self.name = f"ppm-{max_order}"
+        self.max_order = max_order
+        self._history = 0
+        # One dict per order: history -> (zeros, ones).
+        self._tables: List[Dict[int, Tuple[int, int]]] = [
+            {} for _ in range(max_order)
+        ]
+
+    def _context(self, order: int) -> int:
+        return self._history & ((1 << order) - 1)
+
+    def predict(self, pc: int) -> bool:
+        best_prob = 0.5
+        best_confidence = 0.0
+        prediction = True
+        for order in range(self.max_order, 0, -1):
+            entry = self._tables[order - 1].get(self._context(order))
+            if entry is None:
+                continue
+            zeros, ones = entry
+            total = zeros + ones
+            prob_one = (ones + 1) / (total + 2)  # Laplace smoothing
+            confidence = abs(prob_one - 0.5)
+            if confidence > best_confidence:
+                best_confidence = confidence
+                best_prob = prob_one
+        prediction = best_prob >= 0.5
+        return prediction
+
+    def update(self, pc: int, taken: bool) -> None:
+        for order in range(1, self.max_order + 1):
+            table = self._tables[order - 1]
+            context = self._context(order)
+            zeros, ones = table.get(context, (0, 0))
+            if taken:
+                ones += 1
+            else:
+                zeros += 1
+            table[context] = (zeros, ones)
+        self._history = (self._history << 1) | int(taken)
+        self._history &= (1 << self.max_order) - 1
+
+    def area(self) -> float:
+        bits = 0
+        for order in range(1, self.max_order + 1):
+            bits += (1 << order) * 2 * _COUNT_BITS
+        return table_bits_area(bits)
+
+    def reset(self) -> None:
+        self._history = 0
+        self._tables = [{} for _ in range(self.max_order)]

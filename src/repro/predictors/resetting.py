@@ -1,0 +1,49 @@
+"""Resetting counters (Jacobsen, Rotenberg & Smith; paper Section 3.1).
+
+"A resetting counter resets the counter back to 0 when there is a
+misprediction."  Used as a confidence estimator: confidence is asserted
+only after ``threshold`` consecutive up events since the last down event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ResettingCounter:
+    """Count consecutive up events, clearing on any down event."""
+
+    max_value: int
+    threshold: int = 1
+    initial: int = 0
+    value: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.max_value < 1:
+            raise ValueError("max_value must be >= 1")
+        if not 0 <= self.initial <= self.max_value:
+            raise ValueError("initial value out of range")
+        if not 0 <= self.threshold <= self.max_value + 1:
+            raise ValueError("threshold out of range")
+        self.value = self.initial
+
+    def predict(self) -> bool:
+        return self.value >= self.threshold
+
+    def update(self, event: bool) -> None:
+        if event:
+            self.value = min(self.max_value, self.value + 1)
+        else:
+            self.value = 0
+
+    def reset(self) -> None:
+        self.value = self.initial
+
+    @property
+    def num_states(self) -> int:
+        return self.max_value + 1
+
+    @property
+    def storage_bits(self) -> int:
+        return max(1, self.max_value.bit_length())

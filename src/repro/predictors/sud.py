@@ -1,0 +1,94 @@
+"""Saturating up/down (SUD) counters (Section 3.1).
+
+"Four values define a SUD counter -- (saturation threshold, correct
+increment, wrong decrement, and a prediction threshold).  A SUD counter can
+have a value between 0 and the saturation threshold."  The event polarity
+is the caller's choice: for branch prediction the event is *taken*, for
+confidence estimation it is *the value prediction was correct*.
+
+The confidence study (Section 6.4) sweeps decrements of "1, 2, 5, 10, and
+full"; ``FULL_DECREMENT`` models "full" (one wrong event clears the
+counter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+FULL_DECREMENT: int = -1
+"""Sentinel decrement: a single down event resets the counter to zero."""
+
+
+@dataclass
+class SaturatingUpDownCounter:
+    """A parameterized SUD counter.
+
+    ``max_value``
+        The saturation threshold (the counter lives in [0, max_value]).
+    ``increment`` / ``decrement``
+        Applied on up events / down events; ``FULL_DECREMENT`` clears.
+    ``threshold``
+        Predict 1 (taken / confident) when ``value >= threshold``.
+    ``initial``
+        Power-on value (default 0).
+    """
+
+    max_value: int
+    increment: int = 1
+    decrement: int = 1
+    threshold: int = 1
+    initial: int = 0
+    value: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.max_value < 1:
+            raise ValueError("max_value must be >= 1")
+        if self.increment < 1:
+            raise ValueError("increment must be >= 1")
+        if self.decrement < 1 and self.decrement != FULL_DECREMENT:
+            raise ValueError("decrement must be >= 1 or FULL_DECREMENT")
+        if not 0 <= self.initial <= self.max_value:
+            raise ValueError("initial value out of range")
+        if not 0 <= self.threshold <= self.max_value + 1:
+            raise ValueError("threshold out of range")
+        self.value = self.initial
+
+    def predict(self) -> bool:
+        """True when the counter is at or above the prediction threshold."""
+        return self.value >= self.threshold
+
+    def update(self, event: bool) -> None:
+        """Count one event: up when True, down when False."""
+        if event:
+            self.value = min(self.max_value, self.value + self.increment)
+        elif self.decrement == FULL_DECREMENT:
+            self.value = 0
+        else:
+            self.value = max(0, self.value - self.decrement)
+
+    def reset(self) -> None:
+        self.value = self.initial
+
+    @property
+    def num_states(self) -> int:
+        """Number of distinct counter values (the FSM state count a SUD
+        counter corresponds to)."""
+        return self.max_value + 1
+
+    @property
+    def storage_bits(self) -> int:
+        """Bits needed to hold the counter value."""
+        return max(1, self.max_value.bit_length())
+
+
+def TwoBitCounter(initial: int = 0) -> SaturatingUpDownCounter:
+    """The classic 2-bit counter: saturate at 3, predict taken at >= 2.
+
+    "The counter is incremented when the branch is taken, and decremented
+    with not-taken, with a saturating threshold of 3.  When the counter has
+    a value less than or equal to 1, the branch is predicted as not-taken."
+    """
+    return SaturatingUpDownCounter(
+        max_value=3, increment=1, decrement=1, threshold=2, initial=initial
+    )

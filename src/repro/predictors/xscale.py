@@ -1,0 +1,78 @@
+"""The XScale-style baseline: a BTB-coupled 2-bit counter table.
+
+"Intel's XScale (StrongARM-2) processor has a 128 entry Branch Target
+Buffer (BTB), and each entry in the BTB has a 2-bit saturating counter
+which is used for branch prediction ... not-taken is predicted on a BTB
+miss" (Sections 7.2 and 7.5).
+
+We model a direct-mapped BTB with full tags.  Entries are allocated when a
+branch is taken (a BTB stores targets of taken branches), initializing the
+counter to weakly-taken; on a tag miss the static not-taken prediction is
+used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.predictors.base import BranchPredictor
+from repro.predictors.sud import SaturatingUpDownCounter, TwoBitCounter
+from repro.synth.area import table_bits_area
+
+# Storage widths used for area accounting (bits).
+TAG_BITS = 30
+TARGET_BITS = 32
+COUNTER_BITS = 2
+
+
+@dataclass
+class _BTBEntry:
+    tag: int
+    counter: SaturatingUpDownCounter
+
+
+class XScalePredictor(BranchPredictor):
+    """Direct-mapped, tagged BTB with one 2-bit counter per entry."""
+
+    def __init__(self, num_entries: int = 128, pc_shift: int = 2):
+        if num_entries < 1 or num_entries & (num_entries - 1):
+            raise ValueError("num_entries must be a positive power of two")
+        self.name = f"xscale-{num_entries}"
+        self.num_entries = num_entries
+        self.pc_shift = pc_shift
+        self._entries: List[Optional[_BTBEntry]] = [None] * num_entries
+
+    def _index_tag(self, pc: int):
+        word = pc >> self.pc_shift
+        return word & (self.num_entries - 1), word // self.num_entries
+
+    def lookup(self, pc: int) -> Optional[_BTBEntry]:
+        index, tag = self._index_tag(pc)
+        entry = self._entries[index]
+        if entry is not None and entry.tag == tag:
+            return entry
+        return None
+
+    def predict(self, pc: int) -> bool:
+        entry = self.lookup(pc)
+        if entry is None:
+            return False  # not-taken on BTB miss
+        return entry.counter.predict()
+
+    def update(self, pc: int, taken: bool) -> None:
+        index, tag = self._index_tag(pc)
+        entry = self._entries[index]
+        if entry is not None and entry.tag == tag:
+            entry.counter.update(taken)
+        elif taken:
+            # Allocate on a taken branch, replacing any conflicting entry;
+            # start at weakly-taken as the branch just went that way.
+            self._entries[index] = _BTBEntry(tag=tag, counter=TwoBitCounter(initial=2))
+
+    def area(self) -> float:
+        bits_per_entry = TAG_BITS + TARGET_BITS + COUNTER_BITS
+        return table_bits_area(bits_per_entry * self.num_entries)
+
+    def reset(self) -> None:
+        self._entries = [None] * self.num_entries

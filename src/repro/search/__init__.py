@@ -1,0 +1,22 @@
+"""Extension: genetic search over predictor FSMs.
+
+The closest prior work to the paper is Emer & Gloy's genetic programming
+over a predictor-description language (Section 3.2).  The paper contrasts
+its constructive approach ("our approach automatically builds FSM
+predictors from behavioral traces, without searching") with that search.
+This package implements a small, honest version of the searched
+alternative -- a steady-state GA over Moore-machine tables, fitness = trace
+prediction accuracy -- so the contrast can be *measured* (see
+``repro.harness.ablations.run_ga_comparison``).
+"""
+
+from repro.search.genome import MachineGenome, random_genome
+from repro.search.ga import GAConfig, search_predictor, evolve
+
+__all__ = [
+    "MachineGenome",
+    "random_genome",
+    "GAConfig",
+    "search_predictor",
+    "evolve",
+]

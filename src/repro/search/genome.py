@@ -1,0 +1,86 @@
+"""Moore-machine genomes for the GA extension.
+
+A genome is the raw genetic material of a binary-alphabet Moore machine:
+per-state output bits and per-state successor pairs.  Crossover splices
+state rows; mutation rewires single transitions or flips single outputs.
+Both preserve well-formedness by construction (successors always index
+valid states), so every genome decodes to a runnable machine.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.automata.moore import BINARY_ALPHABET, MooreMachine
+
+
+@dataclass
+class MachineGenome:
+    """Mutable genome; decode to an immutable machine with ``to_machine``."""
+
+    outputs: List[int]
+    transitions: List[Tuple[int, int]]
+
+    @property
+    def num_states(self) -> int:
+        return len(self.outputs)
+
+    def copy(self) -> "MachineGenome":
+        return MachineGenome(
+            outputs=list(self.outputs), transitions=list(self.transitions)
+        )
+
+    def to_machine(self, start: int = 0) -> MooreMachine:
+        return MooreMachine(
+            alphabet=BINARY_ALPHABET,
+            start=start,
+            outputs=tuple(self.outputs),
+            transitions=tuple(self.transitions),
+        )
+
+    # ------------------------------------------------------------------
+    # Genetic operators
+    # ------------------------------------------------------------------
+    def mutate(self, rng: random.Random, rate: float = 0.1) -> None:
+        """Point mutations: each state independently may get an output
+        flip or a transition rewire."""
+        n = self.num_states
+        for state in range(n):
+            if rng.random() < rate:
+                self.outputs[state] ^= 1
+            if rng.random() < rate:
+                zero, one = self.transitions[state]
+                if rng.random() < 0.5:
+                    zero = rng.randrange(n)
+                else:
+                    one = rng.randrange(n)
+                self.transitions[state] = (zero, one)
+
+    def crossover(self, other: "MachineGenome", rng: random.Random) -> "MachineGenome":
+        """Single-point crossover on state rows.  Successor indices from
+        the partner are taken modulo the child size, so children remain
+        well-formed even between unequal-size parents."""
+        n = self.num_states
+        cut = rng.randrange(1, n) if n > 1 else 0
+        child = self.copy()
+        for state in range(cut, n):
+            src_state = state % other.num_states
+            child.outputs[state] = other.outputs[src_state]
+            zero, one = other.transitions[src_state]
+            child.transitions[state] = (zero % n, one % n)
+        return child
+
+
+def random_genome(num_states: int, rng: random.Random) -> MachineGenome:
+    """A uniformly random well-formed genome."""
+    if num_states < 1:
+        raise ValueError("num_states must be >= 1")
+    return MachineGenome(
+        outputs=[rng.randrange(2) for _ in range(num_states)],
+        transitions=[
+            (rng.randrange(num_states), rng.randrange(num_states))
+            for _ in range(num_states)
+        ],
+    )

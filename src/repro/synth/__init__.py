@@ -1,0 +1,34 @@
+"""Synthesis substrate: the reproduction's stand-in for Synopsys.
+
+The paper's final step translates each Moore machine to VHDL and hands it
+to Synopsys for synthesis and area reporting (Sections 4.8 and 7.4).  We
+reproduce the flow end-to-end in Python:
+
+* :mod:`repro.synth.encoding` -- state encodings (binary, gray, one-hot);
+* :mod:`repro.synth.logic_synthesis` -- next-state and output logic as
+  minimized two-level covers over the encoded state bits, with a gate-level
+  simulator used to verify the encoded machine against the behavioral one;
+* :mod:`repro.synth.vhdl` / :mod:`repro.synth.verilog` -- HDL emitters;
+* :mod:`repro.synth.area` -- a literal/flip-flop cost model standing in for
+  the Synopsys area report (Figure 4 fits a linear states->area bound on
+  top of it).
+"""
+
+from repro.synth.encoding import StateEncoding, binary_encoding, gray_encoding, one_hot_encoding
+from repro.synth.logic_synthesis import SynthesizedMachine, synthesize_machine
+from repro.synth.vhdl import generate_vhdl
+from repro.synth.verilog import generate_verilog
+from repro.synth.area import AreaReport, estimate_area
+
+__all__ = [
+    "StateEncoding",
+    "binary_encoding",
+    "gray_encoding",
+    "one_hot_encoding",
+    "SynthesizedMachine",
+    "synthesize_machine",
+    "generate_vhdl",
+    "generate_verilog",
+    "AreaReport",
+    "estimate_area",
+]

@@ -1,0 +1,101 @@
+"""Area estimation: the stand-in for the Synopsys area report.
+
+Section 7.4 synthesizes a 10% sample of the generated predictors with
+Synopsys, observes that "the area is linearly proportional to the number of
+states in the machine" (with highly-regular large machines falling below
+the line), and uses the fitted linear bound for all remaining predictors.
+
+Our cost model charges a technology-ish price for each flip-flop and each
+product-term literal of the minimized next-state/output logic, trying the
+standard encodings and keeping the cheapest -- a coarse model of what a
+logic synthesizer does, with exactly the properties Figure 4 relies on:
+cost grows with combinational complexity, is linearly bounded in state
+count, and regular machines come in under the bound.
+
+The same units price SRAM-based table predictors (``table_bits_area``) so
+that Figure 5 can put custom FSMs and gshare/LGC tables on one area axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.automata.moore import MooreMachine
+from repro.synth.encoding import StateEncoding, standard_encodings
+from repro.synth.logic_synthesis import SynthesizedMachine, synthesize_machine
+
+# Cost constants (arbitrary "cells"; only ratios matter for the figures).
+FLIP_FLOP_COST = 6.0     # a DFF is several gate-equivalents
+LITERAL_COST = 1.0       # one literal of a product term ~ one transistor pair
+TERM_COST = 1.0          # OR-plane contribution per product term
+SRAM_BIT_COST = 2.0      # one bit of table storage, amortized decoder included
+CAM_BIT_COST = 4.0       # one bit of fully-associative tag match storage
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Synthesis outcome for one machine."""
+
+    num_states: int
+    encoding_name: str
+    flip_flops: int
+    literals: int
+    terms: int
+    area: float
+
+    def __str__(self) -> str:
+        return (
+            f"AreaReport(states={self.num_states}, enc={self.encoding_name}, "
+            f"ffs={self.flip_flops}, literals={self.literals}, "
+            f"terms={self.terms}, area={self.area:.1f})"
+        )
+
+
+def area_of_synthesized(synth: SynthesizedMachine) -> float:
+    return (
+        FLIP_FLOP_COST * synth.num_flip_flops
+        + LITERAL_COST * synth.total_literals
+        + TERM_COST * synth.total_terms
+    )
+
+
+def estimate_area(
+    machine: MooreMachine,
+    encodings: Optional[Sequence[StateEncoding]] = None,
+    return_synth: bool = False,
+):
+    """Synthesize ``machine`` under each candidate encoding, keep the
+    cheapest, and return its :class:`AreaReport` (optionally also the
+    winning :class:`SynthesizedMachine`)."""
+    if encodings is None:
+        encodings = standard_encodings(machine.num_states)
+    best: Optional[Tuple[float, SynthesizedMachine]] = None
+    for encoding in encodings:
+        synth = synthesize_machine(machine, encoding)
+        area = area_of_synthesized(synth)
+        if best is None or area < best[0]:
+            best = (area, synth)
+    assert best is not None
+    area, synth = best
+    report = AreaReport(
+        num_states=machine.num_states,
+        encoding_name=synth.encoding.name,
+        flip_flops=synth.num_flip_flops,
+        literals=synth.total_literals,
+        terms=synth.total_terms,
+        area=area,
+    )
+    if return_synth:
+        return report, synth
+    return report
+
+
+def table_bits_area(num_bits: int) -> float:
+    """Area of an SRAM table holding ``num_bits`` bits."""
+    return SRAM_BIT_COST * num_bits
+
+
+def cam_bits_area(num_bits: int) -> float:
+    """Area of fully-associative (CAM) tag storage of ``num_bits`` bits."""
+    return CAM_BIT_COST * num_bits

@@ -1,0 +1,106 @@
+"""State encodings for FSM synthesis.
+
+"The job of synthesis is to find an efficient hardware implementation for
+the state machine.  This includes finding a good encoding for the states"
+(Section 4.8).  Three classic encodings are provided; the area estimator
+synthesizes with each and can report the best, which is a coarse but honest
+model of what a logic synthesizer does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class StateEncoding:
+    """An assignment of binary codes to FSM states.
+
+    ``codes[state]`` is the code as an integer over ``num_bits`` bits.
+    Codes must be unique; unused code points are don't-cares for the
+    next-state logic, which is where encodings win or lose area.
+    """
+
+    name: str
+    num_bits: int
+    codes: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        limit = 1 << self.num_bits
+        seen: set = set()
+        for state, code in enumerate(self.codes):
+            if not 0 <= code < limit:
+                raise ValueError(
+                    f"code {code} of state {state} exceeds {self.num_bits} bits"
+                )
+            if code in seen:
+                raise ValueError(f"duplicate code {code}")
+            seen.add(code)
+
+    @property
+    def num_states(self) -> int:
+        return len(self.codes)
+
+    def code_of(self, state: int) -> int:
+        return self.codes[state]
+
+    def state_of(self, code: int) -> int:
+        """Inverse lookup; raises KeyError for unused code points."""
+        try:
+            return self.codes.index(code)
+        except ValueError:
+            raise KeyError(f"code {code} maps to no state")
+
+    def code_string(self, state: int) -> str:
+        return format(self.codes[state], f"0{self.num_bits}b")
+
+    def used_codes(self) -> frozenset:
+        return frozenset(self.codes)
+
+
+def _min_bits(num_states: int) -> int:
+    if num_states < 1:
+        raise ValueError("need at least one state")
+    bits = 1
+    while (1 << bits) < num_states:
+        bits += 1
+    return bits
+
+
+def binary_encoding(num_states: int) -> StateEncoding:
+    """Sequential binary codes: state i -> i."""
+    bits = _min_bits(num_states)
+    return StateEncoding(
+        name="binary", num_bits=bits, codes=tuple(range(num_states))
+    )
+
+
+def gray_encoding(num_states: int) -> StateEncoding:
+    """Reflected Gray codes: adjacent state ids differ in one bit, which
+    often shrinks next-state logic for counter-like machines."""
+    bits = _min_bits(num_states)
+    return StateEncoding(
+        name="gray",
+        num_bits=bits,
+        codes=tuple((i >> 1) ^ i for i in range(num_states)),
+    )
+
+
+def one_hot_encoding(num_states: int) -> StateEncoding:
+    """One flip-flop per state; simple logic, many registers."""
+    return StateEncoding(
+        name="one_hot",
+        num_bits=num_states,
+        codes=tuple(1 << i for i in range(num_states)),
+    )
+
+
+def standard_encodings(num_states: int) -> List[StateEncoding]:
+    """The encodings the area estimator tries, cheapest-register first."""
+    encodings = [binary_encoding(num_states), gray_encoding(num_states)]
+    # One-hot state vectors get large quickly; only worth trying while the
+    # per-bit truth tables stay small.
+    if num_states <= 24:
+        encodings.append(one_hot_encoding(num_states))
+    return encodings

@@ -1,0 +1,62 @@
+"""Verilog emission (extension beyond the paper, which targeted VHDL).
+
+Same two-process structure as :mod:`repro.synth.vhdl` in Verilog-2001:
+a localparam-encoded state register and two always blocks.  Provided
+because most modern customized-processor flows consume Verilog.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.automata.moore import MooreMachine
+
+
+def generate_verilog(machine: MooreMachine, module_name: str = "fsm_predictor") -> str:
+    """Render ``machine`` as a synthesizable Verilog-2001 module."""
+    if machine.alphabet != ("0", "1"):
+        raise ValueError("Verilog emitter supports binary-alphabet machines only")
+    if not module_name.isidentifier():
+        raise ValueError(f"invalid module name {module_name!r}")
+
+    n = machine.num_states
+    width = max(1, (n - 1).bit_length())
+    lines: List[str] = []
+    emit = lines.append
+    emit(f"module {module_name} (")
+    emit("  input  wire clk,")
+    emit("  input  wire reset,")
+    emit("  input  wire outcome,")
+    emit("  output reg  prediction")
+    emit(");")
+    emit("")
+    for state in range(n):
+        emit(f"  localparam [{width-1}:0] S{state} = {width}'d{state};")
+    emit("")
+    emit(f"  reg [{width-1}:0] state, next_state;")
+    emit("")
+    emit("  always @(posedge clk) begin")
+    emit("    if (reset)")
+    emit(f"      state <= S{machine.start};")
+    emit("    else")
+    emit("      state <= next_state;")
+    emit("  end")
+    emit("")
+    emit("  always @(*) begin")
+    emit("    case (state)")
+    for state, row in enumerate(machine.transitions):
+        emit(f"      S{state}: next_state = outcome ? S{row[1]} : S{row[0]};")
+    emit(f"      default: next_state = S{machine.start};")
+    emit("    endcase")
+    emit("  end")
+    emit("")
+    emit("  always @(*) begin")
+    emit("    case (state)")
+    for state, output in enumerate(machine.outputs):
+        emit(f"      S{state}: prediction = 1'b{output};")
+    emit("      default: prediction = 1'b0;")
+    emit("    endcase")
+    emit("  end")
+    emit("")
+    emit("endmodule")
+    return "\n".join(lines) + "\n"

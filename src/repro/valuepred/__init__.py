@@ -1,0 +1,32 @@
+"""Value prediction substrate (Section 6).
+
+A two-delta stride value predictor with a 2K-entry tagged table (the
+paper's configuration: "a table size of 2K entries ... value prediction
+for only load instructions"), a last-value baseline, and the confidence
+estimation harness that produces correctness traces, drives SUD/resetting/
+FSM confidence estimators, and measures the accuracy/coverage trade-off of
+Figure 2.
+"""
+
+from repro.valuepred.stride import TwoDeltaStridePredictor, StrideEntry
+from repro.valuepred.last_value import LastValuePredictor
+from repro.valuepred.confidence import (
+    ConfidenceOutcome,
+    ConfidenceStats,
+    correctness_trace,
+    evaluate_counter_confidence,
+    evaluate_fsm_confidence,
+    sud_configurations,
+)
+
+__all__ = [
+    "TwoDeltaStridePredictor",
+    "StrideEntry",
+    "LastValuePredictor",
+    "ConfidenceOutcome",
+    "ConfidenceStats",
+    "correctness_trace",
+    "evaluate_counter_confidence",
+    "evaluate_fsm_confidence",
+    "sud_configurations",
+]

@@ -1,0 +1,54 @@
+"""Last-value prediction (Lipasti & Shen) -- the simplest baseline.
+
+Predicts that a load returns the same value it returned last time.  Not
+part of the paper's measured configuration (it uses two-delta stride) but
+included as the natural baseline for tests and examples, and because the
+two predictors bracket the behaviour classes of the synthetic workloads
+(constant loads favour last-value; array walks favour stride).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass
+class _Entry:
+    tag: int
+    value: int
+
+
+class LastValuePredictor:
+    """Direct-mapped tagged last-value table."""
+
+    def __init__(self, num_entries: int = 2048, pc_shift: int = 2):
+        if num_entries < 1 or num_entries & (num_entries - 1):
+            raise ValueError("num_entries must be a positive power of two")
+        self.num_entries = num_entries
+        self.pc_shift = pc_shift
+        self._entries: List[Optional[_Entry]] = [None] * num_entries
+
+    def index_of(self, pc: int) -> int:
+        return (pc >> self.pc_shift) & (self.num_entries - 1)
+
+    def _tag_of(self, pc: int) -> int:
+        return (pc >> self.pc_shift) // self.num_entries
+
+    def predict(self, pc: int) -> Optional[int]:
+        entry = self._entries[self.index_of(pc)]
+        if entry is not None and entry.tag == self._tag_of(pc):
+            return entry.value
+        return None
+
+    def update(self, pc: int, actual: int) -> None:
+        index = self.index_of(pc)
+        self._entries[index] = _Entry(tag=self._tag_of(pc), value=actual)
+
+    def reset(self) -> None:
+        self._entries = [None] * self.num_entries
+
+    @property
+    def storage_bits(self) -> int:
+        tag_bits, value_bits = 18, 32
+        return self.num_entries * (tag_bits + value_bits)

@@ -1,0 +1,91 @@
+"""The two-delta stride value predictor (Eickemeyer & Vassiliadis;
+Sazeides & Smith; paper Section 6.1).
+
+"A stride value predictor keeps track of not only the last value brought
+in by an instruction, but also the difference between that value and the
+previous value ... We chose to use the two-delta stride predictor, which
+only replaces the predicted stride with a new stride if that new stride
+has been seen twice in a row.  Each entry contains a tag, the predicted
+value, the predicted stride, the last stride seen, and a saturating up and
+down confidence counter."
+
+The confidence field is deliberately *external* here: the table exposes
+per-entry indices so any confidence estimator (SUD counter, resetting
+counter, or a designed FSM) can be attached by the harness -- that is the
+whole point of the paper's Section 6 study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class StrideEntry:
+    """One table entry of the two-delta predictor."""
+
+    tag: int
+    value: int
+    stride: int
+    last_stride: int
+
+
+class TwoDeltaStridePredictor:
+    """Direct-mapped, tagged, 2K-entry by default (the paper's size)."""
+
+    def __init__(self, num_entries: int = 2048, pc_shift: int = 2):
+        if num_entries < 1 or num_entries & (num_entries - 1):
+            raise ValueError("num_entries must be a positive power of two")
+        self.num_entries = num_entries
+        self.pc_shift = pc_shift
+        self._entries: List[Optional[StrideEntry]] = [None] * num_entries
+
+    # ------------------------------------------------------------------
+    def index_of(self, pc: int) -> int:
+        """The table slot a load maps to (also the confidence-counter
+        index, since there is one confidence unit per entry)."""
+        return (pc >> self.pc_shift) & (self.num_entries - 1)
+
+    def _tag_of(self, pc: int) -> int:
+        return (pc >> self.pc_shift) // self.num_entries
+
+    def lookup(self, pc: int) -> Optional[StrideEntry]:
+        entry = self._entries[self.index_of(pc)]
+        if entry is not None and entry.tag == self._tag_of(pc):
+            return entry
+        return None
+
+    def predict(self, pc: int) -> Optional[int]:
+        """Predicted value, or None on a table/tag miss."""
+        entry = self.lookup(pc)
+        if entry is None:
+            return None
+        return entry.value + entry.stride
+
+    def update(self, pc: int, actual: int) -> None:
+        """Train with the actual loaded value (two-delta stride rule)."""
+        index = self.index_of(pc)
+        tag = self._tag_of(pc)
+        entry = self._entries[index]
+        if entry is None or entry.tag != tag:
+            self._entries[index] = StrideEntry(
+                tag=tag, value=actual, stride=0, last_stride=0
+            )
+            return
+        new_stride = actual - entry.value
+        # Two-delta: adopt the stride only when seen twice in a row.
+        if new_stride == entry.last_stride:
+            entry.stride = new_stride
+        entry.last_stride = new_stride
+        entry.value = actual
+
+    def reset(self) -> None:
+        self._entries = [None] * self.num_entries
+
+    @property
+    def storage_bits(self) -> int:
+        """Tag + value + stride + last stride per entry (the confidence
+        counter is accounted separately by whoever attaches one)."""
+        tag_bits, value_bits, stride_bits = 18, 32, 16
+        return self.num_entries * (tag_bits + value_bits + 2 * stride_bits)

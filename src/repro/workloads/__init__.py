@@ -1,0 +1,42 @@
+"""Workload substrate: the stand-in for ATOM traces of SPEC95/MediaBench.
+
+The paper profiles Alpha binaries with ATOM (Section 5); this environment
+has neither the binaries nor the hardware, so -- per the reproduction's
+substitution rule -- we build the closest synthetic equivalent that
+exercises the same code paths:
+
+* :mod:`repro.workloads.vm` -- MiniVM, a small register virtual machine
+  with an assembler; conditional branches are recorded as ``(pc, taken)``
+  while programs run over concrete input data, so branch correlation arises
+  from genuine control flow, not injected labels;
+* :mod:`repro.workloads.programs` -- six benchmark programs modelling the
+  characteristic branch behaviour of compress, gs, gsm decode, g721 decode,
+  ijpeg and vortex, each with distinct *train* and *eval* inputs;
+* :mod:`repro.workloads.values` -- load-value streams for the five
+  value-prediction benchmarks (gcc, go, groff, li, perl);
+* :mod:`repro.workloads.trace` -- record types and trace containers.
+"""
+
+from repro.workloads.trace import BranchRecord, BranchTrace, LoadRecord, LoadTrace
+from repro.workloads.vm import Assembler, MiniVM, VMError
+from repro.workloads.programs import (
+    BRANCH_BENCHMARKS,
+    branch_trace,
+    build_program,
+)
+from repro.workloads.values import VALUE_BENCHMARKS, load_trace
+
+__all__ = [
+    "BranchRecord",
+    "BranchTrace",
+    "LoadRecord",
+    "LoadTrace",
+    "Assembler",
+    "MiniVM",
+    "VMError",
+    "BRANCH_BENCHMARKS",
+    "branch_trace",
+    "build_program",
+    "VALUE_BENCHMARKS",
+    "load_trace",
+]

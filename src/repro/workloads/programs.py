@@ -1,0 +1,354 @@
+"""The six branch benchmarks (Section 5's embedded suite), as MiniVM code.
+
+Each program models the *branch-behaviour fingerprint* of its namesake --
+the property the paper's evaluation depends on -- using genuine
+data-dependent control flow over the inputs of
+:mod:`repro.workloads.inputs`:
+
+``compress``
+    An LZW-flavoured loop: a match-extension inner loop whose trip count
+    drifts slowly with the (growing) dictionary phase, plus a noisy hash
+    probe.  The dominant hard branch has *local* loop-count structure, so
+    a local-history predictor eventually beats small custom FSMs -- the
+    paper calls this out explicitly for compress.
+``ijpeg``
+    Block-structured pixel loop (two interleaved components with separate
+    code paths) where a clip test is re-executed two branches after an
+    identical test: the global-correlation pattern ``1x`` the paper's
+    Figure 6 FSM captures.
+``vortex``
+    Database record validation with four record-type handlers: heavily
+    biased status checks, plus key tests that are repeated on derived
+    values a fixed distance later (strong global correlation; big custom
+    win, as in the paper).
+``gsm``
+    Speech decoding over two interleaved subframe paths: sign tests over
+    an AR signal with a one-sample lookahead (making the next sign test
+    perfectly correlated a short distance back) and an alternating
+    frame-boundary branch.
+``g721``
+    ADPCM quantizer: nested threshold comparisons where an earlier
+    threshold outcome implies a later one -- mostly easy branches, small
+    custom gain (8% -> 7% in the paper).
+``gs``
+    A token interpreter whose dispatch chain is driven by a motif-heavy
+    operator stream (moveto/lineto*/stroke) across two rendering contexts,
+    giving the multi-pattern correlation of the paper's Figure 7.
+
+Handler replication (several copies of a body at distinct PCs, selected by
+data or position) mirrors how real programs get many static branches from
+inlining, unrolling and type dispatch; it is what gives the customized
+architecture a meaningful number of candidate branches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.workloads.inputs import input_words
+from repro.workloads.trace import BranchTrace
+from repro.workloads.vm import Assembler, MiniVM, Program
+
+BRANCH_BENCHMARKS: Tuple[str, ...] = (
+    "compress",
+    "gs",
+    "gsm",
+    "g721",
+    "ijpeg",
+    "vortex",
+)
+
+# Register conventions shared by all programs:
+#   r1 = input cursor, r2 = n, r3 = loop bound, r4 = zero scratch,
+#   r5 = current input word, r6-r12 = per-program temporaries,
+#   r9 = accumulator (keeps the ALU work live), r13-r15 = constants/state.
+
+
+def _prologue(asm: Assembler, bound_offset: int = 1) -> None:
+    """r1 = 1 (first input word), r2 = n, r3 = n + bound_offset."""
+    asm.li(4, 0)
+    asm.ld(2, 4, 0)        # r2 = mem[0] = n
+    asm.li(1, 1)
+    asm.addi(3, 2, bound_offset)
+
+
+def _build_ijpeg(asm: Assembler) -> None:
+    """Two image components, interleaved sample by sample."""
+    _prologue(asm)
+    asm.li(9, 0)
+    asm.li(14, 0)                   # previous sample (drives the dispatch)
+    asm.label("loop")
+    asm.ld(5, 1, 0)                 # sample
+    asm.andi(6, 14, 32)
+    asm.beqi(6, 0, "comp0")         # DSP: dispatch on the previous sample's
+    for comp in (1, 0):             #      range bit (== last D outcome)
+        asm.label(f"comp{comp}")
+        asm.andi(6, 5, 32)
+        asm.beqi(6, 0, f"skip_c{comp}")   # C: range test (bit 5, persistent)
+        asm.addi(9, 9, 1)
+        asm.label(f"skip_c{comp}")
+        asm.blti(5, 40, f"skip_m{comp}")  # M: underflow guard (rarely taken)
+        asm.addi(9, 9, 2)
+        asm.label(f"skip_m{comp}")
+        asm.andi(8, 5, 32)
+        asm.beqi(8, 0, f"skip_d{comp}")   # D: range re-test == C, 2 back
+        asm.addi(9, 9, 3)
+        asm.label(f"skip_d{comp}")
+        asm.muli(10, 5, 2654435761)
+        asm.shri(10, 10, 9)
+        asm.andi(10, 10, 15)
+        asm.bnei(10, 0, f"skip_b{comp}")  # B: block work (hash bias, 15/16)
+        asm.addi(9, 9, 5)
+        asm.label(f"skip_b{comp}")
+        asm.jmp("next")
+    asm.label("next")
+    asm.mov(14, 5)
+    asm.addi(1, 1, 1)
+    asm.blt(1, 3, "loop")           # loop-back
+    asm.halt()
+
+
+def _build_vortex(asm: Assembler) -> None:
+    """Four record-type handlers selected by (persistent) key bits."""
+    _prologue(asm)
+    asm.li(9, 0)
+    asm.label("loop")
+    asm.ld(5, 1, 0)                 # record word
+    asm.andi(6, 5, 1)
+    asm.beqi(6, 0, "invalid")       # V: invalid record (taken ~3%)
+    asm.shri(7, 5, 1)               # key
+    asm.shri(13, 7, 6)
+    asm.andi(13, 13, 3)             # record type = key bits 6..7
+    asm.beqi(13, 0, "type0")        # T0: type dispatch (persistent key)
+    asm.beqi(13, 1, "type1")        # T1
+    asm.beqi(13, 2, "type2")        # T2
+    for rec_type in (3, 2, 1, 0):
+        asm.label(f"type{rec_type}")
+        asm.andi(8, 7, 1)
+        asm.beqi(8, 0, f"skip_k1_{rec_type}")   # K1: key bit 0
+        asm.addi(9, 9, 1)
+        asm.label(f"skip_k1_{rec_type}")
+        asm.andi(10, 7, 1)
+        asm.bnei(10, 0, f"skip_k2_{rec_type}")  # K2: !K1 (inverse test)
+        asm.addi(9, 9, 2)
+        asm.label(f"skip_k2_{rec_type}")
+        # Consistency checks on hashed key digests: heavily biased but
+        # data-dependent, so they fragment table-predictor contexts
+        # between the K1 test and its re-tests below.
+        asm.muli(10, 7, 2654435761)
+        asm.shri(11, 10, 5)
+        asm.andi(11, 11, 7)
+        asm.bnei(11, 0, f"skip_f1_{rec_type}")  # F1: digest check (7/8)
+        asm.addi(9, 9, 5)
+        asm.label(f"skip_f1_{rec_type}")
+        asm.shri(11, 10, 11)
+        asm.andi(11, 11, 7)
+        asm.bnei(11, 0, f"skip_f2_{rec_type}")  # F2: digest check (7/8)
+        asm.addi(9, 9, 6)
+        asm.label(f"skip_f2_{rec_type}")
+        asm.andi(11, 7, 1)
+        asm.beqi(11, 0, f"skip_k3_{rec_type}")  # K3: == K1, 4 back
+        asm.addi(9, 9, 3)
+        asm.label(f"skip_k3_{rec_type}")
+        asm.andi(12, 7, 2)
+        asm.beqi(12, 0, f"skip_k4_{rec_type}")  # K4: key bit 1 (persistent)
+        asm.addi(9, 9, 4)
+        asm.label(f"skip_k4_{rec_type}")
+        asm.jmp("next")
+    asm.label("invalid")
+    asm.addi(9, 9, 7)
+    asm.label("next")
+    asm.addi(1, 1, 1)
+    asm.blt(1, 3, "loop")           # loop-back
+    asm.halt()
+
+
+def _build_gsm(asm: Assembler) -> None:
+    """Two interleaved subframe paths over an AR speech signal."""
+    _prologue(asm, bound_offset=0)  # leave room for the lookahead
+    asm.li(9, 0)
+    asm.li(13, 32768)               # zero level of the signal encoding
+    asm.label("loop")
+    asm.ld(5, 1, 0)                 # sample i
+    asm.shri(6, 1, 5)
+    asm.andi(6, 6, 1)
+    asm.beqi(6, 0, "sub0")          # DSP: subframe dispatch (32-sample runs)
+    for sub in (1, 0):
+        asm.label(f"sub{sub}")
+        asm.blt(5, 13, f"skip_s{sub}")   # S: sign test (== previous T)
+        asm.addi(9, 9, 1)
+        asm.label(f"skip_s{sub}")
+        asm.ld(7, 1, 1)                  # lookahead sample i+1
+        asm.blt(7, 13, f"skip_t{sub}")   # T: next-sample sign test
+        asm.addi(9, 9, 2)
+        asm.label(f"skip_t{sub}")
+        asm.andi(8, 1, 1)
+        asm.bnei(8, 0, f"skip_f{sub}")   # F: frame half (alternates)
+        asm.addi(9, 9, 5)
+        asm.label(f"skip_f{sub}")
+        asm.jmp("next")
+    asm.label("next")
+    asm.addi(1, 1, 1)
+    asm.blt(1, 3, "loop")           # loop-back
+    asm.halt()
+
+
+def _build_g721(asm: Assembler) -> None:
+    """Single quantizer body: the 'already mostly predictable' benchmark."""
+    _prologue(asm)
+    asm.li(9, 0)
+    asm.li(12, 32738)               # low quantizer threshold
+    asm.li(13, 32768)               # mid
+    asm.li(14, 32798)               # high
+    asm.li(15, 0)                   # previous sample
+    asm.label("loop")
+    asm.ld(5, 1, 0)                 # level
+    asm.blt(5, 12, "skip_q1")       # Q1: below low threshold (~30%)
+    asm.addi(9, 9, 1)
+    asm.label("skip_q1")
+    asm.blt(5, 13, "skip_q2")       # Q2: below mid (implied by Q1 taken)
+    asm.addi(9, 9, 2)
+    asm.label("skip_q2")
+    asm.blt(5, 14, "skip_q3")       # Q3: below high (~70%)
+    asm.addi(9, 9, 3)
+    asm.label("skip_q3")
+    asm.bge(5, 15, "skip_d")        # D: rising sample (momentum)
+    asm.addi(9, 9, 4)
+    asm.label("skip_d")
+    asm.mov(15, 5)
+    asm.addi(1, 1, 1)
+    asm.blt(1, 3, "loop")           # loop-back
+    asm.halt()
+
+
+def _build_compress(asm: Assembler) -> None:
+    """LZW-ish: phase-drifting match loop + noisy hash probe, two
+    dictionary regions with separate code paths."""
+    _prologue(asm)
+    asm.li(9, 0)
+    asm.li(10, 0)                   # dictionary phase counter
+    asm.label("loop")
+    asm.ld(5, 1, 0)                 # next byte
+    asm.shri(13, 10, 5)
+    asm.andi(13, 13, 1)             # region flips every 32 symbols
+    asm.beqi(13, 0, "region0")      # DSP: region dispatch (long runs)
+    for region in (1, 0):
+        asm.label(f"region{region}")
+        # Match-extension inner loop; trip count 3..9 drifts with phase.
+        asm.shri(6, 10, 6)
+        asm.modi(6, 6, 7)
+        asm.addi(6, 6, 3)           # k = 3 + ((phase >> 6) mod 7)
+        asm.li(7, 0)
+        asm.label(f"inner{region}")
+        asm.addi(7, 7, 1)
+        asm.blt(7, 6, f"inner{region}")  # L: match loop (taken k-1 of k)
+        # Hash probe: pseudo-random in the byte value (taken ~25%).
+        asm.muli(8, 5, 2654435761)
+        asm.shri(8, 8, 7)
+        asm.andi(8, 8, 3)
+        asm.beqi(8, 0, f"hash_hit{region}")  # H: hash hit (noisy)
+        asm.addi(9, 9, 1)
+        asm.label(f"hash_hit{region}")
+        asm.bnei(5, 256, f"skip_x{region}")  # X: sentinel (always taken)
+        asm.addi(9, 9, 5)
+        asm.label(f"skip_x{region}")
+        asm.jmp("next")
+    asm.label("next")
+    asm.addi(10, 10, 1)
+    asm.addi(1, 1, 1)
+    asm.blt(1, 3, "loop")           # outer loop-back
+    asm.halt()
+
+
+def _build_gs(asm: Assembler) -> None:
+    """Token interpreter with two rendering contexts (toggled by stroke)."""
+    _prologue(asm)
+    asm.li(9, 0)
+    asm.li(14, 0)                   # context bit, toggled by stroke
+    asm.li(15, 1)
+    asm.label("loop")
+    asm.ld(5, 1, 0)                 # token
+    asm.beqi(14, 0, "ctx0")         # DSP: context dispatch (runs)
+    for ctx in (1, 0):
+        asm.label(f"ctx{ctx}")
+        asm.beqi(5, 0, f"op_moveto{ctx}")  # B0: dispatch moveto
+        asm.beqi(5, 1, f"op_lineto{ctx}")  # B1: dispatch lineto
+        asm.beqi(5, 2, f"op_stroke{ctx}")  # B2: dispatch stroke
+        asm.addi(9, 9, 1)                  # other operator
+        asm.jmp("next")
+        asm.label(f"op_moveto{ctx}")
+        asm.addi(9, 9, 2)
+        asm.jmp("next")
+        asm.label(f"op_lineto{ctx}")
+        asm.addi(9, 9, 3)
+        asm.jmp("next")
+        asm.label(f"op_stroke{ctx}")
+        asm.addi(9, 9, 4)
+        asm.xor(14, 14, 15)                # stroke toggles the context
+        asm.jmp("next")
+    asm.label("next")
+    asm.addi(1, 1, 1)
+    asm.blt(1, 3, "loop")           # loop-back
+    asm.halt()
+
+
+_BUILDERS: Dict[str, Callable[[Assembler], None]] = {
+    "compress": _build_compress,
+    "gs": _build_gs,
+    "gsm": _build_gsm,
+    "g721": _build_g721,
+    "ijpeg": _build_ijpeg,
+    "vortex": _build_vortex,
+}
+
+
+def build_program(
+    benchmark: str, variant: str, input_length: int
+) -> Tuple[Program, List[int]]:
+    """Assemble the benchmark and lay out its memory image
+    (``mem[0] = n``, input words at ``mem[1..n]``)."""
+    if benchmark not in _BUILDERS:
+        raise KeyError(
+            f"unknown benchmark {benchmark!r}; choose from {BRANCH_BENCHMARKS}"
+        )
+    asm = Assembler()
+    _BUILDERS[benchmark](asm)
+    program = asm.assemble()
+    words = input_words(benchmark, variant, input_length)
+    memory = [len(words)] + words
+    return program, memory
+
+
+def branch_trace(
+    benchmark: str, variant: str = "train", max_branches: int = 150_000
+) -> BranchTrace:
+    """Run the benchmark and return its conditional-branch trace.
+
+    The input is sized so the branch cap, not input exhaustion, ends the
+    run; traces are therefore exactly ``max_branches`` long.
+    """
+    # Every program executes at least one conditional branch per input
+    # word, so max_branches words always suffice.
+    program, memory = build_program(benchmark, variant, max_branches)
+    vm = MiniVM(program, memory, max_branches=max_branches)
+    return vm.run().branch_trace
+
+
+def branch_label_map(benchmark: str) -> Dict[int, str]:
+    """``{branch pc: source label}`` to make reports readable.
+
+    Each conditional branch is named after the label it jumps to, which in
+    the builders above identifies the test it performs.
+    """
+    asm = Assembler()
+    _BUILDERS[benchmark](asm)
+    program = asm.assemble()
+    from repro.workloads.vm import CODE_BASE, _BRANCH_OPS
+
+    index_to_label = {index: name for name, index in program.labels.items()}
+    names: Dict[int, str] = {}
+    for index, (op, _a, _b, c) in enumerate(program.instructions):
+        if op in _BRANCH_OPS:
+            target = index_to_label.get(c, f"@{c}")
+            names[CODE_BASE + 4 * index] = f"{benchmark}:{target}"
+    return names

@@ -1,0 +1,99 @@
+"""Trace record types shared by the workload generators and the harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class BranchRecord:
+    """One dynamic conditional branch: its static address and outcome."""
+
+    pc: int
+    taken: bool
+
+
+@dataclass
+class BranchTrace:
+    """A dynamic branch stream with cheap per-branch views.
+
+    Stored as parallel lists (much lighter than a list of objects at the
+    hundreds of thousands of records the experiments replay).
+    """
+
+    pcs: List[int] = field(default_factory=list)
+    outcomes: List[int] = field(default_factory=list)  # 0/1
+
+    def append(self, pc: int, taken: bool) -> None:
+        self.pcs.append(pc)
+        self.outcomes.append(1 if taken else 0)
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+    def __iter__(self) -> Iterator[Tuple[int, bool]]:
+        for pc, outcome in zip(self.pcs, self.outcomes):
+            yield pc, bool(outcome)
+
+    def records(self) -> Iterator[BranchRecord]:
+        for pc, outcome in zip(self.pcs, self.outcomes):
+            yield BranchRecord(pc=pc, taken=bool(outcome))
+
+    def static_branches(self) -> List[int]:
+        """Distinct branch addresses, by first appearance."""
+        seen: Dict[int, None] = {}
+        for pc in self.pcs:
+            if pc not in seen:
+                seen[pc] = None
+        return list(seen)
+
+    def per_branch_counts(self) -> Dict[int, Tuple[int, int]]:
+        """``{pc: (executions, takens)}`` over the whole trace."""
+        counts: Dict[int, List[int]] = {}
+        for pc, outcome in zip(self.pcs, self.outcomes):
+            entry = counts.setdefault(pc, [0, 0])
+            entry[0] += 1
+            entry[1] += outcome
+        return {pc: (execs, takens) for pc, (execs, takens) in counts.items()}
+
+    def outcome_bits(self) -> List[int]:
+        """The global outcome stream as 0/1 ints (feeds Markov models)."""
+        return list(self.outcomes)
+
+
+@dataclass(frozen=True)
+class LoadRecord:
+    """One dynamic load: static address and the value it returned."""
+
+    pc: int
+    value: int
+
+
+@dataclass
+class LoadTrace:
+    """A dynamic load-value stream."""
+
+    pcs: List[int] = field(default_factory=list)
+    values: List[int] = field(default_factory=list)
+
+    def append(self, pc: int, value: int) -> None:
+        self.pcs.append(pc)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        return iter(zip(self.pcs, self.values))
+
+    def records(self) -> Iterator[LoadRecord]:
+        for pc, value in zip(self.pcs, self.values):
+            yield LoadRecord(pc=pc, value=value)
+
+    def static_loads(self) -> List[int]:
+        seen: Dict[int, None] = {}
+        for pc in self.pcs:
+            if pc not in seen:
+                seen[pc] = None
+        return list(seen)

@@ -1,0 +1,139 @@
+"""Load-value streams for the value-prediction suite (Section 5).
+
+The paper profiles groff, gcc, li, go and perl -- programs chosen "because
+of their interesting confidence estimation behavior for value prediction".
+Without the Alpha binaries we synthesize per-benchmark load populations
+whose *value behaviour classes* follow what the value-prediction literature
+(Lipasti & Shen; Sazeides & Smith; Calder et al.) reports for these
+programs:
+
+``constant``  -- the value repeats (globals, config flags);
+``stride``    -- arithmetic sequences with occasional stride re-bases
+                 (array walks, induction variables);
+``pattern``   -- short repeating value cycles (pointer chasing over small
+                 structures; li is dominated by these), which a stride
+                 predictor misses at every wrap -- *periodically*, which is
+                 exactly the structure an FSM confidence estimator can
+                 learn and a saturating counter cannot;
+``chaotic``   -- effectively unpredictable values (hash lookups, input
+                 data; go is heavy on these).
+
+Each benchmark is a weighted population of static load sites interleaved
+by an inner/outer loop structure, so per-site access sequences are bursty
+like real code rather than round-robin.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.workloads.inputs import rng_for
+from repro.workloads.trace import LoadTrace
+
+VALUE_BENCHMARKS: Tuple[str, ...] = ("gcc", "go", "groff", "li", "perl")
+
+# Behaviour-class mix per benchmark: (constant, stride, pattern, chaotic).
+_MIXES: Dict[str, Tuple[float, float, float, float]] = {
+    "gcc": (0.15, 0.35, 0.30, 0.20),
+    "go": (0.10, 0.25, 0.20, 0.45),
+    "groff": (0.30, 0.35, 0.25, 0.10),
+    "li": (0.10, 0.20, 0.55, 0.15),
+    "perl": (0.15, 0.30, 0.35, 0.20),
+}
+
+_NUM_SITES = 96
+_LOAD_PC_BASE = 0x4000
+
+
+class _Site:
+    """One static load: produces its next value on each access."""
+
+    def __init__(self, pc: int, kind: str, rng: random.Random):
+        self.pc = pc
+        self.kind = kind
+        self._rng = rng
+        if kind == "constant":
+            self._value = rng.randrange(1 << 16)
+            self._change_prob = rng.choice([0.005, 0.02, 0.05])
+        elif kind == "stride":
+            # Array walks that re-base at a *fixed* per-site period: the
+            # resulting misses are periodic, the temporal structure a
+            # designed FSM can anticipate and a saturating counter cannot.
+            self._value = rng.randrange(1 << 16)
+            self._stride = rng.choice([1, 2, 4, 8, 16])
+            self._rebase_period = rng.choice([5, 6, 8, 10, 12, 16, 24])
+            self._count = 0
+        elif kind == "pattern":
+            # Short arithmetic runs with a jump at the wrap (structure
+            # walks): the two-delta predictor misses exactly once per run.
+            self._run_length = rng.randrange(3, 9)
+            self._stride = rng.choice([1, 2, 4, 8])
+            self._value = rng.randrange(1 << 16)
+            self._index = 0
+        elif kind == "chaotic":
+            pass
+        else:
+            raise ValueError(f"unknown site kind {kind!r}")
+
+    def next_value(self) -> int:
+        rng = self._rng
+        if self.kind == "constant":
+            if rng.random() < self._change_prob:
+                self._value = rng.randrange(1 << 16)
+            return self._value
+        if self.kind == "stride":
+            self._count += 1
+            if self._count % self._rebase_period == 0:
+                self._value = rng.randrange(1 << 16)
+            else:
+                self._value += self._stride
+            return self._value & 0xFFFF_FFFF
+        if self.kind == "pattern":
+            if self._index == self._run_length:
+                self._value = rng.randrange(1 << 16)
+                self._index = 0
+            else:
+                self._value += self._stride
+            self._index += 1
+            return self._value & 0xFFFF_FFFF
+        return rng.randrange(1 << 32)  # chaotic
+
+
+def _make_sites(benchmark: str, rng: random.Random) -> List[_Site]:
+    weights = _MIXES[benchmark]
+    kinds = ("constant", "stride", "pattern", "chaotic")
+    sites: List[_Site] = []
+    for i in range(_NUM_SITES):
+        kind = rng.choices(kinds, weights=weights)[0]
+        sites.append(_Site(pc=_LOAD_PC_BASE + 4 * i, kind=kind, rng=rng))
+    return sites
+
+
+def load_trace(
+    benchmark: str, variant: str = "train", num_loads: int = 120_000
+) -> LoadTrace:
+    """Generate the dynamic load stream for ``benchmark``.
+
+    Accesses are grouped into "loop bursts": an inner loop repeatedly
+    touches a small working set of sites before the program moves on,
+    mimicking real locality (and giving each site the consecutive accesses
+    a stride predictor needs to warm up).
+    """
+    if benchmark not in _MIXES:
+        raise KeyError(
+            f"unknown value benchmark {benchmark!r}; choose from {VALUE_BENCHMARKS}"
+        )
+    rng = rng_for(benchmark, variant)
+    sites = _make_sites(benchmark, rng)
+    trace = LoadTrace()
+    while len(trace) < num_loads:
+        working_set = rng.sample(sites, rng.randrange(1, 4))
+        iterations = rng.randrange(8, 60)
+        for _ in range(iterations):
+            for site in working_set:
+                trace.append(site.pc, site.next_value())
+                if len(trace) >= num_loads:
+                    return trace
+    return trace

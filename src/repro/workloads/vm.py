@@ -1,0 +1,388 @@
+"""MiniVM: a small register virtual machine with a branch-tracing hook.
+
+The reproduction's substitute for an instrumented Alpha binary (the paper's
+ATOM profiles): benchmark programs are written in a tiny assembly language,
+executed over concrete input data, and every conditional branch is recorded
+as ``(pc, taken)``.  Because outcomes come from real data-dependent control
+flow, the global correlation the paper's custom predictors exploit arises
+the same way it does in native programs -- one branch tests data that an
+earlier branch (partially) determined.
+
+Machine model
+-------------
+* 16 general-purpose integer registers ``r0..r15``;
+* a flat word-addressed data memory (Python list of ints);
+* a call stack separate from data memory (so programs cannot smash it);
+* instructions occupy 4 address units; the code segment starts at
+  ``CODE_BASE`` so branch PCs look like text addresses.
+
+Loads can optionally be recorded too (``record_loads=True``), giving the
+``(pc, value)`` streams used for value-prediction experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.workloads.trace import BranchTrace, LoadTrace
+
+CODE_BASE = 0x1000
+NUM_REGS = 16
+
+
+class VMError(Exception):
+    """Raised for assembly errors and runtime faults."""
+
+
+# Opcodes (dense ints keep the dispatch loop fast).
+(
+    OP_LI, OP_MOV, OP_ADD, OP_SUB, OP_MUL, OP_DIV, OP_MOD, OP_AND, OP_OR,
+    OP_XOR, OP_SHL, OP_SHR, OP_ADDI, OP_MULI, OP_MODI, OP_ANDI, OP_SHRI,
+    OP_SHLI, OP_LD, OP_ST, OP_BEQ, OP_BNE, OP_BLT, OP_BGE, OP_BEQI,
+    OP_BNEI, OP_BLTI, OP_BGEI, OP_JMP, OP_CALL, OP_RET, OP_HALT,
+) = range(32)
+
+_BRANCH_OPS = frozenset(
+    {OP_BEQ, OP_BNE, OP_BLT, OP_BGE, OP_BEQI, OP_BNEI, OP_BLTI, OP_BGEI}
+)
+
+_OP_NAMES = {
+    OP_LI: "li", OP_MOV: "mov", OP_ADD: "add", OP_SUB: "sub", OP_MUL: "mul",
+    OP_DIV: "div", OP_MOD: "mod", OP_AND: "and", OP_OR: "or", OP_XOR: "xor",
+    OP_SHL: "shl", OP_SHR: "shr", OP_ADDI: "addi", OP_MULI: "muli",
+    OP_MODI: "modi", OP_ANDI: "andi", OP_SHRI: "shri", OP_SHLI: "shli",
+    OP_LD: "ld", OP_ST: "st", OP_BEQ: "beq", OP_BNE: "bne", OP_BLT: "blt",
+    OP_BGE: "bge", OP_BEQI: "beqi", OP_BNEI: "bnei", OP_BLTI: "blti",
+    OP_BGEI: "bgei", OP_JMP: "jmp", OP_CALL: "call", OP_RET: "ret",
+    OP_HALT: "halt",
+}
+
+
+@dataclass(frozen=True)
+class Program:
+    """Assembled code ready to run."""
+
+    instructions: Tuple[Tuple[int, int, int, int], ...]
+    labels: Dict[str, int]
+
+    def pc_of_label(self, label: str) -> int:
+        """The text address of ``label`` (useful for naming branches)."""
+        return CODE_BASE + 4 * self.labels[label]
+
+    def disassemble(self) -> str:
+        by_index: Dict[int, List[str]] = {}
+        for name, index in self.labels.items():
+            by_index.setdefault(index, []).append(name)
+        lines: List[str] = []
+        for index, (op, a, b, c) in enumerate(self.instructions):
+            for name in sorted(by_index.get(index, [])):
+                lines.append(f"{name}:")
+            lines.append(
+                f"  {CODE_BASE + 4 * index:#06x}  {_OP_NAMES[op]} {a}, {b}, {c}"
+            )
+        return "\n".join(lines)
+
+
+class Assembler:
+    """Builds a :class:`Program` instruction by instruction.
+
+    Register operands are integers 0-15; branch/jump targets are string
+    labels, resolved at :meth:`assemble`.  The emit methods mirror the
+    opcode list (``asm.add(rd, rs, rt)``, ``asm.beq(rs, rt, "loop")``...).
+    """
+
+    def __init__(self) -> None:
+        self._instructions: List[Tuple[int, int, Union[int, str], Union[int, str]]] = []
+        self._labels: Dict[str, int] = {}
+
+    # -- layout --------------------------------------------------------
+    def label(self, name: str) -> None:
+        if name in self._labels:
+            raise VMError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instructions)
+
+    def _emit(self, op: int, a: int = 0, b=0, c=0) -> None:
+        self._instructions.append((op, a, b, c))
+
+    @staticmethod
+    def _check_reg(reg: int) -> int:
+        if not 0 <= reg < NUM_REGS:
+            raise VMError(f"register r{reg} out of range")
+        return reg
+
+    # -- ALU -----------------------------------------------------------
+    def li(self, rd: int, imm: int) -> None:
+        self._emit(OP_LI, self._check_reg(rd), imm)
+
+    def mov(self, rd: int, rs: int) -> None:
+        self._emit(OP_MOV, self._check_reg(rd), self._check_reg(rs))
+
+    def add(self, rd: int, rs: int, rt: int) -> None:
+        self._emit(OP_ADD, self._check_reg(rd), self._check_reg(rs), self._check_reg(rt))
+
+    def sub(self, rd: int, rs: int, rt: int) -> None:
+        self._emit(OP_SUB, self._check_reg(rd), self._check_reg(rs), self._check_reg(rt))
+
+    def mul(self, rd: int, rs: int, rt: int) -> None:
+        self._emit(OP_MUL, self._check_reg(rd), self._check_reg(rs), self._check_reg(rt))
+
+    def div(self, rd: int, rs: int, rt: int) -> None:
+        self._emit(OP_DIV, self._check_reg(rd), self._check_reg(rs), self._check_reg(rt))
+
+    def mod(self, rd: int, rs: int, rt: int) -> None:
+        self._emit(OP_MOD, self._check_reg(rd), self._check_reg(rs), self._check_reg(rt))
+
+    def and_(self, rd: int, rs: int, rt: int) -> None:
+        self._emit(OP_AND, self._check_reg(rd), self._check_reg(rs), self._check_reg(rt))
+
+    def or_(self, rd: int, rs: int, rt: int) -> None:
+        self._emit(OP_OR, self._check_reg(rd), self._check_reg(rs), self._check_reg(rt))
+
+    def xor(self, rd: int, rs: int, rt: int) -> None:
+        self._emit(OP_XOR, self._check_reg(rd), self._check_reg(rs), self._check_reg(rt))
+
+    def shl(self, rd: int, rs: int, rt: int) -> None:
+        self._emit(OP_SHL, self._check_reg(rd), self._check_reg(rs), self._check_reg(rt))
+
+    def shr(self, rd: int, rs: int, rt: int) -> None:
+        self._emit(OP_SHR, self._check_reg(rd), self._check_reg(rs), self._check_reg(rt))
+
+    def addi(self, rd: int, rs: int, imm: int) -> None:
+        self._emit(OP_ADDI, self._check_reg(rd), self._check_reg(rs), imm)
+
+    def muli(self, rd: int, rs: int, imm: int) -> None:
+        self._emit(OP_MULI, self._check_reg(rd), self._check_reg(rs), imm)
+
+    def modi(self, rd: int, rs: int, imm: int) -> None:
+        if imm == 0:
+            raise VMError("modulo by zero immediate")
+        self._emit(OP_MODI, self._check_reg(rd), self._check_reg(rs), imm)
+
+    def andi(self, rd: int, rs: int, imm: int) -> None:
+        self._emit(OP_ANDI, self._check_reg(rd), self._check_reg(rs), imm)
+
+    def shri(self, rd: int, rs: int, imm: int) -> None:
+        self._emit(OP_SHRI, self._check_reg(rd), self._check_reg(rs), imm)
+
+    def shli(self, rd: int, rs: int, imm: int) -> None:
+        self._emit(OP_SHLI, self._check_reg(rd), self._check_reg(rs), imm)
+
+    # -- memory ---------------------------------------------------------
+    def ld(self, rd: int, rs: int, offset: int = 0) -> None:
+        self._emit(OP_LD, self._check_reg(rd), self._check_reg(rs), offset)
+
+    def st(self, rs: int, rt: int, offset: int = 0) -> None:
+        self._emit(OP_ST, self._check_reg(rs), self._check_reg(rt), offset)
+
+    # -- control --------------------------------------------------------
+    def beq(self, rs: int, rt: int, target: str) -> None:
+        self._emit(OP_BEQ, self._check_reg(rs), self._check_reg(rt), target)
+
+    def bne(self, rs: int, rt: int, target: str) -> None:
+        self._emit(OP_BNE, self._check_reg(rs), self._check_reg(rt), target)
+
+    def blt(self, rs: int, rt: int, target: str) -> None:
+        self._emit(OP_BLT, self._check_reg(rs), self._check_reg(rt), target)
+
+    def bge(self, rs: int, rt: int, target: str) -> None:
+        self._emit(OP_BGE, self._check_reg(rs), self._check_reg(rt), target)
+
+    def beqi(self, rs: int, imm: int, target: str) -> None:
+        self._emit(OP_BEQI, self._check_reg(rs), imm, target)
+
+    def bnei(self, rs: int, imm: int, target: str) -> None:
+        self._emit(OP_BNEI, self._check_reg(rs), imm, target)
+
+    def blti(self, rs: int, imm: int, target: str) -> None:
+        self._emit(OP_BLTI, self._check_reg(rs), imm, target)
+
+    def bgei(self, rs: int, imm: int, target: str) -> None:
+        self._emit(OP_BGEI, self._check_reg(rs), imm, target)
+
+    def jmp(self, target: str) -> None:
+        self._emit(OP_JMP, 0, 0, target)
+
+    def call(self, target: str) -> None:
+        self._emit(OP_CALL, 0, 0, target)
+
+    def ret(self) -> None:
+        self._emit(OP_RET)
+
+    def halt(self) -> None:
+        self._emit(OP_HALT)
+
+    # -- finish ----------------------------------------------------------
+    def assemble(self) -> Program:
+        resolved: List[Tuple[int, int, int, int]] = []
+        for op, a, b, c in self._instructions:
+            if op in _BRANCH_OPS or op in (OP_JMP, OP_CALL):
+                target = c
+                if not isinstance(target, str):
+                    raise VMError(f"{_OP_NAMES[op]} needs a label target")
+                if target not in self._labels:
+                    raise VMError(f"undefined label {target!r}")
+                c = self._labels[target]
+            resolved.append((op, a, int(b) if not isinstance(b, str) else 0, int(c)))
+        return Program(instructions=tuple(resolved), labels=dict(self._labels))
+
+
+@dataclass
+class RunResult:
+    """Outcome of one MiniVM execution."""
+
+    steps: int
+    branch_trace: BranchTrace
+    load_trace: Optional[LoadTrace]
+    registers: List[int]
+    memory: List[int]
+
+
+class MiniVM:
+    """The interpreter.  Deterministic given (program, memory image)."""
+
+    def __init__(
+        self,
+        program: Program,
+        memory: Sequence[int],
+        record_loads: bool = False,
+        max_steps: int = 50_000_000,
+        max_branches: Optional[int] = None,
+    ):
+        self.program = program
+        self.memory: List[int] = list(memory)
+        self.record_loads = record_loads
+        self.max_steps = max_steps
+        self.max_branches = max_branches
+
+    def run(self) -> RunResult:
+        """Execute until HALT (or a trace/step limit is hit)."""
+        code = self.program.instructions
+        mem = self.memory
+        regs = [0] * NUM_REGS
+        stack: List[int] = []
+        branch_trace = BranchTrace()
+        b_pcs = branch_trace.pcs
+        b_out = branch_trace.outcomes
+        load_trace = LoadTrace() if self.record_loads else None
+        pc = 0
+        steps = 0
+        n_code = len(code)
+        max_steps = self.max_steps
+        max_branches = self.max_branches
+        while True:
+            if steps >= max_steps:
+                raise VMError(f"exceeded max_steps={max_steps}")
+            if not 0 <= pc < n_code:
+                raise VMError(f"pc {pc} outside code (len {n_code})")
+            op, a, b, c = code[pc]
+            steps += 1
+            if op == OP_HALT:
+                break
+            if op < OP_LD:  # ALU group
+                if op == OP_LI:
+                    regs[a] = b
+                elif op == OP_MOV:
+                    regs[a] = regs[b]
+                elif op == OP_ADD:
+                    regs[a] = regs[b] + regs[c]
+                elif op == OP_SUB:
+                    regs[a] = regs[b] - regs[c]
+                elif op == OP_MUL:
+                    regs[a] = regs[b] * regs[c]
+                elif op == OP_DIV:
+                    divisor = regs[c]
+                    if divisor == 0:
+                        raise VMError(f"division by zero at pc {pc}")
+                    regs[a] = regs[b] // divisor
+                elif op == OP_MOD:
+                    divisor = regs[c]
+                    if divisor == 0:
+                        raise VMError(f"modulo by zero at pc {pc}")
+                    regs[a] = regs[b] % divisor
+                elif op == OP_AND:
+                    regs[a] = regs[b] & regs[c]
+                elif op == OP_OR:
+                    regs[a] = regs[b] | regs[c]
+                elif op == OP_XOR:
+                    regs[a] = regs[b] ^ regs[c]
+                elif op == OP_SHL:
+                    regs[a] = regs[b] << regs[c]
+                elif op == OP_SHR:
+                    regs[a] = regs[b] >> regs[c]
+                elif op == OP_ADDI:
+                    regs[a] = regs[b] + c
+                elif op == OP_MULI:
+                    regs[a] = regs[b] * c
+                elif op == OP_MODI:
+                    regs[a] = regs[b] % c
+                elif op == OP_ANDI:
+                    regs[a] = regs[b] & c
+                elif op == OP_SHRI:
+                    regs[a] = regs[b] >> c
+                else:  # OP_SHLI
+                    regs[a] = regs[b] << c
+                pc += 1
+            elif op == OP_LD:
+                address = regs[b] + c
+                if not 0 <= address < len(mem):
+                    raise VMError(f"load from {address} out of bounds at pc {pc}")
+                value = mem[address]
+                regs[a] = value
+                if load_trace is not None:
+                    load_trace.append(CODE_BASE + 4 * pc, value)
+                pc += 1
+            elif op == OP_ST:
+                address = regs[b] + c
+                if not 0 <= address < len(mem):
+                    raise VMError(f"store to {address} out of bounds at pc {pc}")
+                mem[address] = regs[a]
+                pc += 1
+            elif op in (OP_BEQ, OP_BNE, OP_BLT, OP_BGE):
+                left, right = regs[a], regs[b]
+                if op == OP_BEQ:
+                    taken = left == right
+                elif op == OP_BNE:
+                    taken = left != right
+                elif op == OP_BLT:
+                    taken = left < right
+                else:
+                    taken = left >= right
+                b_pcs.append(CODE_BASE + 4 * pc)
+                b_out.append(1 if taken else 0)
+                pc = c if taken else pc + 1
+                if max_branches is not None and len(b_pcs) >= max_branches:
+                    break
+            elif op in (OP_BEQI, OP_BNEI, OP_BLTI, OP_BGEI):
+                left = regs[a]
+                if op == OP_BEQI:
+                    taken = left == b
+                elif op == OP_BNEI:
+                    taken = left != b
+                elif op == OP_BLTI:
+                    taken = left < b
+                else:
+                    taken = left >= b
+                b_pcs.append(CODE_BASE + 4 * pc)
+                b_out.append(1 if taken else 0)
+                pc = c if taken else pc + 1
+                if max_branches is not None and len(b_pcs) >= max_branches:
+                    break
+            elif op == OP_JMP:
+                pc = c
+            elif op == OP_CALL:
+                stack.append(pc + 1)
+                pc = c
+            elif op == OP_RET:
+                if not stack:
+                    raise VMError(f"return with empty call stack at pc {pc}")
+                pc = stack.pop()
+            else:
+                raise VMError(f"unknown opcode {op} at pc {pc}")
+        return RunResult(
+            steps=steps,
+            branch_trace=branch_trace,
+            load_trace=load_trace,
+            registers=regs,
+            memory=mem,
+        )

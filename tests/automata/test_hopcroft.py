@@ -1,0 +1,138 @@
+"""Tests for output-aware Hopcroft minimization."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.automata import regex as rx
+from repro.automata.dfa import subset_construct
+from repro.automata.hopcroft import hopcroft_minimize
+from repro.automata.moore import MooreMachine
+from repro.automata.nfa import thompson_construct
+
+
+def machine_from(pattern: str) -> MooreMachine:
+    return MooreMachine.from_dfa(
+        subset_construct(
+            thompson_construct(rx.parse_regex(pattern), alphabet=("0", "1"))
+        )
+    )
+
+
+def random_machine(rng: random.Random, n: int) -> MooreMachine:
+    return MooreMachine(
+        alphabet=("0", "1"),
+        start=rng.randrange(n),
+        outputs=tuple(rng.randrange(2) for _ in range(n)),
+        transitions=tuple(
+            (rng.randrange(n), rng.randrange(n)) for _ in range(n)
+        ),
+    )
+
+
+def all_strings(max_len):
+    yield ""
+    frontier = [""]
+    for _ in range(max_len):
+        frontier = [s + c for s in frontier for c in "01"]
+        yield from frontier
+
+
+class TestBehaviourPreservation:
+    @pytest.mark.parametrize(
+        "pattern",
+        ["(0|1)*1", "(0|1)*((0|1)1|1(0|1))", "(01)*", "0*1*", "1(0|1)(0|1)"],
+    )
+    def test_outputs_preserved(self, pattern):
+        machine = machine_from(pattern)
+        minimized = hopcroft_minimize(machine)
+        for text in all_strings(7):
+            assert machine.output_after(text) == minimized.output_after(text)
+
+    def test_never_grows(self):
+        machine = machine_from("(0|1)*((0|1)1|1(0|1))")
+        assert hopcroft_minimize(machine).num_states <= machine.num_states
+
+    def test_removes_unreachable(self):
+        machine = MooreMachine(
+            alphabet=("0", "1"),
+            start=0,
+            outputs=(0, 1),
+            transitions=((0, 0), (1, 1)),  # state 1 unreachable
+        )
+        assert hopcroft_minimize(machine).num_states == 1
+
+    def test_merges_equivalent_states(self):
+        # Two states with identical outputs/successors must merge.
+        machine = MooreMachine(
+            alphabet=("0", "1"),
+            start=0,
+            outputs=(0, 1, 1),
+            transitions=((1, 2), (0, 0), (0, 0)),
+        )
+        assert hopcroft_minimize(machine).num_states == 2
+
+
+class TestMinimality:
+    @pytest.mark.parametrize(
+        "pattern", ["(0|1)*1", "(01)*", "(0|1)*((0|1)1|1(0|1))"]
+    )
+    def test_no_equivalent_pair_remains(self, pattern):
+        minimized = hopcroft_minimize(machine_from(pattern))
+        # Brute-force distinguishability over strings up to a generous bound.
+        for a, b in itertools.combinations(range(minimized.num_states), 2):
+            distinguishable = any(
+                minimized.outputs[minimized.run(text, start=a)]
+                != minimized.outputs[minimized.run(text, start=b)]
+                for text in all_strings(minimized.num_states + 1)
+            )
+            assert distinguishable, f"states {a} and {b} are equivalent"
+
+    def test_idempotent(self):
+        machine = machine_from("(0|1)*((0|1)1|1(0|1))")
+        once = hopcroft_minimize(machine)
+        twice = hopcroft_minimize(once)
+        assert once.num_states == twice.num_states
+        assert once.transitions == twice.transitions
+
+    def test_canonical_numbering(self):
+        machine = machine_from("(01)*")
+        minimized = hopcroft_minimize(machine)
+        assert minimized.start == 0
+
+
+class TestMooreAwareness:
+    def test_distinguishes_by_output_not_acceptance(self):
+        # Three states, outputs 0/1/0; the two output-0 states differ in
+        # where they go, but both reach the same places: they must merge.
+        machine = MooreMachine(
+            alphabet=("0", "1"),
+            start=0,
+            outputs=(0, 1, 0),
+            transitions=((1, 1), (2, 2), (1, 1)),
+        )
+        minimized = hopcroft_minimize(machine)
+        assert minimized.num_states == 2
+
+    def test_all_states_same_output_collapse(self):
+        machine = MooreMachine(
+            alphabet=("0", "1"),
+            start=0,
+            outputs=(1, 1, 1),
+            transitions=((1, 2), (2, 0), (0, 1)),
+        )
+        assert hopcroft_minimize(machine).num_states == 1
+
+
+@given(st.integers(1, 12), st.integers(0, 2**32 - 1))
+def test_property_equivalence_on_random_machines(n, seed):
+    rng = random.Random(seed)
+    machine = random_machine(rng, n)
+    minimized = hopcroft_minimize(machine)
+    assert minimized.num_states <= n
+    for _ in range(30):
+        text = "".join(rng.choice("01") for _ in range(rng.randrange(0, 12)))
+        assert machine.output_after(text) == minimized.output_after(text)

@@ -1,0 +1,149 @@
+"""Tests for Moore machines."""
+
+import pytest
+
+from repro.automata import regex as rx
+from repro.automata.dfa import subset_construct
+from repro.automata.moore import MooreMachine
+from repro.automata.nfa import thompson_construct
+
+
+def two_state_toggle():
+    """s0 <-> s1 on any input; outputs 0, 1."""
+    return MooreMachine(
+        alphabet=("0", "1"),
+        start=0,
+        outputs=(0, 1),
+        transitions=((1, 1), (0, 0)),
+    )
+
+
+class TestValidation:
+    def test_output_count_checked(self):
+        with pytest.raises(ValueError):
+            MooreMachine(
+                alphabet=("0", "1"), start=0, outputs=(0,), transitions=((0, 0), (1, 1))
+            )
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            MooreMachine(alphabet=("0", "1"), start=0, outputs=(0,), transitions=((0,),))
+
+    def test_successor_range_checked(self):
+        with pytest.raises(ValueError):
+            MooreMachine(alphabet=("0", "1"), start=0, outputs=(0,), transitions=((0, 7),))
+
+    def test_start_range_checked(self):
+        with pytest.raises(ValueError):
+            MooreMachine(alphabet=("0", "1"), start=2, outputs=(0,), transitions=((0, 0),))
+
+
+class TestConversions:
+    def test_from_dfa_outputs_track_accepts(self):
+        dfa = subset_construct(
+            thompson_construct(rx.parse_regex("(0|1)*1"), alphabet=("0", "1"))
+        )
+        moore = MooreMachine.from_dfa(dfa)
+        for state in range(moore.num_states):
+            assert moore.outputs[state] == (1 if state in dfa.accepts else 0)
+
+    def test_roundtrip_dfa(self):
+        machine = two_state_toggle()
+        dfa = machine.to_dfa()
+        back = MooreMachine.from_dfa(dfa)
+        assert back.outputs == machine.outputs
+        assert back.transitions == machine.transitions
+
+
+class TestSimulation:
+    def test_step(self):
+        machine = two_state_toggle()
+        assert machine.step(0, "0") == 1
+        assert machine.step(1, "1") == 0
+
+    def test_step_bit(self):
+        machine = two_state_toggle()
+        assert machine.step_bit(0, 1) == 1
+
+    def test_run_and_output_after(self):
+        machine = two_state_toggle()
+        assert machine.run("000") == 1
+        assert machine.output_after("000") == 1
+        assert machine.output_after("00") == 0
+
+    def test_run_from_custom_start(self):
+        machine = two_state_toggle()
+        assert machine.run("0", start=1) == 0
+
+    def test_trace_outputs(self):
+        machine = two_state_toggle()
+        assert machine.trace_outputs("000") == [1, 0, 1]
+
+    def test_symbol_index_unknown(self):
+        with pytest.raises(KeyError):
+            two_state_toggle().symbol_index("2")
+
+
+class TestTransformation:
+    def test_restrict_to_renumbers(self):
+        machine = MooreMachine(
+            alphabet=("0", "1"),
+            start=0,
+            outputs=(0, 1, 0),
+            transitions=((1, 1), (2, 2), (1, 1)),
+        )
+        restricted = machine.restrict_to([1, 2], start=1)
+        assert restricted.num_states == 2
+        assert restricted.start == 0
+        assert restricted.outputs == (1, 0)
+        assert restricted.transitions == ((1, 1), (0, 0))
+
+    def test_restrict_to_requires_closure(self):
+        machine = MooreMachine(
+            alphabet=("0", "1"),
+            start=0,
+            outputs=(0, 1),
+            transitions=((1, 1), (0, 0)),
+        )
+        with pytest.raises(ValueError):
+            machine.restrict_to([0], start=0)
+
+    def test_restrict_start_must_be_kept(self):
+        machine = two_state_toggle()
+        with pytest.raises(ValueError):
+            machine.restrict_to([0, 1], start=5)
+
+    def test_with_start(self):
+        machine = two_state_toggle().with_start(1)
+        assert machine.start == 1
+        assert machine.outputs[machine.start] == 1
+        assert machine.output_after("") == 1
+
+
+class TestExport:
+    def test_dot_structure(self):
+        dot = two_state_toggle().to_dot("toggle")
+        assert dot.startswith("digraph toggle {")
+        assert dot.rstrip().endswith("}")
+        assert 's0 [label="s0\\n[0]"]' in dot
+        assert 's1 [label="s1\\n[1]"]' in dot
+        assert "init -> s0" in dot
+
+    def test_dot_merges_parallel_edges(self):
+        dot = two_state_toggle().to_dot()
+        assert 'label="0,1"' in dot
+
+    def test_describe_lists_all_states(self):
+        text = two_state_toggle().describe()
+        assert "s0 [0]" in text
+        assert "s1 [1]" in text
+
+    def test_reachable_states(self):
+        machine = MooreMachine(
+            alphabet=("0", "1"),
+            start=0,
+            outputs=(0, 0, 1),
+            transitions=((0, 0), (2, 2), (1, 1)),
+        )
+        assert machine.reachable_states() == {0}
+        assert machine.reachable_states([1]) == {1, 2}

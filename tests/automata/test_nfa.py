@@ -1,0 +1,128 @@
+"""Tests for Thompson construction and NFA simulation.
+
+The oracle for language questions is Python's ``re`` module: our regex
+concrete syntax maps directly onto Python syntax for the binary alphabet.
+"""
+
+import re
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.automata import regex as rx
+from repro.automata.nfa import EPSILON, NFA, thompson_construct
+
+
+def to_python_re(text: str) -> str:
+    return "^(?:" + text.replace("{", "(").replace("}", ")").replace(".", "[01]") + ")$"
+
+
+REGEX_CASES = [
+    "0",
+    "1",
+    "01",
+    "0|1",
+    "(0|1)*",
+    "1(0|1)",
+    "(0|1)*((0|1)1|1(0|1))",
+    "(01)*",
+    "0*1*",
+    "(0|1)(0|1)(0|1)",
+]
+
+
+def all_strings(max_len):
+    yield ""
+    frontier = [""]
+    for _ in range(max_len):
+        frontier = [s + c for s in frontier for c in "01"]
+        yield from frontier
+
+
+class TestThompson:
+    def test_symbol(self):
+        nfa = thompson_construct(rx.Symbol("1"), alphabet=("0", "1"))
+        assert nfa.accepts_string("1")
+        assert not nfa.accepts_string("0")
+        assert not nfa.accepts_string("")
+        assert not nfa.accepts_string("11")
+
+    def test_epsilon(self):
+        nfa = thompson_construct(rx.Epsilon(), alphabet=("0", "1"))
+        assert nfa.accepts_string("")
+        assert not nfa.accepts_string("0")
+
+    def test_empty_set(self):
+        nfa = thompson_construct(rx.EmptySet(), alphabet=("0", "1"))
+        for text in all_strings(3):
+            assert not nfa.accepts_string(text)
+
+    def test_alternation(self):
+        nfa = thompson_construct(rx.parse_regex("0|1"))
+        assert nfa.accepts_string("0")
+        assert nfa.accepts_string("1")
+        assert not nfa.accepts_string("01")
+
+    def test_star(self):
+        nfa = thompson_construct(rx.parse_regex("1*"), alphabet=("0", "1"))
+        assert nfa.accepts_string("")
+        assert nfa.accepts_string("111")
+        assert not nfa.accepts_string("10")
+
+    def test_alphabet_defaults_to_used_symbols(self):
+        nfa = thompson_construct(rx.Symbol("1"))
+        assert nfa.alphabet == ("1",)
+
+    def test_symbol_outside_alphabet_rejected(self):
+        nfa = thompson_construct(rx.Symbol("1"))
+        assert not nfa.accepts_string("0")
+
+    def test_linear_size(self):
+        # Thompson machines are linear in the regex size.
+        node = rx.parse_regex("(0|1)*((0|1)1|1(0|1))")
+        nfa = thompson_construct(node)
+        assert nfa.num_states < 40
+
+    @pytest.mark.parametrize("pattern", REGEX_CASES)
+    def test_against_python_re(self, pattern):
+        compiled = re.compile(to_python_re(pattern))
+        nfa = thompson_construct(rx.parse_regex(pattern), alphabet=("0", "1"))
+        for text in all_strings(6):
+            assert nfa.accepts_string(text) == bool(compiled.match(text)), (
+                pattern,
+                text,
+            )
+
+
+class TestEpsilonClosure:
+    def test_closure_contains_seed(self):
+        nfa = thompson_construct(rx.parse_regex("0|1"))
+        closure = nfa.epsilon_closure({nfa.start})
+        assert nfa.start in closure
+
+    def test_closure_is_idempotent(self):
+        nfa = thompson_construct(rx.parse_regex("(0|1)*"))
+        once = nfa.epsilon_closure({nfa.start})
+        twice = nfa.epsilon_closure(once)
+        assert once == twice
+
+    def test_step_applies_closure(self):
+        nfa = thompson_construct(rx.parse_regex("(0)*"), alphabet=("0", "1"))
+        state_set = nfa.epsilon_closure({nfa.start})
+        after = nfa.step(state_set, "0")
+        # After one 0 the machine must again be ready to accept.
+        assert after & nfa.accepts
+
+
+@given(st.lists(st.sampled_from(REGEX_CASES), min_size=1, max_size=3), st.text("01", max_size=8))
+def test_property_alternation_is_union(patterns, text):
+    """The NFA of an alternation accepts iff any branch accepts."""
+    node = rx.alternate_all([rx.parse_regex(p) for p in patterns])
+    union_nfa = thompson_construct(node, alphabet=("0", "1"))
+    branch_nfas = [
+        thompson_construct(rx.parse_regex(p), alphabet=("0", "1"))
+        for p in patterns
+    ]
+    expected = any(n.accepts_string(text) for n in branch_nfas)
+    assert union_nfa.accepts_string(text) == expected

@@ -1,0 +1,128 @@
+"""Tests for the regex AST and parser."""
+
+import pytest
+
+from repro.automata import regex as rx
+
+
+class TestNodes:
+    def test_symbol_str(self):
+        assert str(rx.Symbol("0")) == "0"
+
+    def test_symbol_must_be_single_char(self):
+        with pytest.raises(ValueError):
+            rx.Symbol("01")
+
+    def test_epsilon_and_empty(self):
+        assert str(rx.Epsilon()) == "ε"
+        assert str(rx.EmptySet()) == "∅"
+
+    def test_concat_str(self):
+        node = rx.literal("101")
+        assert str(node) == "101"
+
+    def test_concat_needs_two_parts(self):
+        with pytest.raises(ValueError):
+            rx.Concat((rx.Symbol("0"),))
+
+    def test_alternate_str_parenthesized_in_concat(self):
+        node = rx.Concat((rx.any_symbol(), rx.Symbol("1")))
+        assert str(node) == "(0|1)1"
+
+    def test_alternate_needs_two_options(self):
+        with pytest.raises(ValueError):
+            rx.Alternate((rx.Symbol("0"),))
+
+    def test_star_str(self):
+        assert str(rx.Star(rx.any_symbol())) == "(0|1)*"
+
+    def test_operator_sugar(self):
+        node = (rx.Symbol("0") | rx.Symbol("1")) + rx.Symbol("1")
+        assert str(node) == "(0|1)1"
+        assert str(rx.Symbol("1").star()) == "1*"
+
+
+class TestHelpers:
+    def test_any_symbol_binary(self):
+        node = rx.any_symbol()
+        assert isinstance(node, rx.Alternate)
+        assert {str(o) for o in node.options} == {"0", "1"}
+
+    def test_any_symbol_unary_alphabet(self):
+        assert rx.any_symbol(("a",)) == rx.Symbol("a")
+
+    def test_literal_empty(self):
+        assert rx.literal("") == rx.Epsilon()
+
+    def test_literal_single(self):
+        assert rx.literal("1") == rx.Symbol("1")
+
+    def test_concat_all_flattens_epsilon(self):
+        assert rx.concat_all([rx.Epsilon(), rx.Symbol("1")]) == rx.Symbol("1")
+
+    def test_concat_all_empty(self):
+        assert rx.concat_all([]) == rx.Epsilon()
+
+    def test_alternate_all_flattens_empty_set(self):
+        assert rx.alternate_all([rx.EmptySet(), rx.Symbol("1")]) == rx.Symbol("1")
+
+    def test_alternate_all_empty(self):
+        assert rx.alternate_all([]) == rx.EmptySet()
+
+    def test_alphabet_of(self):
+        node = rx.parse_regex("(0|1)*101")
+        assert rx.alphabet_of(node) == ("0", "1")
+
+
+class TestParser:
+    def test_single_symbol(self):
+        assert rx.parse_regex("1") == rx.Symbol("1")
+
+    def test_concat(self):
+        assert rx.parse_regex("10") == rx.literal("10")
+
+    def test_alternation(self):
+        node = rx.parse_regex("0|1")
+        assert isinstance(node, rx.Alternate)
+
+    def test_star(self):
+        node = rx.parse_regex("1*")
+        assert node == rx.Star(rx.Symbol("1"))
+
+    def test_dot_is_any(self):
+        assert rx.parse_regex(".") == rx.any_symbol()
+
+    def test_parens_and_braces_equivalent(self):
+        assert rx.parse_regex("(0|1)1") == rx.parse_regex("{0|1}1")
+
+    def test_paper_expression(self):
+        # Section 4.5: {0|1} { 1{0|1} | {0|1}1 }
+        node = rx.parse_regex("{0|1}{1{0|1}|{0|1}1}")
+        assert isinstance(node, rx.Concat)
+
+    def test_whitespace_ignored(self):
+        assert rx.parse_regex("( 0 | 1 ) 1") == rx.parse_regex("(0|1)1")
+
+    def test_mismatched_brackets(self):
+        with pytest.raises(ValueError):
+            rx.parse_regex("(0|1}")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ValueError):
+            rx.parse_regex("0)")
+
+    def test_bad_character(self):
+        with pytest.raises(ValueError):
+            rx.parse_regex("2")
+
+    def test_empty_string_is_epsilon(self):
+        assert rx.parse_regex("") == rx.Epsilon()
+
+    def test_nested_star(self):
+        node = rx.parse_regex("(01)*")
+        assert node == rx.Star(rx.literal("01"))
+
+    def test_str_parse_roundtrip(self):
+        for text in ("1", "10", "0|1", "(0|1)*", "(0|1)*((0|1)1|1(0|1))"):
+            node = rx.parse_regex(text)
+            assert rx.parse_regex(str(node)) == node

@@ -1,0 +1,114 @@
+"""Tests for start-state reduction (Section 4.7)."""
+
+import pytest
+
+from repro.automata import regex as rx
+from repro.automata.dfa import subset_construct
+from repro.automata.hopcroft import hopcroft_minimize
+from repro.automata.moore import MooreMachine
+from repro.automata.nfa import thompson_construct
+from repro.automata.startup import (
+    startup_state_count,
+    steady_state_core,
+    steady_state_reduce,
+)
+
+
+def machine_for_patterns(pattern: str) -> MooreMachine:
+    return hopcroft_minimize(
+        MooreMachine.from_dfa(
+            subset_construct(
+                thompson_construct(rx.parse_regex(pattern), alphabet=("0", "1"))
+            )
+        )
+    )
+
+
+def all_strings_of_length(n):
+    frontier = [""]
+    for _ in range(n):
+        frontier = [s + c for s in frontier for c in "01"]
+    return frontier
+
+
+class TestSteadyStateCore:
+    def test_paper_example_core(self):
+        # Language of Figure 1: (0|1)*((0|1)1 | 1(0|1)), N = 2.
+        machine = machine_for_patterns("(0|1)*((0|1)1|1(0|1))")
+        assert machine.num_states == 5  # with start-up states (paper)
+        core = steady_state_core(machine, horizon=2)
+        assert len(core) == 3  # steady-state machine of Figure 1
+
+    def test_core_is_closed(self):
+        machine = machine_for_patterns("(0|1)*((0|1)1|1(0|1))")
+        core = steady_state_core(machine, horizon=2)
+        for state in core:
+            for successor in machine.transitions[state]:
+                assert successor in core
+
+    def test_core_contains_all_length_n_images(self):
+        machine = machine_for_patterns("(0|1)*(11|00)")
+        core = steady_state_core(machine, horizon=2)
+        for text in all_strings_of_length(2):
+            assert machine.run(text) in core
+
+    def test_horizon_zero_keeps_reachable(self):
+        machine = machine_for_patterns("(0|1)*1")
+        core = steady_state_core(machine, horizon=0)
+        assert core == machine.reachable_states()
+
+
+class TestReduction:
+    def test_paper_example_reduces_to_three_states(self):
+        machine = machine_for_patterns("(0|1)*((0|1)1|1(0|1))")
+        reduced = steady_state_reduce(machine, horizon=2)
+        assert reduced.num_states == 3
+
+    def test_behaviour_preserved_for_long_strings(self):
+        machine = machine_for_patterns("(0|1)*((0|1)1|1(0|1))")
+        reduced = steady_state_reduce(machine, horizon=2)
+        # "this optimization only effects the behavior of the state machine
+        # on a small constant number of strings" -- those shorter than N.
+        for prefix in all_strings_of_length(2):
+            for suffix in all_strings_of_length(3):
+                text = prefix + suffix
+                assert machine.output_after(text) == reduced.output_after(text)
+
+    def test_canonical_history_sets_start(self):
+        machine = machine_for_patterns("(0|1)*((0|1)1|1(0|1))")
+        reduced = steady_state_reduce(machine, horizon=2, canonical_history="11")
+        assert reduced.outputs[reduced.start] == 1
+
+    def test_default_canonical_history_is_zeros(self):
+        machine = machine_for_patterns("(0|1)*((0|1)1|1(0|1))")
+        reduced = steady_state_reduce(machine, horizon=2)
+        # After history 00 the prediction is 0.
+        assert reduced.outputs[reduced.start] == 0
+
+    def test_no_startup_states_noop_size(self):
+        # (0|1)* has a single state; nothing to remove.
+        machine = machine_for_patterns("(0|1)*")
+        reduced = steady_state_reduce(machine, horizon=4)
+        assert reduced.num_states == machine.num_states
+
+    def test_startup_state_count(self):
+        machine = machine_for_patterns("(0|1)*((0|1)1|1(0|1))")
+        assert startup_state_count(machine, horizon=2) == 2
+
+    def test_renumbering_is_bfs_from_new_start(self):
+        machine = machine_for_patterns("(0|1)*((0|1)1|1(0|1))")
+        reduced = steady_state_reduce(machine, horizon=2)
+        assert reduced.start == 0
+
+    def test_outputs_suffix_determined_after_reduction(self):
+        """From ANY state of the reduced machine, a length-N input drives
+        it to a state whose output depends only on that input -- the key
+        invariant of Section 7.6."""
+        machine = machine_for_patterns("(0|1)*((0|1)1|1(0|1))")
+        reduced = steady_state_reduce(machine, horizon=2)
+        for history in all_strings_of_length(2):
+            outputs = {
+                reduced.outputs[reduced.run(history, start=s)]
+                for s in range(reduced.num_states)
+            }
+            assert len(outputs) == 1

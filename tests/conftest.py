@@ -1,0 +1,55 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+# One shared profile: the default deadline is too tight for the design
+# pipeline's end-to-end property tests.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=50,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+# The paper's worked example (Section 4.2): t = 0000 1000 1011 1101 1110 1111
+PAPER_TRACE_BITS = "000010001011110111101111"
+
+
+@pytest.fixture
+def paper_trace():
+    return [int(ch) for ch in PAPER_TRACE_BITS]
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def small_branch_trace():
+    """A deterministic 5k-branch ijpeg trace, session-cached."""
+    return _cached_branch_trace("ijpeg", 5_000)
+
+
+_TRACE_CACHE = {}
+
+
+def _cached_branch_trace(benchmark: str, n: int):
+    key = (benchmark, n)
+    if key not in _TRACE_CACHE:
+        from repro.workloads.programs import branch_trace
+
+        _TRACE_CACHE[key] = branch_trace(benchmark, "train", n)
+    return _TRACE_CACHE[key]
+
+
+@pytest.fixture
+def cached_trace():
+    """Factory fixture: cached_trace(benchmark, n) with session caching."""
+    return _cached_branch_trace

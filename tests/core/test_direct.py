@@ -1,0 +1,56 @@
+"""Tests for the direct history-automaton oracle."""
+
+import pytest
+
+from repro.core.direct import direct_history_machine
+from repro.logic.cube import Cube
+
+
+class TestDirectConstruction:
+    def test_unminimized_has_full_state_space(self):
+        machine = direct_history_machine(
+            [Cube.from_string("-11")], order=3, minimize=False
+        )
+        assert machine.num_states == 8
+
+    def test_minimized_is_smaller(self):
+        machine = direct_history_machine([Cube.from_string("--1")], order=3)
+        assert machine.num_states == 2  # output = newest bit
+
+    def test_paper_cover_gives_three_states(self):
+        machine = direct_history_machine(
+            [Cube.from_string("-1"), Cube.from_string("1-")], order=2
+        )
+        assert machine.num_states == 3
+
+    def test_output_matches_cover(self):
+        cover = [Cube.from_string("1-0")]
+        machine = direct_history_machine(cover, order=3, minimize=False)
+        for history in range(8):
+            bits = format(history, "03b")
+            assert machine.output_after(bits) == (
+                1 if cover[0].contains_minterm(history) else 0
+            )
+
+    def test_start_history_selects_start_state(self):
+        machine = direct_history_machine(
+            [Cube.from_string("11")], order=2, start_history="11", minimize=False
+        )
+        assert machine.outputs[machine.start] == 1
+
+    def test_cube_width_checked(self):
+        with pytest.raises(ValueError):
+            direct_history_machine([Cube.from_string("1")], order=3)
+
+    def test_order_checked(self):
+        with pytest.raises(ValueError):
+            direct_history_machine([], order=0)
+
+    def test_start_history_length_checked(self):
+        with pytest.raises(ValueError):
+            direct_history_machine([], order=2, start_history="111")
+
+    def test_empty_cover_always_zero(self):
+        machine = direct_history_machine([], order=2)
+        assert machine.num_states == 1
+        assert machine.outputs == (0,)

@@ -1,0 +1,149 @@
+"""Tests for the order-N Markov model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.markov import MarkovModel, history_push
+
+bit_lists = st.lists(st.integers(0, 1), max_size=200)
+
+
+class TestPaperExample:
+    """Section 4.2: t = 0000 1000 1011 1101 1110 1111, N = 2 gives
+    P[1|00] = 2/5, P[1|01] = 3/5, P[1|10] = 3/4, P[1|11] = 6/8."""
+
+    def test_probabilities(self, paper_trace):
+        model = MarkovModel.from_trace(paper_trace, order=2)
+        assert model.probability_of_one(0b00) == pytest.approx(2 / 5)
+        assert model.probability_of_one(0b01) == pytest.approx(3 / 5)
+        assert model.probability_of_one(0b10) == pytest.approx(3 / 4)
+        assert model.probability_of_one(0b11) == pytest.approx(6 / 8)
+
+    def test_counts(self, paper_trace):
+        model = MarkovModel.from_trace(paper_trace, order=2)
+        assert model.count(0b00) == 5
+        assert model.count(0b01) == 5
+        assert model.count(0b10) == 4
+        assert model.count(0b11) == 8
+
+    def test_from_bit_string_ignores_spaces(self):
+        model = MarkovModel.from_bit_string("0000 1000 1011 1101 1110 1111", 2)
+        assert model.probability_of_one(0b00) == pytest.approx(2 / 5)
+
+    def test_total_observations(self, paper_trace):
+        model = MarkovModel.from_trace(paper_trace, order=2)
+        assert model.total_observations == len(paper_trace) - 2
+
+
+class TestConstruction:
+    def test_negative_order_rejected(self):
+        with pytest.raises(ValueError):
+            MarkovModel(order=-1)
+
+    def test_short_trace_gives_empty_model(self):
+        model = MarkovModel.from_trace([1, 0], order=4)
+        assert model.total_observations == 0
+        assert model.num_histories == 0
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            MarkovModel.from_trace([0, 1, 2], order=1)
+
+    def test_unseen_history_is_none(self):
+        model = MarkovModel.from_trace([0, 0, 0, 0], order=2)
+        assert model.probability_of_one(0b11) is None
+
+    def test_order_zero(self):
+        model = MarkovModel.from_trace([1, 1, 0, 1], order=0)
+        assert model.probability_of_one(0) == pytest.approx(3 / 4)
+
+    def test_history_encoding_newest_bit_is_lsb(self):
+        # Trace 0,1 then next bit: history int must be 0b01.
+        model = MarkovModel(order=2)
+        model.update_from_trace([0, 1, 1])
+        assert model.count(0b01) == 1
+
+    def test_history_string(self):
+        model = MarkovModel(order=3)
+        assert model.history_string(0b101) == "101"
+
+    def test_observe(self):
+        model = MarkovModel(order=2)
+        model.observe(0b10, 1)
+        model.observe(0b10, 0)
+        assert model.probability_of_one(0b10) == pytest.approx(0.5)
+
+
+class TestMergeAndTruncate:
+    def test_merge_adds_counts(self, paper_trace):
+        a = MarkovModel.from_trace(paper_trace, order=2)
+        merged = a.merge(a)
+        assert merged.count(0b00) == 2 * a.count(0b00)
+        assert merged.probability_of_one(0b00) == a.probability_of_one(0b00)
+
+    def test_merge_order_mismatch(self):
+        with pytest.raises(ValueError):
+            MarkovModel(order=2).merge(MarkovModel(order=3))
+
+    def test_truncated_sums_counts(self, paper_trace):
+        full = MarkovModel.from_trace(paper_trace, order=4)
+        small = full.truncated(2)
+        # Counts by most-recent-2 history must match the order-4 totals.
+        expected = {}
+        for h, c in full.totals.items():
+            expected[h & 0b11] = expected.get(h & 0b11, 0) + c
+        for h, c in expected.items():
+            assert small.count(h) == c
+
+    def test_truncated_same_order_is_identity(self):
+        model = MarkovModel(order=3)
+        assert model.truncated(3) is model
+
+    def test_truncated_cannot_extend(self):
+        with pytest.raises(ValueError):
+            MarkovModel(order=2).truncated(5)
+
+
+class TestReporting:
+    def test_as_table_rows(self, paper_trace):
+        model = MarkovModel.from_trace(paper_trace, order=2)
+        rows = {h: (c, p) for h, c, p in model.as_table()}
+        assert rows["00"][0] == 5
+        assert rows["00"][1] == pytest.approx(2 / 5)
+        assert set(rows) == {"00", "01", "10", "11"}
+
+    def test_str_mentions_probabilities(self, paper_trace):
+        text = str(MarkovModel.from_trace(paper_trace, order=2))
+        assert "P[1|00]" in text
+
+
+class TestHistoryPush:
+    def test_push_shifts_in_at_lsb(self):
+        assert history_push(0b01, 1, 3) == 0b011
+
+    def test_push_drops_oldest(self):
+        assert history_push(0b111, 0, 3) == 0b110
+
+
+@given(bit_lists, st.integers(1, 6))
+def test_property_counts_conserved(trace, order):
+    model = MarkovModel.from_trace(trace, order)
+    expected = max(0, len(trace) - order)
+    assert model.total_observations == expected
+    assert sum(model.ones.values()) == sum(trace[order:])
+
+
+@given(bit_lists, st.integers(1, 6))
+def test_property_probabilities_in_range(trace, order):
+    model = MarkovModel.from_trace(trace, order)
+    for history in model.histories():
+        p = model.probability_of_one(history)
+        assert p is not None and 0.0 <= p <= 1.0
+
+
+@given(bit_lists, st.integers(2, 6))
+def test_property_truncation_conserves_mass(trace, order):
+    model = MarkovModel.from_trace(trace, order)
+    small = model.truncated(1)
+    assert small.total_observations == model.total_observations

@@ -1,0 +1,141 @@
+"""Tests for the pattern-definition stage (Section 4.3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.markov import MarkovModel
+from repro.core.patterns import PatternSets, define_patterns, pattern_sets_summary
+
+
+class TestPaperExample:
+    def test_paper_sets(self, paper_trace):
+        model = MarkovModel.from_trace(paper_trace, order=2)
+        sets = define_patterns(model)
+        # "predict 1" = {01, 10, 11}, "predict 0" = {00}, dc = empty.
+        assert sets.predict_one == {0b01, 0b10, 0b11}
+        assert sets.predict_zero == {0b00}
+        assert not sets.dont_care
+
+    def test_truth_table_matches_paper(self, paper_trace):
+        model = MarkovModel.from_trace(paper_trace, order=2)
+        table = define_patterns(model).to_truth_table()
+        assert table.on_set == {1, 2, 3}
+        assert table.off_set == {0}
+
+
+class TestThreshold:
+    def make_model(self):
+        model = MarkovModel(order=1)
+        # history 0: P[1] = 0.6; history 1: P[1] = 0.4
+        for _ in range(6):
+            model.observe(0, 1)
+        for _ in range(4):
+            model.observe(0, 0)
+        for _ in range(4):
+            model.observe(1, 1)
+        for _ in range(6):
+            model.observe(1, 0)
+        return model
+
+    def test_default_threshold_half(self):
+        sets = define_patterns(self.make_model())
+        assert sets.predict_one == {0}
+        assert sets.predict_zero == {1}
+
+    def test_tie_goes_to_predict_one(self):
+        model = MarkovModel(order=1)
+        model.observe(0, 1)
+        model.observe(0, 0)
+        sets = define_patterns(model)
+        assert 0 in sets.predict_one
+
+    def test_higher_threshold_shrinks_predict_one(self):
+        sets = define_patterns(self.make_model(), bias_threshold=0.7)
+        assert sets.predict_one == set()
+        assert sets.predict_zero == {0, 1}
+
+    def test_threshold_bounds_checked(self):
+        model = self.make_model()
+        with pytest.raises(ValueError):
+            define_patterns(model, bias_threshold=1.5)
+        with pytest.raises(ValueError):
+            define_patterns(model, bias_threshold=-0.1)
+
+
+class TestDontCare:
+    def make_skewed_model(self):
+        model = MarkovModel(order=2)
+        for _ in range(97):
+            model.observe(0b00, 1)
+        for _ in range(2):
+            model.observe(0b01, 0)
+        model.observe(0b10, 1)
+        return model
+
+    def test_unseen_histories_always_dont_care(self):
+        model = MarkovModel(order=2)
+        model.observe(0b00, 1)
+        sets = define_patterns(model)
+        assert 0b11 in sets.dont_care
+        assert 0b01 in sets.dont_care
+
+    def test_zero_fraction_keeps_all_seen(self):
+        sets = define_patterns(self.make_skewed_model(), dont_care_fraction=0.0)
+        assert 0b10 in sets.predict_one
+
+    def test_fraction_drops_rarest_first(self):
+        # 1% of 100 observations = budget 1: only history 10 (count 1) drops.
+        sets = define_patterns(self.make_skewed_model(), dont_care_fraction=0.01)
+        assert 0b10 in sets.dont_care
+        assert 0b01 in sets.predict_zero
+
+    def test_larger_fraction_drops_more(self):
+        sets = define_patterns(self.make_skewed_model(), dont_care_fraction=0.03)
+        assert 0b10 in sets.dont_care
+        assert 0b01 in sets.dont_care
+        assert 0b00 in sets.predict_one
+
+    def test_budget_not_exceeded(self):
+        # Budget 0.5 observations: nothing may be dropped.
+        sets = define_patterns(self.make_skewed_model(), dont_care_fraction=0.005)
+        assert 0b10 in sets.predict_one
+
+    def test_fraction_bounds_checked(self):
+        with pytest.raises(ValueError):
+            define_patterns(self.make_skewed_model(), dont_care_fraction=1.0)
+
+
+class TestPatternSets:
+    def test_summary(self, paper_trace):
+        model = MarkovModel.from_trace(paper_trace, order=2)
+        assert pattern_sets_summary(define_patterns(model)) == (3, 1, 0)
+
+    def test_history_strings(self):
+        sets = PatternSets(
+            order=3, predict_one=frozenset({0b101}), predict_zero=frozenset()
+        )
+        assert sets.history_strings(sets.predict_one) == ["101"]
+
+    def test_str(self, paper_trace):
+        model = MarkovModel.from_trace(paper_trace, order=2)
+        text = str(define_patterns(model))
+        assert "predict1" in text and "00" in text
+
+
+@given(
+    st.lists(st.integers(0, 1), min_size=10, max_size=120),
+    st.integers(1, 5),
+    st.floats(0.0, 1.0),
+    st.floats(0.0, 0.2),
+)
+def test_property_sets_partition_seen_histories(trace, order, threshold, fraction):
+    model = MarkovModel.from_trace(trace, order)
+    sets = define_patterns(model, bias_threshold=threshold, dont_care_fraction=fraction)
+    seen = set(model.totals)
+    assert sets.predict_one <= seen
+    assert sets.predict_zero <= seen
+    assert not (sets.predict_one & sets.predict_zero)
+    # Unseen histories are never classified.
+    unseen = set(range(1 << order)) - seen
+    assert unseen <= sets.dont_care

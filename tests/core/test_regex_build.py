@@ -1,0 +1,59 @@
+"""Tests for SOP-cover -> regular expression construction (Section 4.5)."""
+
+from repro.automata import regex as rx
+from repro.core.regex_build import cube_to_regex, cubes_to_regex, history_language_regex
+from repro.logic.cube import Cube
+
+
+class TestCubeToRegex:
+    def test_all_care(self):
+        assert str(cube_to_regex(Cube.from_string("10"))) == "10"
+
+    def test_dont_care_becomes_any(self):
+        assert str(cube_to_regex(Cube.from_string("1-"))) == "1(0|1)"
+
+    def test_paper_terms(self):
+        # (1 x) -> 1{0|1} and (x 1) -> {0|1}1
+        assert str(cube_to_regex(Cube.from_string("1-"))) == "1(0|1)"
+        assert str(cube_to_regex(Cube.from_string("-1"))) == "(0|1)1"
+
+    def test_universal_cube(self):
+        assert str(cube_to_regex(Cube.universe(2))) == "(0|1)(0|1)"
+
+
+class TestCubesToRegex:
+    def test_empty_cover_is_empty_language(self):
+        assert cubes_to_regex([]) == rx.EmptySet()
+
+    def test_single_term_no_alternation(self):
+        node = cubes_to_regex([Cube.from_string("11")])
+        assert str(node) == "11"
+
+    def test_multiple_terms_alternate(self):
+        node = cubes_to_regex([Cube.from_string("1-"), Cube.from_string("-1")])
+        assert isinstance(node, rx.Alternate)
+
+
+class TestHistoryLanguage:
+    def test_paper_expression(self):
+        # Final expression of Section 4.5 (with the star prefix).
+        node = history_language_regex(
+            [Cube.from_string("-1"), Cube.from_string("1-")]
+        )
+        assert str(node) == "(0|1)*((0|1)1|1(0|1))"
+
+    def test_empty_cover(self):
+        assert history_language_regex([]) == rx.EmptySet()
+
+    def test_language_semantics(self):
+        from repro.automata.dfa import subset_construct
+        from repro.automata.nfa import thompson_construct
+
+        node = history_language_regex([Cube.from_string("1-")])
+        dfa = subset_construct(thompson_construct(node, alphabet=("0", "1")))
+        # Any string whose second-to-last bit is 1 is accepted.
+        assert dfa.accepts_string("10")
+        assert dfa.accepts_string("0011")
+        assert not dfa.accepts_string("00")
+        assert not dfa.accepts_string("1")  # too short
+        assert not dfa.accepts_string("")

@@ -1,0 +1,128 @@
+"""Tests for the per-branch FSM training flow (Section 7.3)."""
+
+import pytest
+
+from repro.harness.branch_training import (
+    CUSTOM_HISTORY_LENGTH,
+    collect_branch_models,
+    design_branch_predictors,
+    fsm_correct_counts,
+    machines_of,
+    rank_branches_by_misses,
+    rank_by_improvement,
+)
+from repro.workloads.trace import BranchTrace
+
+
+def synthetic_trace():
+    """Branch B copies branch A's outcome (alternating A); branch C is
+    always taken."""
+    trace = BranchTrace()
+    for i in range(400):
+        a = i % 2 == 0
+        trace.append(0x100, a)
+        trace.append(0x104, a)  # perfectly correlated, distance 1
+        trace.append(0x108, True)
+    return trace
+
+
+class TestCollectModels:
+    def test_models_keyed_by_pc(self):
+        models = collect_branch_models(synthetic_trace(), order=4)
+        assert set(models.models) == {0x100, 0x104, 0x108}
+
+    def test_default_order_is_nine(self):
+        models = collect_branch_models(synthetic_trace())
+        assert models.order == CUSTOM_HISTORY_LENGTH == 9
+
+    def test_global_history_feeds_each_branch(self):
+        models = collect_branch_models(synthetic_trace(), order=1)
+        model = models.models[0x104]
+        # B's outcome equals the previous (A's) outcome: P[1|1] = 1, P[1|0] = 0.
+        assert model.probability_of_one(1) == pytest.approx(1.0)
+        assert model.probability_of_one(0) == pytest.approx(0.0)
+
+    def test_counts_match_executions(self):
+        models = collect_branch_models(synthetic_trace(), order=2)
+        assert models.models[0x108].total_observations == 400
+
+    def test_model_for_creates_on_demand(self):
+        models = collect_branch_models(synthetic_trace(), order=2)
+        fresh = models.model_for(0xDEAD)
+        assert fresh.total_observations == 0
+
+
+class TestRanking:
+    def test_alternating_branch_ranks_first(self):
+        ranked = rank_branches_by_misses(synthetic_trace())
+        assert ranked[0][0] in (0x100, 0x104)
+        assert ranked[0][1] > ranked[-1][1]
+
+    def test_always_taken_branch_few_misses(self):
+        ranked = dict(rank_branches_by_misses(synthetic_trace()))
+        assert ranked[0x108] <= 2  # only the cold allocation
+
+
+class TestDesign:
+    def test_designs_for_requested_branches(self):
+        trace = synthetic_trace()
+        models = collect_branch_models(trace, order=3)
+        designs = design_branch_predictors(models, [0x104])
+        assert set(designs) == {0x104}
+        machine = designs[0x104].machine
+        # B copies the previous outcome: output after history ...1 is 1.
+        assert machine.output_after("001") == 1
+        assert machine.output_after("110") == 0
+
+    def test_machines_of(self):
+        trace = synthetic_trace()
+        models = collect_branch_models(trace, order=3)
+        designs = design_branch_predictors(models, [0x104, 0x108])
+        machines = machines_of(designs)
+        assert set(machines) == {0x104, 0x108}
+
+    def test_unknown_branch_skipped(self):
+        models = collect_branch_models(synthetic_trace(), order=3)
+        assert design_branch_predictors(models, [0xBEEF]) == {}
+
+
+class TestReplay:
+    def test_fsm_correct_counts_perfect_branch(self):
+        trace = synthetic_trace()
+        models = collect_branch_models(trace, order=3)
+        designs = design_branch_predictors(models, [0x104])
+        counts = fsm_correct_counts(trace, machines_of(designs))
+        execs, correct = counts[0x104]
+        assert execs == 400
+        assert correct >= execs - 3  # at most the warm-up misses
+
+    def test_rank_by_improvement_filters_and_orders(self):
+        trace = synthetic_trace()
+        models = collect_branch_models(trace, order=3)
+        baseline = dict(rank_branches_by_misses(trace))
+        designs = design_branch_predictors(models, [0x104, 0x108])
+        ordered = rank_by_improvement(trace, designs, baseline)
+        # 0x104 is a big win and must come first; 0x108's gain is at most
+        # the single cold-start miss.
+        assert ordered[0] == 0x104
+
+    def test_rank_by_improvement_drops_harmful_fsm(self):
+        """A branch whose designed FSM performs worse than the baseline
+        must not be deployed at all."""
+        import random
+
+        rng = random.Random(2)
+        trace = BranchTrace()
+        for _ in range(300):
+            trace.append(0x100, rng.random() < 0.9)  # biased: baseline good
+        models = collect_branch_models(trace, order=2)
+        designs = design_branch_predictors(models, [0x100])
+        # Corrupt the design: force an always-wrong machine.
+        from repro.automata.moore import MooreMachine
+
+        bad = MooreMachine(
+            alphabet=("0", "1"), start=0, outputs=(0,), transitions=((0, 0),)
+        )
+        designs[0x100].machine = bad
+        baseline = dict(rank_branches_by_misses(trace))
+        assert rank_by_improvement(trace, designs, baseline) == []

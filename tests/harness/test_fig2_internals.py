@@ -1,0 +1,61 @@
+"""Unit tests for Figure 2 driver internals (cross-training logic)."""
+
+import pytest
+
+from repro.harness.fig2 import (
+    ConfidencePoint,
+    FigureTwoResult,
+    _correctness_traces,
+    _cross_trained_model,
+)
+from repro.workloads.values import VALUE_BENCHMARKS
+
+
+@pytest.fixture(scope="module")
+def small_traces():
+    return _correctness_traces(VALUE_BENCHMARKS, "train", 3_000)
+
+
+class TestCrossTraining:
+    def test_held_out_benchmark_excluded(self, small_traces):
+        model = _cross_trained_model(small_traces, "gcc", order=4)
+        others = _cross_trained_model(small_traces, "perl", order=4)
+        # Both models trained; different exclusions give different counts.
+        assert model.total_observations > 0
+        assert model.total_observations != others.total_observations or (
+            len(small_traces["gcc"][1]) == len(small_traces["perl"][1])
+        )
+
+    def test_observation_count_is_sum_of_others(self, small_traces):
+        order = 4
+        model = _cross_trained_model(small_traces, "gcc", order=order)
+        expected = sum(
+            max(0, len(bits) - order)
+            for name, (_idx, bits) in small_traces.items()
+            if name != "gcc"
+        )
+        assert model.total_observations == expected
+
+    def test_traces_have_entry_indices(self, small_traces):
+        for name, (indices, bits) in small_traces.items():
+            assert len(indices) == len(bits) == 3_000
+
+
+class TestResultContainer:
+    def make_result(self):
+        return FigureTwoResult(
+            benchmark="demo",
+            sud_points=[ConfidencePoint("a", 0.9, 0.2), ConfidencePoint("b", 0.8, 0.5)],
+            fsm_curves={4: [ConfidencePoint("h4", 0.95, 0.4)]},
+        )
+
+    def test_pareto_accessors(self):
+        result = self.make_result()
+        assert (0.95, 0.4) in result.fsm_pareto(4)
+        assert (0.8, 0.5) in result.sud_pareto()
+
+    def test_render_table(self):
+        text = self.make_result().render()
+        assert "Figure 2 (demo)" in text
+        assert "custom h=4" in text
+        assert "up/down" in text

@@ -1,0 +1,162 @@
+"""Shape tests for the figure drivers, run at reduced scale.
+
+These are the integration tests of the whole reproduction: each asserts
+the qualitative claim the corresponding paper figure makes.  Scales are
+small so the suite stays fast; the benchmarks/ directory runs the full
+versions.
+"""
+
+import pytest
+
+from repro.harness.ablations import (
+    render_startup,
+    run_startup_ablation,
+)
+from repro.harness.fig2 import run_fig2_benchmark
+from repro.harness.fig4 import run_fig4
+from repro.harness.fig5 import run_fig5_benchmark
+from repro.harness.fig67 import run_fig67
+from repro.harness.metrics import interpolate_coverage_at
+
+
+@pytest.fixture(scope="module")
+def fig5_gsm():
+    return run_fig5_benchmark("gsm", max_branches=30_000, custom_counts=(1, 2, 4, 8))
+
+
+class TestFig2Shape:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig2_benchmark(
+            "gcc", num_loads=30_000, history_lengths=(2, 8),
+            bias_thresholds=(0.5, 0.8, 0.95, 0.995),
+        )
+
+    def test_fsm_beats_sud_at_high_accuracy(self, result):
+        sud = result.sud_pareto()
+        fsm = result.fsm_pareto(8)
+        assert interpolate_coverage_at(fsm, 0.9) > interpolate_coverage_at(sud, 0.9)
+
+    def test_longer_history_at_least_as_good(self, result):
+        short = result.fsm_pareto(2)
+        long_ = result.fsm_pareto(8)
+        assert interpolate_coverage_at(long_, 0.9) >= interpolate_coverage_at(
+            short, 0.9
+        )
+
+    def test_sud_sweep_has_sixty_points(self, result):
+        assert len(result.sud_points) == 60
+
+    def test_render_mentions_series(self, result):
+        text = result.render()
+        assert "up/down" in text
+        assert "custom h=8" in text
+
+
+class TestFig4Shape:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig4(
+            benchmarks=("ijpeg", "gs"), max_branches=20_000,
+            branches_per_benchmark=4,
+        )
+
+    def test_sample_nonempty(self, result):
+        assert len(result.reports) >= 4
+
+    def test_area_grows_with_states(self, result):
+        assert result.model.slope > 0
+
+    def test_fit_is_reasonable_bound(self, result):
+        # The paper uses the line as a conservative estimate: the bulk of
+        # the sample stays near or below it.
+        over = [
+            r
+            for r in result.reports
+            if r.area > 2.0 * max(result.model.estimate(r.num_states), 0.0) + 60
+        ]
+        assert len(over) <= max(1, len(result.reports) // 4)
+
+    def test_render(self, result):
+        assert "Figure 4" in result.render()
+
+
+class TestFig5Shape:
+    def test_custom_improves_on_xscale(self, fig5_gsm):
+        xscale = fig5_gsm.series["xscale"].points[0].miss_rate
+        custom = fig5_gsm.series["custom-diff"].best_miss_rate()
+        assert custom < xscale * 0.6
+
+    def test_custom_same_at_least_as_good_as_diff(self, fig5_gsm):
+        same = fig5_gsm.series["custom-same"].best_miss_rate()
+        diff = fig5_gsm.series["custom-diff"].best_miss_rate()
+        assert same <= diff * 1.2  # nearly identical per the paper
+
+    def test_custom_curve_monotone_nonincreasing(self, fig5_gsm):
+        rates = [p.miss_rate for p in fig5_gsm.series["custom-diff"].points]
+        for earlier, later in zip(rates, rates[1:]):
+            assert later <= earlier + 0.01
+
+    def test_custom_beats_tables_at_its_area(self, fig5_gsm):
+        """The paper's headline: a general-purpose predictor needs to be
+        much larger to match the custom predictor."""
+        custom_points = fig5_gsm.series["custom-diff"].points
+        best_custom = min(custom_points, key=lambda p: p.miss_rate)
+        for table_series in ("gshare", "lgc"):
+            at_area = fig5_gsm.series[table_series].miss_rate_at_or_below_area(
+                best_custom.area
+            )
+            if at_area is not None:
+                assert best_custom.miss_rate <= at_area + 0.01
+
+    def test_all_series_present(self, fig5_gsm):
+        assert set(fig5_gsm.series) == {
+            "xscale", "gshare", "lgc", "custom-same", "custom-diff"
+        }
+
+    def test_render(self, fig5_gsm):
+        assert "Figure 5 (gsm)" in fig5_gsm.render()
+
+
+class TestFig67Shape:
+    @pytest.fixture(scope="class")
+    def examples(self):
+        return run_fig67(max_branches=20_000)
+
+    def test_fig6_is_single_short_pattern(self, examples):
+        fig6 = examples["fig6"]
+        assert fig6.benchmark == "ijpeg"
+        assert len(fig6.design.cover) == 1
+        assert fig6.design.machine.num_states <= 8
+
+    def test_fig6_reproduces_paper_pattern(self, examples):
+        # The paper's Figure 6 captures "1x": taken iff two-back was taken.
+        assert examples["fig6"].design.cover_strings()[0].endswith("1x")
+
+    def test_fig7_is_multi_pattern(self, examples):
+        fig7 = examples["fig7"]
+        assert fig7.benchmark == "gs"
+        assert len(fig7.design.cover) >= 2
+
+    def test_render_contains_dot(self, examples):
+        assert "digraph" in examples["fig6"].render()
+
+
+class TestStartupAblation:
+    def test_reduction_removes_states(self):
+        rows = run_startup_ablation(
+            benchmarks=("ijpeg",), max_branches=15_000, top_branches=3
+        )
+        assert rows
+        # "they typically account for around one half of all states":
+        # require a substantial average reduction.
+        fractions = [r.removed_fraction for r in rows]
+        assert max(fractions) > 0.2
+        for row in rows:
+            assert row.states_final <= row.states_with_startup
+
+    def test_render(self):
+        rows = run_startup_ablation(
+            benchmarks=("ijpeg",), max_branches=10_000, top_branches=2
+        )
+        assert "start-up" in render_startup(rows).lower()

@@ -1,0 +1,113 @@
+"""Tests for harness metrics, the linear area model, and reporting."""
+
+import os
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.harness.area_model import LinearAreaModel, fit_area_model, residuals
+from repro.harness.metrics import (
+    dominates,
+    interpolate_coverage_at,
+    pareto_front,
+    weighted_miss_rate,
+)
+from repro.harness.reporting import format_table, results_path, write_report
+
+
+class TestParetoFront:
+    def test_simple(self):
+        points = [(0.9, 0.1), (0.8, 0.5), (0.7, 0.3), (0.95, 0.05)]
+        front = pareto_front(points)
+        assert (0.7, 0.3) not in front  # dominated by (0.8, 0.5)
+        assert (0.8, 0.5) in front
+        assert (0.95, 0.05) in front
+
+    def test_sorted_ascending_accuracy(self):
+        front = pareto_front([(0.9, 0.1), (0.5, 0.9)])
+        assert front == sorted(front)
+
+    def test_duplicates_collapsed(self):
+        assert pareto_front([(0.5, 0.5), (0.5, 0.5)]) == [(0.5, 0.5)]
+
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+    @given(st.lists(st.tuples(st.floats(0, 1), st.floats(0, 1)), max_size=40))
+    def test_property_front_is_mutually_nondominated(self, points):
+        front = pareto_front(points)
+        for a in front:
+            for b in front:
+                if a != b:
+                    assert not dominates(a, b)
+
+    @given(st.lists(st.tuples(st.floats(0, 1), st.floats(0, 1)), min_size=1, max_size=40))
+    def test_property_every_point_dominated_or_on_front(self, points):
+        front = set(pareto_front(points))
+        for p in points:
+            assert p in front or any(dominates(f, p) for f in front)
+
+
+class TestInterpolation:
+    def test_coverage_at(self):
+        curve = [(0.8, 0.9), (0.9, 0.5), (0.99, 0.1)]
+        assert interpolate_coverage_at(curve, 0.85) == 0.5
+        assert interpolate_coverage_at(curve, 0.999) == 0.0
+        assert interpolate_coverage_at(curve, 0.5) == 0.9
+
+    def test_weighted_miss_rate(self):
+        assert weighted_miss_rate([(100, 10), (100, 30)]) == pytest.approx(0.2)
+        assert weighted_miss_rate([]) == 0.0
+
+
+class TestAreaModel:
+    def test_perfect_line(self):
+        points = [(n, 2.0 * n + 5.0) for n in range(1, 20)]
+        model = fit_area_model(points)
+        assert model.slope == pytest.approx(2.0)
+        assert model.intercept == pytest.approx(5.0)
+        assert model.estimate(100) == pytest.approx(205.0)
+
+    def test_single_point_proportional(self):
+        model = fit_area_model([(10, 30.0)])
+        assert model.estimate(20) == pytest.approx(60.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fit_area_model([])
+
+    def test_residuals(self):
+        points = [(1, 3.0), (2, 5.0), (3, 6.0)]
+        model = fit_area_model(points)
+        res = residuals(model, points)
+        assert sum(res) == pytest.approx(0.0, abs=1e-9)
+
+    def test_str(self):
+        assert "states" in str(fit_area_model([(1, 1.0), (2, 2.0)]))
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bee"], [[1, 2.5], [333, 4]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "2.5000" in text
+        assert "333" in text
+
+    def test_format_table_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert text.splitlines()[1] == "=" * len("My Table")
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_write_report(self, tmp_path, monkeypatch):
+        import repro.harness.reporting as reporting
+
+        monkeypatch.setattr(reporting, "RESULTS_DIR", str(tmp_path))
+        path = write_report("demo.txt", "hello")
+        assert os.path.exists(path)
+        assert open(path).read() == "hello\n"

@@ -1,0 +1,100 @@
+"""Tests for unate covering (essential primes, greedy, branch-and-bound)."""
+
+import pytest
+
+from repro.logic.cube import Cube
+from repro.logic.covering import (
+    essential_primes,
+    exact_cover,
+    greedy_cover,
+    select_cover,
+)
+
+
+def cubes(*texts):
+    return [Cube.from_string(t) for t in texts]
+
+
+class TestEssentialPrimes:
+    def test_unique_coverer_is_essential(self):
+        primes = cubes("1-", "-1")
+        essential, remaining = essential_primes(primes, [0b10, 0b01])
+        assert essential == [0, 1]
+        assert not remaining
+
+    def test_no_essentials_in_cyclic_cover(self):
+        # Classic cyclic core: every minterm covered by exactly two primes.
+        primes = cubes("0-1", "01-", "-10", "1-0", "10-", "-01")
+        minterms = [0b001, 0b011, 0b010, 0b110, 0b100, 0b101]
+        essential, remaining = essential_primes(primes, minterms)
+        assert essential == []
+        assert set(remaining) == set(minterms)
+
+    def test_uncoverable_minterm_raises(self):
+        with pytest.raises(ValueError):
+            essential_primes(cubes("1-"), [0b01])
+
+
+class TestGreedyCover:
+    def test_picks_large_prime(self):
+        primes = cubes("--", "00")
+        chosen = greedy_cover(primes, [0, 1, 2, 3])
+        assert chosen == [0]
+
+    def test_respects_preselected(self):
+        primes = cubes("1-", "-1")
+        chosen = greedy_cover(primes, [0b10], preselected=[0])
+        assert chosen == [0]
+
+    def test_covers_everything(self):
+        primes = cubes("0-1", "01-", "-10", "1-0", "10-", "-01")
+        minterms = [0b001, 0b011, 0b010, 0b110, 0b100, 0b101]
+        chosen = greedy_cover(primes, minterms)
+        for m in minterms:
+            assert any(primes[i].contains_minterm(m) for i in chosen)
+
+
+class TestExactCover:
+    def test_cyclic_core_minimum(self):
+        primes = cubes("0-1", "01-", "-10", "1-0", "10-", "-01")
+        minterms = [0b001, 0b011, 0b010, 0b110, 0b100, 0b101]
+        chosen = exact_cover(primes, minterms)
+        assert len(chosen) == 3  # the cyclic core needs exactly 3 primes
+        for m in minterms:
+            assert any(primes[i].contains_minterm(m) for i in chosen)
+
+    def test_beats_or_matches_greedy(self):
+        primes = cubes("0-1", "01-", "-10", "1-0", "10-", "-01")
+        minterms = [0b001, 0b011, 0b010, 0b110, 0b100, 0b101]
+        greedy = greedy_cover(primes, minterms)
+        exact = exact_cover(primes, minterms)
+        greedy_cost = sum(primes[i].pattern_cost for i in greedy)
+        exact_cost = sum(primes[i].pattern_cost for i in exact)
+        assert exact_cost <= greedy_cost
+
+    def test_single_prime(self):
+        primes = cubes("--")
+        assert exact_cover(primes, [0, 1, 2, 3]) == [0]
+
+
+class TestSelectCover:
+    def test_empty_on_set(self):
+        assert select_cover(cubes("1-"), []) == []
+
+    def test_essentials_only_shortcut(self):
+        cover = select_cover(cubes("1-", "-1"), [0b10, 0b01])
+        assert set(cover) == set(cubes("1-", "-1"))
+
+    def test_prefers_recent_history_patterns(self):
+        # Both primes alone cover the on-set; the covering step must pick
+        # the one caring about the newest bit (lower pattern cost).
+        primes = cubes("---1", "1---")
+        cover = select_cover(primes, [0b1001])
+        assert cover == cubes("---1")
+
+    def test_deterministic(self):
+        primes = cubes("0-1", "01-", "-10", "1-0", "10-", "-01")
+        minterms = [0b001, 0b011, 0b010, 0b110, 0b100, 0b101]
+        first = select_cover(primes, minterms)
+        second = select_cover(primes, minterms)
+        assert first == second

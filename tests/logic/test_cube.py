@@ -1,0 +1,214 @@
+"""Unit and property tests for ternary cubes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.logic.cube import Cube, cover_contains, cover_literals
+
+
+def cube_strings(width):
+    return st.text(alphabet="01-", min_size=width, max_size=width)
+
+
+class TestConstruction:
+    def test_from_string_all_care(self):
+        cube = Cube.from_string("101")
+        assert cube.width == 3
+        assert cube.value == 0b101
+        assert cube.mask == 0b111
+
+    def test_from_string_dont_care(self):
+        cube = Cube.from_string("1-0")
+        assert cube.mask == 0b101
+        assert cube.value == 0b100
+
+    def test_from_string_accepts_x(self):
+        assert Cube.from_string("1x0") == Cube.from_string("1-0")
+        assert Cube.from_string("1X0") == Cube.from_string("1-0")
+
+    def test_from_string_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Cube.from_string("102")
+
+    def test_from_minterm(self):
+        cube = Cube.from_minterm(5, 4)
+        assert str(cube) == "0101"
+        assert cube.num_minterms == 1
+
+    def test_from_minterm_out_of_range(self):
+        with pytest.raises(ValueError):
+            Cube.from_minterm(16, 4)
+
+    def test_universe(self):
+        cube = Cube.universe(3)
+        assert str(cube) == "---"
+        assert cube.num_minterms == 8
+
+    def test_invalid_mask(self):
+        with pytest.raises(ValueError):
+            Cube(width=2, value=0, mask=0b100)
+
+    def test_value_outside_mask(self):
+        with pytest.raises(ValueError):
+            Cube(width=2, value=0b10, mask=0b01)
+
+    def test_str_roundtrip(self):
+        for text in ("0", "1", "-", "01-", "1--0", "10101"):
+            assert str(Cube.from_string(text)) == text
+
+    def test_repr(self):
+        assert repr(Cube.from_string("1-")) == "Cube('1-')"
+
+
+class TestMembership:
+    def test_contains_own_minterms(self):
+        cube = Cube.from_string("1-0")
+        assert sorted(cube.minterms()) == [0b100, 0b110]
+
+    def test_contains_minterm(self):
+        cube = Cube.from_string("1-")
+        assert cube.contains_minterm(0b10)
+        assert cube.contains_minterm(0b11)
+        assert not cube.contains_minterm(0b01)
+
+    def test_num_literals(self):
+        assert Cube.from_string("1-0").num_literals == 2
+        assert Cube.universe(5).num_literals == 0
+
+    def test_covers_subset(self):
+        big = Cube.from_string("1--")
+        small = Cube.from_string("1-0")
+        assert big.covers(small)
+        assert not small.covers(big)
+
+    def test_covers_self(self):
+        cube = Cube.from_string("01-")
+        assert cube.covers(cube)
+
+    def test_covers_width_mismatch(self):
+        with pytest.raises(ValueError):
+            Cube.from_string("1-").covers(Cube.from_string("1--"))
+
+    def test_intersects_disjoint(self):
+        assert not Cube.from_string("1-").intersects(Cube.from_string("0-"))
+
+    def test_intersection(self):
+        a = Cube.from_string("1-")
+        b = Cube.from_string("-0")
+        assert a.intersection(b) == Cube.from_string("10")
+
+    def test_intersection_disjoint_is_none(self):
+        assert Cube.from_string("11").intersection(Cube.from_string("00")) is None
+
+    def test_matches_bits(self):
+        cube = Cube.from_string("1-0")
+        assert cube.matches_bits("110")
+        assert not cube.matches_bits("011")
+
+    def test_matches_bits_length_check(self):
+        with pytest.raises(ValueError):
+            Cube.from_string("1-").matches_bits("101")
+
+
+class TestMerge:
+    def test_merge_adjacent(self):
+        merged = Cube.from_string("10").merge(Cube.from_string("11"))
+        assert merged == Cube.from_string("1-")
+
+    def test_merge_non_adjacent(self):
+        assert Cube.from_string("00").merge(Cube.from_string("11")) is None
+
+    def test_merge_identical(self):
+        cube = Cube.from_string("01")
+        assert cube.merge(cube) is None
+
+    def test_merge_different_masks(self):
+        assert Cube.from_string("1-").merge(Cube.from_string("11")) is None
+
+    def test_expand_position(self):
+        cube = Cube.from_string("10")
+        assert cube.expand_position(0) == Cube.from_string("1-")
+        assert cube.expand_position(1) == Cube.from_string("-0")
+
+    def test_expand_free_position_noop(self):
+        cube = Cube.from_string("1-")
+        assert cube.expand_position(0) is cube
+
+    def test_cofactor_positions_msb_first(self):
+        assert Cube.from_string("1-0").cofactor_positions() == [2, 0]
+
+
+class TestAgeCost:
+    def test_oldest_care_index(self):
+        assert Cube.from_string("---").oldest_care_index == -1
+        assert Cube.from_string("--1").oldest_care_index == 0
+        assert Cube.from_string("1--").oldest_care_index == 2
+
+    def test_pattern_cost_prefers_recent(self):
+        recent = Cube.from_string("---1")
+        old = Cube.from_string("1---")
+        assert recent.pattern_cost < old.pattern_cost
+
+    def test_pattern_cost_universe_is_free(self):
+        assert Cube.universe(6).pattern_cost == 0
+
+
+class TestCoverHelpers:
+    def test_cover_contains(self):
+        cover = [Cube.from_string("1-"), Cube.from_string("01")]
+        assert cover_contains(cover, 0b01)
+        assert cover_contains(cover, 0b10)
+        assert not cover_contains(cover, 0b00)
+
+    def test_cover_literals(self):
+        cover = [Cube.from_string("1-"), Cube.from_string("01")]
+        assert cover_literals(cover) == 3
+
+
+@given(st.integers(1, 8).flatmap(lambda w: st.tuples(st.just(w), cube_strings(w))))
+def test_property_string_roundtrip(args):
+    width, text = args
+    cube = Cube.from_string(text)
+    assert str(cube) == text
+    assert cube.width == width
+
+
+@given(
+    st.integers(1, 6).flatmap(
+        lambda w: st.tuples(cube_strings(w), st.integers(0, (1 << w) - 1))
+    )
+)
+def test_property_membership_matches_charwise(args):
+    text, minterm = args
+    cube = Cube.from_string(text)
+    bits = format(minterm, f"0{cube.width}b")
+    expected = all(c == "-" or c == b for c, b in zip(text, bits))
+    assert cube.contains_minterm(minterm) == expected
+
+
+@given(st.integers(1, 6).flatmap(lambda w: st.tuples(cube_strings(w), cube_strings(w))))
+def test_property_intersection_is_conjunction(args):
+    a_text, b_text = args
+    a, b = Cube.from_string(a_text), Cube.from_string(b_text)
+    inter = a.intersection(b)
+    members_a = set(a.minterms())
+    members_b = set(b.minterms())
+    expected = members_a & members_b
+    if inter is None:
+        assert not expected
+    else:
+        assert set(inter.minterms()) == expected
+
+
+@given(st.integers(1, 6).flatmap(lambda w: st.tuples(cube_strings(w), cube_strings(w))))
+def test_property_covers_iff_subset(args):
+    a_text, b_text = args
+    a, b = Cube.from_string(a_text), Cube.from_string(b_text)
+    assert a.covers(b) == set(b.minterms()).issubset(set(a.minterms()))
+
+
+@given(st.integers(1, 8).flatmap(lambda w: cube_strings(w)))
+def test_property_minterm_count(text):
+    cube = Cube.from_string(text)
+    assert len(list(cube.minterms())) == cube.num_minterms

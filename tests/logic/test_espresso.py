@@ -1,0 +1,87 @@
+"""Tests for the heuristic (Espresso-style) minimizer and the dispatcher."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.logic.cube import Cube, cover_contains
+from repro.logic.espresso import minimize, minimize_heuristic
+from repro.logic.truth_table import TruthTable
+
+
+class TestHeuristic:
+    def test_paper_example(self):
+        table = TruthTable.from_strings(
+            2, {"00": "0", "01": "1", "10": "1", "11": "1"}
+        )
+        cover = minimize_heuristic(table)
+        assert table.is_cover_valid(cover)
+        assert len(cover) <= 2
+
+    def test_empty_on_set(self):
+        assert minimize_heuristic(TruthTable.from_sets(4, on=[], off=[3])) == []
+
+    def test_no_off_set(self):
+        cover = minimize_heuristic(TruthTable.from_sets(4, on=[3], off=[]))
+        assert cover == [Cube.universe(4)]
+
+    def test_expansion_happens(self):
+        # on = everything with the top bit set; a single expanded cube
+        # should emerge rather than 8 minterms.
+        width = 4
+        on = [m for m in range(16) if m & 0b1000]
+        off = [m for m in range(16) if not m & 0b1000]
+        cover = minimize_heuristic(TruthTable.from_sets(width, on, off))
+        assert cover == [Cube.from_string("1---")]
+
+    def test_irredundant_removes_contained(self):
+        # A case where naive expansion yields overlapping cubes.
+        table = TruthTable.from_sets(3, on=[0, 1, 2, 3], off=[4, 5, 6, 7])
+        cover = minimize_heuristic(table)
+        assert cover == [Cube.from_string("0--")]
+
+    @given(
+        st.integers(1, 6).flatmap(
+            lambda w: st.tuples(
+                st.just(w),
+                st.sets(st.integers(0, (1 << w) - 1)),
+                st.sets(st.integers(0, (1 << w) - 1)),
+            )
+        )
+    )
+    def test_property_cover_valid(self, args):
+        width, on, off = args
+        off = off - on
+        table = TruthTable.from_sets(width, on, off)
+        assert table.is_cover_valid(minimize_heuristic(table))
+
+
+class TestDispatch:
+    def test_small_width_uses_exact(self):
+        table = TruthTable.from_sets(2, on=[1, 2, 3], off=[0])
+        cover = minimize(table)
+        assert set(cover) == {Cube.from_string("1-"), Cube.from_string("-1")}
+
+    def test_wide_table_still_valid(self):
+        width = 14  # beyond the exact-width limit
+        on = [0, 1, 2, 3]
+        off = [1 << 13, (1 << 13) + 1]
+        table = TruthTable.from_sets(width, on, off)
+        cover = minimize(table)
+        assert table.is_cover_valid(cover)
+
+    @given(
+        st.sets(st.integers(0, 31)).flatmap(
+            lambda on: st.just(
+                TruthTable.from_sets(5, on, set(range(32)) - on)
+            )
+        )
+    )
+    def test_property_exact_and_heuristic_agree_on_function(self, table):
+        """Fully-specified tables: both minimizers realize the same
+        function (covers may differ)."""
+        exact = minimize(table)
+        heuristic = minimize_heuristic(table)
+        for minterm in range(32):
+            assert cover_contains(exact, minterm) == cover_contains(
+                heuristic, minterm
+            )

@@ -1,0 +1,145 @@
+"""Tests for exact Quine-McCluskey minimization."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.logic.cube import Cube, cover_contains
+from repro.logic.quine_mccluskey import minimize_exact, prime_implicants
+from repro.logic.truth_table import TruthTable
+
+
+def brute_force_primes(table: TruthTable):
+    """All prime implicants by brute force over every possible cube."""
+    width = table.width
+    care = table.on_set | table.dc_set
+    implicants = []
+    # Enumerate all cubes as (value, mask) pairs.
+    for mask in range(1 << width):
+        seen_values = set()
+        for value in range(1 << width):
+            value &= mask
+            if value in seen_values:
+                continue
+            seen_values.add(value)
+            cube = Cube(width=width, value=value, mask=mask)
+            if all(m in care for m in cube.minterms()):
+                implicants.append(cube)
+    primes = []
+    for cube in implicants:
+        if not any(other != cube and other.covers(cube) for other in implicants):
+            primes.append(cube)
+    return sorted(primes)
+
+
+class TestPrimeImplicants:
+    def test_paper_example(self):
+        # Section 4.4's table: on = {01, 10, 11}, off = {00}.
+        table = TruthTable.from_sets(2, on=[1, 2, 3], off=[0])
+        primes = prime_implicants(table)
+        assert set(primes) == {Cube.from_string("1-"), Cube.from_string("-1")}
+
+    def test_full_on_set(self):
+        table = TruthTable.from_sets(2, on=[0, 1, 2, 3], off=[])
+        assert prime_implicants(table) == [Cube.universe(2)]
+
+    def test_single_minterm(self):
+        table = TruthTable.from_sets(3, on=[5], off=set(range(8)) - {5})
+        assert prime_implicants(table) == [Cube.from_string("101")]
+
+    def test_empty_on_and_dc(self):
+        table = TruthTable.from_sets(2, on=[], off=[0, 1, 2, 3])
+        assert prime_implicants(table) == []
+
+    def test_dc_participates_in_merging(self):
+        # on = {11}, dc = {10}: the prime 1- exists only thanks to the dc.
+        table = TruthTable.from_sets(2, on=[3], off=[0, 1])
+        assert Cube.from_string("1-") in prime_implicants(table)
+
+    def test_primes_are_prime(self):
+        table = TruthTable.from_sets(3, on=[0, 1, 2, 5], off=[3, 4, 7])
+        primes = prime_implicants(table)
+        for prime in primes:
+            for position in range(3):
+                expanded = prime.expand_position(position)
+                if expanded == prime:
+                    continue
+                assert any(
+                    m in table.off_set for m in expanded.minterms()
+                ), f"{prime} is not prime: {expanded} is still an implicant"
+
+    @given(
+        st.integers(1, 4).flatmap(
+            lambda w: st.tuples(
+                st.just(w),
+                st.sets(st.integers(0, (1 << w) - 1)),
+                st.sets(st.integers(0, (1 << w) - 1)),
+            )
+        )
+    )
+    def test_property_matches_brute_force(self, args):
+        width, on, off = args
+        off = off - on
+        table = TruthTable.from_sets(width, on, off)
+        assert prime_implicants(table) == brute_force_primes(table)
+
+
+class TestMinimizeExact:
+    def test_paper_example_cover(self):
+        table = TruthTable.from_strings(
+            2, {"00": "0", "01": "1", "10": "1", "11": "1"}
+        )
+        cover = minimize_exact(table)
+        assert set(cover) == {Cube.from_string("1-"), Cube.from_string("-1")}
+
+    def test_empty_on_set(self):
+        assert minimize_exact(TruthTable.from_sets(3, on=[], off=[1])) == []
+
+    def test_no_off_set_gives_universe(self):
+        cover = minimize_exact(TruthTable.from_sets(3, on=[1], off=[]))
+        assert cover == [Cube.universe(3)]
+
+    def test_xor_needs_two_cubes(self):
+        table = TruthTable.from_sets(2, on=[1, 2], off=[0, 3])
+        cover = minimize_exact(table)
+        assert len(cover) == 2
+        assert table.is_cover_valid(cover)
+
+    def test_dc_reduces_cover(self):
+        # on = {111}, others off except dc = {110, 101, 011}.
+        table = TruthTable.from_sets(3, on=[7], off=[0, 1, 2, 4])
+        cover = minimize_exact(table)
+        assert table.is_cover_valid(cover)
+        assert sum(c.num_literals for c in cover) < 3
+
+    @given(
+        st.integers(1, 5).flatmap(
+            lambda w: st.tuples(
+                st.just(w),
+                st.sets(st.integers(0, (1 << w) - 1)),
+                st.sets(st.integers(0, (1 << w) - 1)),
+            )
+        )
+    )
+    def test_property_cover_is_valid(self, args):
+        width, on, off = args
+        off = off - on
+        table = TruthTable.from_sets(width, on, off)
+        cover = minimize_exact(table)
+        assert table.is_cover_valid(cover)
+
+    @given(
+        st.integers(1, 4).flatmap(
+            lambda w: st.sets(st.integers(0, (1 << w) - 1)).map(
+                lambda on: TruthTable.from_sets(
+                    w, on, set(range(1 << w)) - on
+                )
+            )
+        )
+    )
+    def test_property_fully_specified_cover_exact_function(self, table):
+        """With no dc set, the cover must equal the function everywhere."""
+        cover = minimize_exact(table)
+        for minterm in range(1 << table.width):
+            expected = minterm in table.on_set
+            assert cover_contains(cover, minterm) == expected

@@ -1,0 +1,121 @@
+"""Tests for the on/off/don't-care truth table container."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.logic.cube import Cube
+from repro.logic.truth_table import TruthTable
+
+
+class TestConstruction:
+    def test_basic_partition(self):
+        table = TruthTable.from_sets(2, on=[1, 2], off=[0])
+        assert table.on_set == {1, 2}
+        assert table.off_set == {0}
+        assert table.dc_set == {3}
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            TruthTable.from_sets(2, on=[1], off=[1])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            TruthTable.from_sets(2, on=[4], off=[])
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            TruthTable(width=-1, on_set=frozenset(), off_set=frozenset())
+
+    def test_from_mapping(self):
+        table = TruthTable.from_mapping(2, {0: "0", 1: "1", 2: "-"})
+        assert table.on_set == {1}
+        assert table.off_set == {0}
+        assert 2 in table.dc_set
+        assert 3 in table.dc_set
+
+    def test_from_mapping_rejects_bad_symbol(self):
+        with pytest.raises(ValueError):
+            TruthTable.from_mapping(2, {0: "2"})
+
+    def test_from_strings_paper_example(self):
+        # Section 4.4: {00 -> 0, 01 -> 1, 10 -> 1, 11 -> 1}
+        table = TruthTable.from_strings(
+            2, {"00": "0", "01": "1", "10": "1", "11": "1"}
+        )
+        assert table.on_set == {0b01, 0b10, 0b11}
+        assert table.off_set == {0b00}
+        assert not table.dc_set
+
+
+class TestQueries:
+    def test_output_of(self):
+        table = TruthTable.from_sets(2, on=[1], off=[0])
+        assert table.output_of(1) == "1"
+        assert table.output_of(0) == "0"
+        assert table.output_of(3) == "-"
+
+    def test_num_specified(self):
+        table = TruthTable.from_sets(3, on=[1, 2], off=[0])
+        assert table.num_specified == 3
+
+    def test_complement_swaps(self):
+        table = TruthTable.from_sets(2, on=[1], off=[0])
+        comp = table.complement()
+        assert comp.on_set == {0}
+        assert comp.off_set == {1}
+        assert comp.dc_set == table.dc_set
+
+    def test_as_rows(self):
+        table = TruthTable.from_sets(1, on=[1], off=[0])
+        assert table.as_rows() == {"0": "0", "1": "1"}
+
+    def test_str_contains_rows(self):
+        text = str(TruthTable.from_sets(1, on=[1], off=[0]))
+        assert "0 -> 0" in text
+        assert "1 -> 1" in text
+
+
+class TestCoverValidation:
+    def test_valid_cover(self):
+        table = TruthTable.from_strings(
+            2, {"00": "0", "01": "1", "10": "1", "11": "1"}
+        )
+        cover = [Cube.from_string("1-"), Cube.from_string("-1")]
+        assert table.is_cover_valid(cover)
+
+    def test_cover_missing_on_minterm(self):
+        table = TruthTable.from_sets(2, on=[1, 2], off=[0])
+        assert not table.is_cover_valid([Cube.from_string("-1")])
+
+    def test_cover_hitting_off_minterm(self):
+        table = TruthTable.from_sets(2, on=[3], off=[2])
+        assert not table.is_cover_valid([Cube.from_string("1-")])
+
+    def test_cover_width_mismatch_invalid(self):
+        table = TruthTable.from_sets(2, on=[3], off=[0])
+        assert not table.is_cover_valid([Cube.from_string("1")])
+
+    def test_empty_cover_valid_iff_no_on_set(self):
+        assert TruthTable.from_sets(2, on=[], off=[0]).is_cover_valid([])
+        assert not TruthTable.from_sets(2, on=[1], off=[]).is_cover_valid([])
+
+
+@given(
+    st.integers(1, 6).flatmap(
+        lambda w: st.tuples(
+            st.just(w),
+            st.sets(st.integers(0, (1 << w) - 1)),
+            st.sets(st.integers(0, (1 << w) - 1)),
+        )
+    )
+)
+def test_property_partition_is_complete(args):
+    width, on, off = args
+    off = off - on
+    table = TruthTable.from_sets(width, on, off)
+    union = table.on_set | table.off_set | table.dc_set
+    assert union == set(range(1 << width))
+    assert not (table.on_set & table.off_set)
+    assert not (table.on_set & table.dc_set)
+    assert not (table.off_set & table.dc_set)

@@ -1,0 +1,57 @@
+"""Tests for the predictor protocol base class."""
+
+import pytest
+
+from repro.predictors.base import BranchPredictor
+
+
+class _Minimal(BranchPredictor):
+    """A predictor that implements only the abstract interface."""
+
+    def predict(self, pc: int) -> bool:
+        return True
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+    def area(self) -> float:
+        return 1.0
+
+
+class TestProtocol:
+    def test_cannot_instantiate_abstract(self):
+        with pytest.raises(TypeError):
+            BranchPredictor()  # type: ignore[abstract]
+
+    def test_minimal_implementation_works(self):
+        predictor = _Minimal()
+        assert predictor.predict(0) is True
+        predictor.update(0, True)
+        assert predictor.area() == 1.0
+
+    def test_reset_default_raises(self):
+        """A predictor that forgot to implement reset must fail loudly
+        rather than silently alias state between runs."""
+        with pytest.raises(NotImplementedError):
+            _Minimal().reset()
+
+    def test_all_shipped_predictors_implement_reset(self):
+        from repro.predictors.bimodal import BimodalPredictor
+        from repro.predictors.custom import CustomBranchPredictor
+        from repro.predictors.gshare import GSharePredictor
+        from repro.predictors.local_global import LocalGlobalChooser
+        from repro.predictors.loop import LoopTerminationPredictor
+        from repro.predictors.ppm import PPMPredictor
+        from repro.predictors.xscale import XScalePredictor
+
+        for predictor in (
+            BimodalPredictor(16),
+            GSharePredictor(4),
+            LocalGlobalChooser(4),
+            LoopTerminationPredictor(16),
+            PPMPredictor(3),
+            XScalePredictor(16),
+            CustomBranchPredictor([]),
+        ):
+            predictor.update(0x40, True)
+            predictor.reset()  # must not raise

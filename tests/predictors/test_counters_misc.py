@@ -1,0 +1,92 @@
+"""Tests for resetting counters and the runtime FSM predictor wrapper."""
+
+import pytest
+
+from repro.automata.moore import MooreMachine
+from repro.core.pipeline import design_predictor
+from repro.predictors.fsm import FSMPredictor
+from repro.predictors.resetting import ResettingCounter
+
+
+class TestResettingCounter:
+    def test_counts_consecutive_ups(self):
+        counter = ResettingCounter(max_value=8, threshold=3)
+        for _ in range(3):
+            assert not counter.predict()
+            counter.update(True)
+        assert counter.predict()
+
+    def test_resets_on_down(self):
+        counter = ResettingCounter(max_value=8, threshold=2, initial=5)
+        counter.update(False)
+        assert counter.value == 0
+        assert not counter.predict()
+
+    def test_saturates(self):
+        counter = ResettingCounter(max_value=2, threshold=1)
+        for _ in range(5):
+            counter.update(True)
+        assert counter.value == 2
+
+    def test_reset_method(self):
+        counter = ResettingCounter(max_value=4, threshold=2, initial=1)
+        counter.update(True)
+        counter.reset()
+        assert counter.value == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResettingCounter(max_value=0)
+        with pytest.raises(ValueError):
+            ResettingCounter(max_value=3, initial=9)
+        with pytest.raises(ValueError):
+            ResettingCounter(max_value=3, threshold=7)
+
+    def test_num_states_and_bits(self):
+        counter = ResettingCounter(max_value=7, threshold=4)
+        assert counter.num_states == 8
+        assert counter.storage_bits == 3
+
+
+class TestFSMPredictor:
+    def test_wraps_designed_machine(self, paper_trace):
+        machine = design_predictor(paper_trace, order=2).machine
+        predictor = FSMPredictor(machine)
+        # Walk the paper's patterns: after seeing 1,1 the prediction is 1.
+        predictor.update(True)
+        predictor.update(True)
+        assert predictor.predict() is True
+        predictor.update(False)
+        predictor.update(False)
+        assert predictor.predict() is False
+
+    def test_reset_returns_to_start(self, paper_trace):
+        machine = design_predictor(paper_trace, order=2).machine
+        predictor = FSMPredictor(machine)
+        predictor.update(True)
+        predictor.reset()
+        assert predictor.state == machine.start
+
+    def test_num_states_and_storage(self, paper_trace):
+        machine = design_predictor(paper_trace, order=2).machine
+        predictor = FSMPredictor(machine)
+        assert predictor.num_states == 3
+        assert predictor.storage_bits == 2
+
+    def test_rejects_non_binary_machine(self):
+        machine = MooreMachine(
+            alphabet=("a",), start=0, outputs=(0,), transitions=((0,),)
+        )
+        with pytest.raises(ValueError):
+            FSMPredictor(machine)
+
+    def test_matches_machine_trace_outputs(self, paper_trace):
+        machine = design_predictor(paper_trace, order=2).machine
+        predictor = FSMPredictor(machine)
+        bits = "011010011"
+        expected = machine.trace_outputs(bits)
+        got = []
+        for bit in bits:
+            predictor.update(bit == "1")
+            got.append(1 if predictor.predict() else 0)
+        assert got == expected

@@ -1,0 +1,135 @@
+"""Tests for saturating up/down counters."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.predictors.sud import FULL_DECREMENT, SaturatingUpDownCounter, TwoBitCounter
+
+
+class TestTwoBitCounter:
+    def test_paper_semantics(self):
+        counter = TwoBitCounter()
+        # "When the counter has a value less than or equal to 1, the branch
+        # is predicted as not-taken."
+        assert counter.value == 0
+        assert not counter.predict()
+        counter.update(True)
+        assert counter.value == 1 and not counter.predict()
+        counter.update(True)
+        assert counter.value == 2 and counter.predict()
+        counter.update(True)
+        assert counter.value == 3 and counter.predict()
+
+    def test_saturates_at_three(self):
+        counter = TwoBitCounter(initial=3)
+        counter.update(True)
+        assert counter.value == 3
+
+    def test_saturates_at_zero(self):
+        counter = TwoBitCounter()
+        counter.update(False)
+        assert counter.value == 0
+
+    def test_hysteresis(self):
+        counter = TwoBitCounter(initial=3)
+        counter.update(False)
+        assert counter.predict()  # still taken at 2
+        counter.update(False)
+        assert not counter.predict()
+
+    def test_num_states(self):
+        assert TwoBitCounter().num_states == 4
+
+    def test_storage_bits(self):
+        assert TwoBitCounter().storage_bits == 2
+
+
+class TestParameterization:
+    def test_custom_increment(self):
+        counter = SaturatingUpDownCounter(max_value=10, increment=3, threshold=5)
+        counter.update(True)
+        counter.update(True)
+        assert counter.value == 6
+        assert counter.predict()
+
+    def test_custom_decrement(self):
+        counter = SaturatingUpDownCounter(
+            max_value=10, decrement=4, threshold=5, initial=10
+        )
+        counter.update(False)
+        assert counter.value == 6
+
+    def test_full_decrement_clears(self):
+        counter = SaturatingUpDownCounter(
+            max_value=40, decrement=FULL_DECREMENT, threshold=20, initial=39
+        )
+        counter.update(False)
+        assert counter.value == 0
+
+    def test_reset_restores_initial(self):
+        counter = SaturatingUpDownCounter(max_value=7, threshold=4, initial=3)
+        counter.update(True)
+        counter.reset()
+        assert counter.value == 3
+
+    def test_threshold_at_zero_always_predicts(self):
+        counter = SaturatingUpDownCounter(max_value=3, threshold=0)
+        assert counter.predict()
+
+    def test_threshold_above_max_never_predicts(self):
+        counter = SaturatingUpDownCounter(max_value=3, threshold=4)
+        for _ in range(10):
+            counter.update(True)
+        assert not counter.predict()
+
+
+class TestValidation:
+    def test_max_value_positive(self):
+        with pytest.raises(ValueError):
+            SaturatingUpDownCounter(max_value=0)
+
+    def test_increment_positive(self):
+        with pytest.raises(ValueError):
+            SaturatingUpDownCounter(max_value=3, increment=0)
+
+    def test_decrement_validated(self):
+        with pytest.raises(ValueError):
+            SaturatingUpDownCounter(max_value=3, decrement=0)
+        with pytest.raises(ValueError):
+            SaturatingUpDownCounter(max_value=3, decrement=-2)
+
+    def test_initial_in_range(self):
+        with pytest.raises(ValueError):
+            SaturatingUpDownCounter(max_value=3, initial=4)
+
+    def test_threshold_in_range(self):
+        with pytest.raises(ValueError):
+            SaturatingUpDownCounter(max_value=3, threshold=5)
+
+
+@given(
+    st.integers(1, 50),
+    st.integers(1, 5),
+    st.sampled_from([1, 2, 5, 10, FULL_DECREMENT]),
+    st.lists(st.booleans(), max_size=200),
+)
+def test_property_value_stays_in_range(max_value, increment, decrement, events):
+    counter = SaturatingUpDownCounter(
+        max_value=max_value, increment=increment, decrement=decrement,
+        threshold=min(1, max_value),
+    )
+    for event in events:
+        counter.update(event)
+        assert 0 <= counter.value <= max_value
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=100))
+def test_property_monotone_response(events):
+    """Feeding only ups never lowers the value; only downs never raise it."""
+    up = SaturatingUpDownCounter(max_value=10, threshold=5)
+    previous = up.value
+    for _ in events:
+        up.update(True)
+        assert up.value >= previous
+        previous = up.value

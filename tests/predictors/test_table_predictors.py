@@ -1,0 +1,249 @@
+"""Tests for the table-based branch predictors: bimodal, XScale, gshare,
+LGC, PPM -- plus the shared simulation loop."""
+
+import pytest
+
+from repro.predictors.base import PredictionStats, simulate_predictor
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.gshare import GSharePredictor
+from repro.predictors.local_global import LocalGlobalChooser
+from repro.predictors.ppm import PPMPredictor
+from repro.predictors.xscale import XScalePredictor
+
+
+def repeated(pattern, times):
+    """[(pc, taken)] repeating a per-branch outcome pattern."""
+    trace = []
+    for _ in range(times):
+        for pc, taken in pattern:
+            trace.append((pc, taken))
+    return trace
+
+
+class TestPredictionStats:
+    def test_counts(self):
+        stats = PredictionStats()
+        stats.record(True)
+        stats.record(False)
+        stats.record(True)
+        assert stats.lookups == 3
+        assert stats.hits == 2
+        assert stats.misses == 1
+        assert stats.miss_rate == pytest.approx(1 / 3)
+        assert stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_empty_rates(self):
+        stats = PredictionStats()
+        assert stats.miss_rate == 0.0
+        assert stats.hit_rate == 0.0
+
+    def test_merged(self):
+        a = PredictionStats(lookups=10, hits=8)
+        b = PredictionStats(lookups=10, hits=4)
+        merged = a.merged(b)
+        assert merged.lookups == 20 and merged.hits == 12
+
+    def test_str(self):
+        assert "miss_rate" in str(PredictionStats(lookups=4, hits=2))
+
+
+class TestBimodal:
+    def test_learns_biased_branch(self):
+        predictor = BimodalPredictor(64)
+        stats = simulate_predictor(
+            predictor, repeated([(0x100, True)], 100), warmup=10
+        )
+        assert stats.miss_rate == 0.0
+
+    def test_alternating_branch_is_hard(self):
+        predictor = BimodalPredictor(64)
+        trace = [(0x100, i % 2 == 0) for i in range(200)]
+        stats = simulate_predictor(predictor, trace, warmup=20)
+        assert stats.miss_rate >= 0.4
+
+    def test_aliasing_in_tiny_table(self):
+        predictor = BimodalPredictor(1)
+        trace = repeated([(0x100, True), (0x200, False)], 100)
+        stats = simulate_predictor(predictor, trace, warmup=10)
+        assert stats.miss_rate > 0.3  # both branches share one counter
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(12)
+
+    def test_area_scales_with_entries(self):
+        assert BimodalPredictor(256).area() == 2 * BimodalPredictor(128).area()
+
+    def test_reset(self):
+        predictor = BimodalPredictor(16)
+        for _ in range(4):
+            predictor.update(0x40, True)
+        predictor.reset()
+        assert not predictor.predict(0x40)
+
+
+class TestXScale:
+    def test_not_taken_on_btb_miss(self):
+        predictor = XScalePredictor()
+        assert predictor.predict(0x1234) is False
+
+    def test_allocates_on_taken(self):
+        predictor = XScalePredictor()
+        predictor.update(0x100, True)
+        assert predictor.predict(0x100) is True
+
+    def test_no_allocation_on_not_taken(self):
+        predictor = XScalePredictor()
+        predictor.update(0x100, False)
+        assert predictor.lookup(0x100) is None
+
+    def test_tag_conflict_replaces(self):
+        predictor = XScalePredictor(num_entries=128)
+        pc_a = 0x1000
+        pc_b = pc_a + 128 * 4  # same index, different tag
+        predictor.update(pc_a, True)
+        predictor.update(pc_b, True)
+        assert predictor.lookup(pc_a) is None
+        assert predictor.predict(pc_b) is True
+
+    def test_learns_biased_branches(self):
+        predictor = XScalePredictor()
+        trace = repeated([(0x100, True), (0x104, False)], 80)
+        stats = simulate_predictor(predictor, trace, warmup=10)
+        assert stats.miss_rate == 0.0
+
+    def test_area_includes_tags_and_targets(self):
+        assert XScalePredictor(128).area() > BimodalPredictor(128).area()
+
+    def test_reset(self):
+        predictor = XScalePredictor()
+        predictor.update(0x100, True)
+        predictor.reset()
+        assert predictor.lookup(0x100) is None
+
+
+class TestGShare:
+    def test_learns_biased_branch(self):
+        predictor = GSharePredictor(8)
+        stats = simulate_predictor(
+            predictor, repeated([(0x100, True)], 100), warmup=20
+        )
+        assert stats.miss_rate == 0.0
+
+    def test_learns_global_correlation(self):
+        # Branch B equals branch A's outcome: with history, gshare nails B.
+        predictor = GSharePredictor(10)
+        trace = []
+        import random
+
+        rng = random.Random(3)
+        for _ in range(600):
+            a = rng.random() < 0.5
+            trace.append((0x100, a))
+            trace.append((0x104, a))
+        stats = simulate_predictor(predictor, trace, warmup=300)
+        assert stats.miss_rate < 0.3  # B side is ~free, A side ~50%
+
+    def test_history_register_shifts(self):
+        predictor = GSharePredictor(4)
+        predictor.update(0, True)
+        predictor.update(0, False)
+        assert predictor.history == 0b10
+
+    def test_history_bounded_by_index_bits(self):
+        predictor = GSharePredictor(3)
+        for _ in range(10):
+            predictor.update(0, True)
+        assert predictor.history < 8
+
+    def test_index_bits_validated(self):
+        with pytest.raises(ValueError):
+            GSharePredictor(0)
+
+    def test_area(self):
+        assert GSharePredictor(10).area() == 4 * GSharePredictor(8).area()
+
+
+class TestLGC:
+    def test_learns_local_pattern(self):
+        # Period-3 pattern (T,T,N) defeats 2-bit counters but local
+        # history catches it.
+        predictor = LocalGlobalChooser(8)
+        pattern = [True, True, False]
+        trace = [(0x100, pattern[i % 3]) for i in range(900)]
+        stats = simulate_predictor(predictor, trace, warmup=600)
+        assert stats.miss_rate < 0.05
+
+    def test_learns_global_correlation(self):
+        import random
+
+        predictor = LocalGlobalChooser(8)
+        rng = random.Random(5)
+        trace = []
+        for _ in range(800):
+            a = rng.random() < 0.5
+            trace.append((0x100, a))
+            trace.append((0x104, a))
+        stats = simulate_predictor(predictor, trace, warmup=400)
+        assert stats.miss_rate < 0.35
+
+    def test_scale_bits_validated(self):
+        with pytest.raises(ValueError):
+            LocalGlobalChooser(1)
+
+    def test_area_grows_with_scale(self):
+        assert LocalGlobalChooser(10).area() > LocalGlobalChooser(8).area()
+
+    def test_reset(self):
+        predictor = LocalGlobalChooser(6)
+        for _ in range(20):
+            predictor.update(0x100, True)
+        predictor.reset()
+        assert predictor._global_history == 0
+
+
+class TestPPM:
+    def test_learns_biased_stream(self):
+        predictor = PPMPredictor(4)
+        stats = simulate_predictor(
+            predictor, repeated([(0x100, True)], 60), warmup=10
+        )
+        assert stats.miss_rate == 0.0
+
+    def test_learns_alternation(self):
+        predictor = PPMPredictor(4)
+        trace = [(0x100, i % 2 == 0) for i in range(300)]
+        stats = simulate_predictor(predictor, trace, warmup=100)
+        assert stats.miss_rate < 0.05
+
+    def test_longer_context_beats_shorter(self):
+        # Period-4 pattern needs more than 1 bit of context.
+        pattern = [True, True, True, False]
+        trace = [(0x100, pattern[i % 4]) for i in range(800)]
+        shallow = simulate_predictor(PPMPredictor(1), list(trace), warmup=400)
+        deep = simulate_predictor(PPMPredictor(6), list(trace), warmup=400)
+        assert deep.miss_rate < shallow.miss_rate
+
+    def test_max_order_validated(self):
+        with pytest.raises(ValueError):
+            PPMPredictor(0)
+
+    def test_reset(self):
+        predictor = PPMPredictor(3)
+        predictor.update(0x100, True)
+        predictor.reset()
+        assert predictor._history == 0
+
+
+class TestSimulateLoop:
+    def test_warmup_excluded(self):
+        predictor = BimodalPredictor(16)
+        trace = repeated([(0x100, True)], 50)
+        with_warmup = simulate_predictor(predictor, trace, warmup=10)
+        assert with_warmup.lookups == 40
+
+    def test_stats_conserve(self):
+        predictor = GSharePredictor(6)
+        trace = repeated([(0x100, True), (0x104, False)], 30)
+        stats = simulate_predictor(predictor, trace)
+        assert stats.hits + stats.misses == stats.lookups == len(trace)

@@ -1,0 +1,105 @@
+"""Tests for the GA predictor-search extension."""
+
+import random
+
+import pytest
+
+from repro.search.ga import GAConfig, evolve, fitness, search_predictor
+from repro.search.genome import MachineGenome, random_genome
+from repro.workloads.trace import BranchTrace
+
+
+def copy_trace(n=300):
+    """Branch B copies branch A (random); perfect score possible with a
+    2-state machine."""
+    trace = BranchTrace()
+    rng = random.Random(1)
+    for _ in range(n):
+        a = rng.random() < 0.5
+        trace.append(0x100, a)
+        trace.append(0x104, a)
+    return trace
+
+
+class TestGenome:
+    def test_random_genome_well_formed(self, rng):
+        genome = random_genome(6, rng)
+        assert genome.num_states == 6
+        machine = genome.to_machine()
+        assert machine.num_states == 6
+
+    def test_zero_states_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_genome(0, rng)
+
+    def test_copy_is_independent(self, rng):
+        genome = random_genome(4, rng)
+        clone = genome.copy()
+        clone.outputs[0] ^= 1
+        assert genome.outputs[0] != clone.outputs[0]
+
+    def test_mutation_preserves_wellformedness(self, rng):
+        genome = random_genome(5, rng)
+        for _ in range(50):
+            genome.mutate(rng, rate=0.5)
+            genome.to_machine()  # raises if malformed
+
+    def test_crossover_preserves_wellformedness(self, rng):
+        a = random_genome(5, rng)
+        b = random_genome(7, rng)
+        for _ in range(20):
+            child = a.crossover(b, rng)
+            assert child.num_states == a.num_states
+            child.to_machine()
+
+    def test_single_state_crossover(self, rng):
+        a = random_genome(1, rng)
+        b = random_genome(1, rng)
+        child = a.crossover(b, rng)
+        assert child.num_states == 1
+
+
+class TestFitness:
+    def test_perfect_copier(self):
+        # 2-state machine: state = last outcome, output = state label.
+        genome = MachineGenome(outputs=[0, 1], transitions=[(0, 1), (0, 1)])
+        trace = copy_trace()
+        assert fitness(genome, trace.pcs, trace.outcomes, 0x104) == 1.0
+
+    def test_inverted_copier_scores_zero(self):
+        genome = MachineGenome(outputs=[1, 0], transitions=[(0, 1), (0, 1)])
+        trace = copy_trace()
+        assert fitness(genome, trace.pcs, trace.outcomes, 0x104) == 0.0
+
+    def test_absent_branch_scores_zero(self):
+        genome = MachineGenome(outputs=[0], transitions=[(0, 0)])
+        trace = copy_trace()
+        assert fitness(genome, trace.pcs, trace.outcomes, 0xFFFF) == 0.0
+
+
+class TestEvolve:
+    def test_finds_copier(self):
+        trace = copy_trace()
+        config = GAConfig(num_states=2, generations=30, population=30, seed=3)
+        _machine, best = search_predictor(trace, 0x104, config)
+        assert best > 0.95
+
+    def test_deterministic_given_seed(self):
+        trace = copy_trace(100)
+        config = GAConfig(num_states=3, generations=5, seed=42)
+        a = evolve(trace, 0x104, config)
+        b = evolve(trace, 0x104, config)
+        assert a[1] == b[1]
+        assert a[0].outputs == b[0].outputs
+
+    def test_fitness_sample_caps_work(self):
+        trace = copy_trace(500)
+        config = GAConfig(num_states=2, generations=2, fitness_sample=50, seed=0)
+        _machine, best = evolve(trace, 0x104, config)
+        assert 0.0 <= best <= 1.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GAConfig(population=1)
+        with pytest.raises(ValueError):
+            GAConfig(population=4, elite=4)

@@ -1,0 +1,85 @@
+"""Tests for the area cost model (the Synopsys stand-in)."""
+
+import random
+
+import pytest
+
+from repro.automata.moore import MooreMachine
+from repro.core.pipeline import design_predictor
+from repro.synth.area import (
+    AreaReport,
+    cam_bits_area,
+    estimate_area,
+    table_bits_area,
+)
+from repro.synth.encoding import binary_encoding
+
+
+def shift_register_machine(bits: int) -> MooreMachine:
+    """Output = input ``bits`` steps ago: large but perfectly regular."""
+    n = 1 << bits
+    mask = n - 1
+    return MooreMachine(
+        alphabet=("0", "1"),
+        start=0,
+        outputs=tuple((s >> (bits - 1)) & 1 for s in range(n)),
+        transitions=tuple(
+            (((s << 1) & mask), ((s << 1) | 1) & mask) for s in range(n)
+        ),
+    )
+
+
+def random_machine(seed: int, n: int) -> MooreMachine:
+    rng = random.Random(seed)
+    return MooreMachine(
+        alphabet=("0", "1"),
+        start=0,
+        outputs=tuple(rng.randrange(2) for _ in range(n)),
+        transitions=tuple((rng.randrange(n), rng.randrange(n)) for _ in range(n)),
+    )
+
+
+class TestEstimate:
+    def test_report_fields(self, paper_trace):
+        machine = design_predictor(paper_trace, order=2).machine
+        report = estimate_area(machine)
+        assert isinstance(report, AreaReport)
+        assert report.num_states == machine.num_states
+        assert report.area > 0
+        assert report.flip_flops >= 1
+
+    def test_picks_cheapest_encoding(self, paper_trace):
+        machine = design_predictor(paper_trace, order=2).machine
+        best = estimate_area(machine)
+        binary_only = estimate_area(machine, encodings=[binary_encoding(machine.num_states)])
+        assert best.area <= binary_only.area
+
+    def test_return_synth(self, paper_trace):
+        machine = design_predictor(paper_trace, order=2).machine
+        report, synth = estimate_area(machine, return_synth=True)
+        assert synth.encoding.name == report.encoding_name
+
+    def test_bigger_random_machines_cost_more(self):
+        small = estimate_area(random_machine(1, 4)).area
+        large = estimate_area(random_machine(1, 24)).area
+        assert large > small
+
+    def test_regular_machine_cheaper_than_chaotic_same_size(self):
+        """Figure 4's key observation: large *regular* machines fall below
+        the linear bound."""
+        n = 32
+        regular = estimate_area(shift_register_machine(5)).area
+        chaotic = estimate_area(random_machine(3, n)).area
+        assert regular < chaotic
+
+    def test_str(self, paper_trace):
+        machine = design_predictor(paper_trace, order=2).machine
+        assert "states=" in str(estimate_area(machine))
+
+
+class TestStorageAreas:
+    def test_table_bits_linear(self):
+        assert table_bits_area(200) == 2 * table_bits_area(100)
+
+    def test_cam_more_expensive_than_sram(self):
+        assert cam_bits_area(100) > table_bits_area(100)

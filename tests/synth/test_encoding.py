@@ -1,0 +1,86 @@
+"""Tests for state encodings."""
+
+import pytest
+
+from repro.synth.encoding import (
+    StateEncoding,
+    binary_encoding,
+    gray_encoding,
+    one_hot_encoding,
+    standard_encodings,
+)
+
+
+class TestBinary:
+    def test_codes_are_sequential(self):
+        enc = binary_encoding(5)
+        assert enc.codes == (0, 1, 2, 3, 4)
+        assert enc.num_bits == 3
+
+    def test_single_state(self):
+        assert binary_encoding(1).num_bits == 1
+
+    def test_exact_power_of_two(self):
+        assert binary_encoding(8).num_bits == 3
+        assert binary_encoding(9).num_bits == 4
+
+
+class TestGray:
+    def test_adjacent_codes_differ_in_one_bit(self):
+        enc = gray_encoding(8)
+        for a, b in zip(enc.codes, enc.codes[1:]):
+            assert bin(a ^ b).count("1") == 1
+
+    def test_codes_unique(self):
+        enc = gray_encoding(11)
+        assert len(set(enc.codes)) == 11
+
+
+class TestOneHot:
+    def test_one_bit_per_state(self):
+        enc = one_hot_encoding(4)
+        assert enc.num_bits == 4
+        assert enc.codes == (1, 2, 4, 8)
+
+
+class TestValidation:
+    def test_duplicate_codes_rejected(self):
+        with pytest.raises(ValueError):
+            StateEncoding(name="bad", num_bits=2, codes=(1, 1))
+
+    def test_code_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            StateEncoding(name="bad", num_bits=1, codes=(0, 2))
+
+    def test_zero_states_rejected(self):
+        with pytest.raises(ValueError):
+            binary_encoding(0)
+
+
+class TestLookup:
+    def test_code_of_and_state_of_inverse(self):
+        enc = gray_encoding(6)
+        for state in range(6):
+            assert enc.state_of(enc.code_of(state)) == state
+
+    def test_state_of_unused_code_raises(self):
+        enc = binary_encoding(3)  # 2 bits, code 3 unused
+        with pytest.raises(KeyError):
+            enc.state_of(3)
+
+    def test_code_string(self):
+        enc = binary_encoding(4)
+        assert enc.code_string(2) == "10"
+
+    def test_used_codes(self):
+        assert binary_encoding(3).used_codes() == frozenset({0, 1, 2})
+
+
+class TestStandardEncodings:
+    def test_small_machine_gets_one_hot(self):
+        names = [e.name for e in standard_encodings(8)]
+        assert names == ["binary", "gray", "one_hot"]
+
+    def test_large_machine_skips_one_hot(self):
+        names = [e.name for e in standard_encodings(64)]
+        assert "one_hot" not in names

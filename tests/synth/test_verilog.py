@@ -1,0 +1,53 @@
+"""Structural tests for the Verilog emitter."""
+
+import pytest
+
+from repro.automata.moore import MooreMachine
+from repro.core.pipeline import design_predictor
+from repro.synth.verilog import generate_verilog
+
+
+@pytest.fixture
+def paper_machine(paper_trace):
+    return design_predictor(paper_trace, order=2).machine
+
+
+class TestStructure:
+    def test_module_wrapper(self, paper_machine):
+        text = generate_verilog(paper_machine, "fsm")
+        assert text.startswith("module fsm (")
+        assert text.rstrip().endswith("endmodule")
+
+    def test_localparam_per_state(self, paper_machine):
+        text = generate_verilog(paper_machine)
+        for state in range(paper_machine.num_states):
+            assert f"S{state} =" in text
+
+    def test_case_arms(self, paper_machine):
+        text = generate_verilog(paper_machine)
+        for state in range(paper_machine.num_states):
+            assert f"S{state}: next_state" in text
+            assert f"S{state}: prediction" in text
+
+    def test_default_arms_present(self, paper_machine):
+        text = generate_verilog(paper_machine)
+        assert text.count("default:") == 2
+
+    def test_reset_to_start(self, paper_machine):
+        assert f"state <= S{paper_machine.start};" in generate_verilog(paper_machine)
+
+    def test_state_register_width(self, paper_machine):
+        text = generate_verilog(paper_machine)
+        width = max(1, (paper_machine.num_states - 1).bit_length())
+        assert f"reg [{width-1}:0] state" in text
+
+    def test_module_name_validated(self, paper_machine):
+        with pytest.raises(ValueError):
+            generate_verilog(paper_machine, "1bad")
+
+    def test_binary_alphabet_required(self):
+        machine = MooreMachine(
+            alphabet=("a",), start=0, outputs=(0,), transitions=((0,),)
+        )
+        with pytest.raises(ValueError):
+            generate_verilog(machine)

@@ -1,0 +1,82 @@
+"""Structural tests for the VHDL emitter."""
+
+import re
+
+import pytest
+
+from repro.automata.moore import MooreMachine
+from repro.core.pipeline import design_predictor
+from repro.synth.vhdl import generate_vhdl
+
+
+@pytest.fixture
+def paper_machine(paper_trace):
+    return design_predictor(paper_trace, order=2).machine
+
+
+class TestStructure:
+    def test_entity_declared(self, paper_machine):
+        text = generate_vhdl(paper_machine, "counter")
+        assert "entity counter is" in text
+        assert "end entity counter;" in text
+
+    def test_ports(self, paper_machine):
+        text = generate_vhdl(paper_machine)
+        for port in ("clk", "reset", "outcome", "prediction"):
+            assert port in text
+
+    def test_state_type_lists_all_states(self, paper_machine):
+        text = generate_vhdl(paper_machine)
+        states = ", ".join(f"s{i}" for i in range(paper_machine.num_states))
+        assert f"type state_type is ({states});" in text
+
+    def test_three_processes(self, paper_machine):
+        text = generate_vhdl(paper_machine)
+        assert text.count("end process") == 3
+
+    def test_case_arm_per_state(self, paper_machine):
+        text = generate_vhdl(paper_machine)
+        for state in range(paper_machine.num_states):
+            # One arm in next-state logic, one in output logic.
+            assert text.count(f"when s{state} =>") == 2
+
+    def test_reset_targets_start_state(self, paper_machine):
+        text = generate_vhdl(paper_machine)
+        assert f"state <= s{paper_machine.start};" in text
+
+    def test_transitions_encoded(self, paper_machine):
+        text = generate_vhdl(paper_machine)
+        # Spot-check every transition appears as an assignment.
+        for row in paper_machine.transitions:
+            assert f"next_state <= s{row[0]};" in text
+            assert f"next_state <= s{row[1]};" in text
+
+    def test_outputs_encoded(self, paper_machine):
+        text = generate_vhdl(paper_machine)
+        for output in set(paper_machine.outputs):
+            assert f"prediction <= '{output}';" in text
+
+    def test_balanced_if_blocks(self, paper_machine):
+        text = generate_vhdl(paper_machine)
+        assert text.count("if ") == text.count("end if;")
+
+    def test_balanced_case_blocks(self, paper_machine):
+        text = generate_vhdl(paper_machine)
+        assert text.count("case state is") == text.count("end case;") == 2
+
+    def test_entity_name_validated(self, paper_machine):
+        with pytest.raises(ValueError):
+            generate_vhdl(paper_machine, "bad name")
+
+    def test_binary_alphabet_required(self):
+        machine = MooreMachine(
+            alphabet=("a", "b", "c"),
+            start=0,
+            outputs=(0,),
+            transitions=((0, 0, 0),),
+        )
+        with pytest.raises(ValueError):
+            generate_vhdl(machine)
+
+    def test_ends_with_newline(self, paper_machine):
+        assert generate_vhdl(paper_machine).endswith("\n")

@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestDesign:
+    def test_design_from_file(self, tmp_path, capsys):
+        trace = tmp_path / "trace.txt"
+        trace.write_text("0000 1000 1011 1101 1110 1111")
+        assert main(["design", "--order", "2", "--trace-file", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "x1 | 1x" in out
+        assert "MooreMachine: 3 states" in out
+
+    def test_design_writes_hdl(self, tmp_path, capsys):
+        trace = tmp_path / "trace.txt"
+        trace.write_text("0101" * 20)
+        vhdl = tmp_path / "out.vhd"
+        verilog = tmp_path / "out.v"
+        dot = tmp_path / "out.dot"
+        main(
+            [
+                "design", "--order", "2", "--trace-file", str(trace),
+                "--vhdl", str(vhdl), "--verilog", str(verilog),
+                "--dot", str(dot), "--area",
+            ]
+        )
+        assert "entity" in vhdl.read_text()
+        assert "module" in verilog.read_text()
+        assert "digraph" in dot.read_text()
+        assert "AreaReport" in capsys.readouterr().out
+
+    def test_design_rejects_empty_trace(self, tmp_path):
+        trace = tmp_path / "trace.txt"
+        trace.write_text("hello world")
+        with pytest.raises(SystemExit):
+            main(["design", "--trace-file", str(trace)])
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figures_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "fig99"])
+
+    def test_fig1_runs(self, capsys):
+        assert main(["figures", "fig1"]) == 0
+        assert "final=3" in capsys.readouterr().out
+
+
+class TestCustomize:
+    def test_customize_small(self, capsys):
+        assert main(["customize", "ijpeg", "--branches", "2", "--length", "8000"]) == 0
+        out = capsys.readouterr().out
+        assert "xscale-128" in out
+        assert "custom-" in out

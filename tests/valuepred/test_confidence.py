@@ -1,0 +1,153 @@
+"""Tests for the confidence-estimation harness."""
+
+import pytest
+
+from repro.automata.moore import MooreMachine
+from repro.core.pipeline import design_predictor
+from repro.predictors.sud import FULL_DECREMENT
+from repro.valuepred.confidence import (
+    ConfidenceStats,
+    correctness_trace,
+    evaluate_counter_confidence,
+    evaluate_fsm_confidence,
+    resetting_configurations,
+    sud_configurations,
+)
+from repro.workloads.trace import LoadTrace
+
+
+def make_load_trace(pairs):
+    trace = LoadTrace()
+    for pc, value in pairs:
+        trace.append(pc, value)
+    return trace
+
+
+class TestConfidenceStats:
+    def test_accuracy_and_coverage(self):
+        stats = ConfidenceStats()
+        stats.record(True, True)    # confident, correct
+        stats.record(True, False)   # confident, wrong
+        stats.record(False, True)   # not confident, correct
+        stats.record(False, False)
+        assert stats.accuracy == pytest.approx(0.5)
+        assert stats.coverage == pytest.approx(0.5)
+
+    def test_vacuous_accuracy(self):
+        stats = ConfidenceStats()
+        stats.record(False, True)
+        assert stats.accuracy == 1.0
+        assert stats.coverage == 0.0
+
+    def test_no_correct_predictions(self):
+        stats = ConfidenceStats()
+        stats.record(True, False)
+        assert stats.coverage == 0.0
+
+    def test_str(self):
+        assert "accuracy" in str(ConfidenceStats(label="x"))
+
+
+class TestCorrectnessTrace:
+    def test_stride_stream_mostly_correct(self):
+        pairs = [(0x4000, 4 * i) for i in range(100)]
+        indices, bits = correctness_trace(make_load_trace(pairs))
+        assert len(bits) == 100
+        assert sum(bits) >= 96  # only warm-up misses
+        assert len(set(indices)) == 1
+
+    def test_chaotic_stream_incorrect(self):
+        import random
+
+        rng = random.Random(9)
+        pairs = [(0x4000, rng.randrange(1 << 30)) for _ in range(50)]
+        _indices, bits = correctness_trace(make_load_trace(pairs))
+        assert sum(bits) <= 2
+
+    def test_cold_miss_counts_incorrect(self):
+        _indices, bits = correctness_trace(make_load_trace([(0x4000, 1)]))
+        assert bits == [0]
+
+    def test_indices_follow_entries(self):
+        pairs = [(0x4000, 0), (0x4004, 0)]
+        indices, _bits = correctness_trace(make_load_trace(pairs))
+        assert indices[0] != indices[1]
+
+
+class TestCounterConfidence:
+    def test_per_entry_units_are_independent(self):
+        # Entry A always correct, entry B always wrong: a shared counter
+        # would blur them; per-entry counters must separate perfectly.
+        indices = [0, 1] * 50
+        bits = [1, 0] * 50
+        from repro.predictors.sud import SaturatingUpDownCounter
+
+        stats = evaluate_counter_confidence(
+            indices,
+            bits,
+            lambda: SaturatingUpDownCounter(max_value=4, threshold=2),
+        )
+        assert stats.accuracy == 1.0
+        assert stats.coverage > 0.9
+
+    def test_labels_carried(self):
+        stats = evaluate_counter_confidence(
+            [0], [1], lambda: __import__("repro.predictors.sud", fromlist=["TwoBitCounter"]).TwoBitCounter(),
+            label="demo",
+        )
+        assert stats.label == "demo"
+
+
+class TestFSMConfidence:
+    def test_matches_counter_style_evaluation(self, paper_trace):
+        machine = design_predictor(paper_trace, order=2).machine
+        indices = [0] * len(paper_trace)
+        bits = list(paper_trace)
+        from repro.predictors.fsm import FSMPredictor
+
+        fast = evaluate_fsm_confidence(indices, bits, machine)
+        slow = evaluate_counter_confidence(
+            indices, bits, lambda: FSMPredictor(machine)
+        )
+        assert fast.accuracy == pytest.approx(slow.accuracy)
+        assert fast.coverage == pytest.approx(slow.coverage)
+
+    def test_periodic_misses_anticipated(self):
+        """Correctness pattern 1110 repeating: an FSM that learns the
+        period avoids the periodic miss entirely; a counter cannot."""
+        bits = ([1, 1, 1, 0] * 100)
+        indices = [0] * len(bits)
+        machine = design_predictor(bits, order=4).machine
+        fsm_stats = evaluate_fsm_confidence(indices, bits, machine)
+        from repro.predictors.sud import SaturatingUpDownCounter
+
+        sud_stats = evaluate_counter_confidence(
+            indices, bits, lambda: SaturatingUpDownCounter(max_value=4, threshold=2)
+        )
+        assert fsm_stats.accuracy > sud_stats.accuracy
+        assert fsm_stats.accuracy > 0.99
+
+
+class TestSweeps:
+    def test_sud_sweep_size(self):
+        # 4 max values x 5 decrements x 3 thresholds.
+        assert len(sud_configurations()) == 60
+
+    def test_sud_sweep_includes_full_decrement(self):
+        labels = [label for label, _f in sud_configurations()]
+        assert any("dfull" in label for label in labels)
+
+    def test_sud_factories_independent(self):
+        _label, factory = sud_configurations()[0]
+        a, b = factory(), factory()
+        a.update(True)
+        assert b.value == 0
+
+    def test_resetting_sweep_nonempty(self):
+        configs = resetting_configurations()
+        assert configs
+        for _label, factory in configs:
+            counter = factory()
+            counter.update(True)
+            counter.update(False)
+            assert counter.value == 0

@@ -1,0 +1,106 @@
+"""Tests for the two-delta stride predictor and the last-value baseline."""
+
+import pytest
+
+from repro.valuepred.last_value import LastValuePredictor
+from repro.valuepred.stride import StrideEntry, TwoDeltaStridePredictor
+
+
+class TestTwoDelta:
+    def test_cold_miss(self):
+        predictor = TwoDeltaStridePredictor(num_entries=64)
+        assert predictor.predict(0x4000) is None
+
+    def test_learns_constant(self):
+        predictor = TwoDeltaStridePredictor(num_entries=64)
+        predictor.update(0x4000, 5)
+        assert predictor.predict(0x4000) == 5  # stride still 0
+
+    def test_two_delta_rule_requires_confirmation(self):
+        """The stride is adopted only when seen twice in a row."""
+        predictor = TwoDeltaStridePredictor(num_entries=64)
+        predictor.update(0x4000, 10)
+        predictor.update(0x4000, 14)   # new stride 4, seen once
+        assert predictor.predict(0x4000) == 14  # predicted stride still 0
+        predictor.update(0x4000, 18)   # stride 4 seen twice
+        assert predictor.predict(0x4000) == 22
+
+    def test_one_off_jump_does_not_disturb_stride(self):
+        predictor = TwoDeltaStridePredictor(num_entries=64)
+        for value in (0, 4, 8, 12):
+            predictor.update(0x4000, value)
+        assert predictor.predict(0x4000) == 16
+        predictor.update(0x4000, 100)  # jump: stride 88 seen once
+        # Predicted stride stays 4 (two-delta's whole point).
+        assert predictor.predict(0x4000) == 104
+
+    def test_tracks_perfect_stride_stream(self):
+        predictor = TwoDeltaStridePredictor(num_entries=64)
+        correct = 0
+        value = 0
+        for i in range(50):
+            prediction = predictor.predict(0x4000)
+            if prediction == value:
+                correct += 1
+            predictor.update(0x4000, value)
+            value += 3
+        assert correct >= 47  # misses only while warming up
+
+    def test_tag_mismatch_is_miss_and_realloc(self):
+        predictor = TwoDeltaStridePredictor(num_entries=16)
+        pc_a = 0x4000
+        pc_b = pc_a + 16 * 4  # same index, different tag
+        predictor.update(pc_a, 1)
+        assert predictor.predict(pc_b) is None
+        predictor.update(pc_b, 9)
+        assert predictor.predict(pc_b) == 9
+        assert predictor.predict(pc_a) is None  # evicted
+
+    def test_index_of_stable(self):
+        predictor = TwoDeltaStridePredictor(num_entries=2048)
+        assert predictor.index_of(0x4000) == predictor.index_of(0x4000)
+
+    def test_entries_power_of_two(self):
+        with pytest.raises(ValueError):
+            TwoDeltaStridePredictor(num_entries=1000)
+
+    def test_reset(self):
+        predictor = TwoDeltaStridePredictor(num_entries=16)
+        predictor.update(0x4000, 7)
+        predictor.reset()
+        assert predictor.predict(0x4000) is None
+
+    def test_storage_bits_positive(self):
+        assert TwoDeltaStridePredictor(num_entries=2048).storage_bits > 0
+
+    def test_default_is_2k_entries(self):
+        assert TwoDeltaStridePredictor().num_entries == 2048
+
+
+class TestLastValue:
+    def test_predicts_last(self):
+        predictor = LastValuePredictor(num_entries=16)
+        predictor.update(0x4000, 42)
+        assert predictor.predict(0x4000) == 42
+
+    def test_cold_miss(self):
+        assert LastValuePredictor(num_entries=16).predict(0x4000) is None
+
+    def test_beats_stride_on_constants_with_noise(self):
+        """A constant value stream with occasional changes: last-value
+        recovers in one access, two-delta in one as well -- equal; but on a
+        pure alternating stream last-value always misses."""
+        predictor = LastValuePredictor(num_entries=16)
+        predictor.update(0x4000, 1)
+        predictor.update(0x4000, 2)
+        assert predictor.predict(0x4000) == 2
+
+    def test_reset(self):
+        predictor = LastValuePredictor(num_entries=16)
+        predictor.update(0x4000, 1)
+        predictor.reset()
+        assert predictor.predict(0x4000) is None
+
+    def test_entries_power_of_two(self):
+        with pytest.raises(ValueError):
+            LastValuePredictor(num_entries=3)

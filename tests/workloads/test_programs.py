@@ -1,0 +1,135 @@
+"""Tests for the benchmark programs and trace generation."""
+
+import pytest
+
+from repro.workloads.programs import (
+    BRANCH_BENCHMARKS,
+    branch_label_map,
+    branch_trace,
+    build_program,
+)
+from repro.workloads.vm import CODE_BASE, MiniVM
+
+
+class TestAllBenchmarks:
+    @pytest.mark.parametrize("bench", BRANCH_BENCHMARKS)
+    def test_trace_has_requested_length(self, bench):
+        trace = branch_trace(bench, "train", 3_000)
+        assert len(trace) == 3_000
+
+    @pytest.mark.parametrize("bench", BRANCH_BENCHMARKS)
+    def test_trace_is_deterministic(self, bench):
+        a = branch_trace(bench, "train", 2_000)
+        b = branch_trace(bench, "train", 2_000)
+        assert a.pcs == b.pcs
+        assert a.outcomes == b.outcomes
+
+    @pytest.mark.parametrize("bench", BRANCH_BENCHMARKS)
+    def test_variants_differ_but_share_statics(self, bench):
+        train = branch_trace(bench, "train", 3_000)
+        evaluation = branch_trace(bench, "eval", 3_000)
+        assert train.outcomes != evaluation.outcomes
+        assert set(train.static_branches()) == set(evaluation.static_branches())
+
+    @pytest.mark.parametrize("bench", BRANCH_BENCHMARKS)
+    def test_multiple_static_branches(self, bench):
+        trace = branch_trace(bench, "train", 3_000)
+        assert len(trace.static_branches()) >= 5
+
+    @pytest.mark.parametrize("bench", BRANCH_BENCHMARKS)
+    def test_outcomes_are_mixed(self, bench):
+        trace = branch_trace(bench, "train", 3_000)
+        taken = sum(trace.outcomes)
+        assert 0.2 < taken / len(trace) < 0.95
+
+    @pytest.mark.parametrize("bench", BRANCH_BENCHMARKS)
+    def test_labels_cover_all_static_branches(self, bench):
+        trace = branch_trace(bench, "train", 3_000)
+        labels = branch_label_map(bench)
+        for pc in trace.static_branches():
+            assert pc in labels
+            assert labels[pc].startswith(bench + ":")
+
+
+class TestBuildProgram:
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            build_program("doom", "train", 100)
+
+    def test_memory_layout(self):
+        program, memory = build_program("ijpeg", "train", 50)
+        assert memory[0] == len(memory) - 1
+
+    def test_program_halts_on_input_exhaustion(self):
+        program, memory = build_program("gs", "train", 200)
+        result = MiniVM(program, memory).run()
+        # Ran to completion without a cap and without faulting.
+        assert result.steps > 0
+
+    def test_pcs_are_text_addresses(self):
+        trace = branch_trace("vortex", "train", 500)
+        for pc in trace.static_branches():
+            assert pc >= CODE_BASE
+            assert pc % 4 == 0
+
+
+class TestBehaviouralFingerprints:
+    def test_ijpeg_has_distance_two_correlation(self):
+        """The D branch repeats the C test two branches later: P(D == C)
+        must be essentially 1 -- the Figure 6 pattern."""
+        trace = branch_trace("ijpeg", "train", 10_000)
+        labels = {v: k for k, v in branch_label_map("ijpeg").items()}
+        c_pc = labels["ijpeg:skip_c0"]
+        d_pc = labels["ijpeg:skip_d0"]
+        agree = total = 0
+        last_c = None
+        for pc, taken in trace:
+            if pc == c_pc:
+                last_c = taken
+            elif pc == d_pc and last_c is not None:
+                total += 1
+                agree += last_c == taken
+        assert total > 100
+        assert agree / total > 0.99
+
+    def test_vortex_k3_repeats_k1(self):
+        trace = branch_trace("vortex", "train", 10_000)
+        labels = {v: k for k, v in branch_label_map("vortex").items()}
+        k1 = labels["vortex:skip_k1_0"]
+        k3 = labels["vortex:skip_k3_0"]
+        last_k1 = None
+        agree = total = 0
+        for pc, taken in trace:
+            if pc == k1:
+                last_k1 = taken
+            elif pc == k3 and last_k1 is not None:
+                total += 1
+                agree += last_k1 == taken
+        assert total > 50
+        assert agree / total > 0.99
+
+    def test_gsm_sign_follows_lookahead(self):
+        """S(t) must equal T(t-1): the sign test re-examines the sample the
+        lookahead test already saw."""
+        trace = branch_trace("gsm", "train", 10_000)
+        labels = {v: k for k, v in branch_label_map("gsm").items()}
+        s_pcs = {labels["gsm:skip_s0"], labels["gsm:skip_s1"]}
+        t_pcs = {labels["gsm:skip_t0"], labels["gsm:skip_t1"]}
+        last_t = None
+        agree = total = 0
+        for pc, taken in trace:
+            if pc in t_pcs:
+                last_t = taken
+            elif pc in s_pcs and last_t is not None:
+                total += 1
+                agree += last_t == taken
+        assert total > 100
+        assert agree / total > 0.99
+
+    def test_compress_inner_loop_dominates(self):
+        trace = branch_trace("compress", "train", 10_000)
+        labels = branch_label_map("compress")
+        inner = sum(
+            1 for pc in trace.pcs if labels[pc].startswith("compress:inner")
+        )
+        assert inner / len(trace) > 0.4

@@ -1,0 +1,102 @@
+"""Tests for value workloads, input datasets, and trace containers."""
+
+import pytest
+
+from repro.workloads.inputs import VARIANTS, input_words, rng_for
+from repro.workloads.trace import BranchRecord, BranchTrace, LoadRecord, LoadTrace
+from repro.workloads.values import VALUE_BENCHMARKS, load_trace
+
+
+class TestInputs:
+    def test_deterministic(self):
+        assert input_words("compress", "train", 500) == input_words(
+            "compress", "train", 500
+        )
+
+    def test_variants_differ(self):
+        assert input_words("gsm", "train", 500) != input_words("gsm", "eval", 500)
+
+    def test_benchmarks_differ(self):
+        assert input_words("gsm", "train", 500) != input_words("g721", "train", 500)
+
+    def test_requested_length(self):
+        for benchmark in ("compress", "gs", "ijpeg", "vortex", "gsm", "g721"):
+            assert len(input_words(benchmark, "train", 321)) == 321
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            rng_for("quake", "train")
+
+    def test_unknown_variant(self):
+        with pytest.raises(KeyError):
+            rng_for("gsm", "ref")
+
+    def test_values_non_negative(self):
+        for benchmark in ("compress", "gs", "ijpeg", "vortex"):
+            assert all(w >= 0 for w in input_words(benchmark, "eval", 200))
+
+    def test_vortex_status_bias(self):
+        words = input_words("vortex", "train", 5_000)
+        valid = sum(w & 1 for w in words)
+        assert valid / len(words) > 0.9
+
+
+class TestLoadTraces:
+    @pytest.mark.parametrize("bench", VALUE_BENCHMARKS)
+    def test_length_and_determinism(self, bench):
+        a = load_trace(bench, "train", 2_000)
+        b = load_trace(bench, "train", 2_000)
+        assert len(a) == 2_000
+        assert a.pcs == b.pcs and a.values == b.values
+
+    @pytest.mark.parametrize("bench", VALUE_BENCHMARKS)
+    def test_many_static_loads(self, bench):
+        trace = load_trace(bench, "train", 5_000)
+        assert len(trace.static_loads()) > 20
+
+    def test_variants_differ(self):
+        assert (
+            load_trace("gcc", "train", 1_000).values
+            != load_trace("gcc", "eval", 1_000).values
+        )
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            load_trace("quake")
+
+
+class TestBranchTrace:
+    def test_append_and_iter(self):
+        trace = BranchTrace()
+        trace.append(0x100, True)
+        trace.append(0x104, False)
+        assert list(trace) == [(0x100, True), (0x104, False)]
+        assert len(trace) == 2
+
+    def test_records(self):
+        trace = BranchTrace(pcs=[1], outcomes=[1])
+        assert list(trace.records()) == [BranchRecord(pc=1, taken=True)]
+
+    def test_static_branches_order_of_first_appearance(self):
+        trace = BranchTrace(pcs=[3, 1, 3, 2], outcomes=[0, 1, 0, 1])
+        assert trace.static_branches() == [3, 1, 2]
+
+    def test_per_branch_counts(self):
+        trace = BranchTrace(pcs=[1, 1, 2], outcomes=[1, 0, 1])
+        assert trace.per_branch_counts() == {1: (2, 1), 2: (1, 1)}
+
+    def test_outcome_bits(self):
+        trace = BranchTrace(pcs=[1, 2], outcomes=[0, 1])
+        assert trace.outcome_bits() == [0, 1]
+
+
+class TestLoadTraceContainer:
+    def test_append_and_iter(self):
+        trace = LoadTrace()
+        trace.append(0x4000, 7)
+        assert list(trace) == [(0x4000, 7)]
+        assert list(trace.records()) == [LoadRecord(pc=0x4000, value=7)]
+
+    def test_static_loads(self):
+        trace = LoadTrace(pcs=[5, 6, 5], values=[0, 0, 0])
+        assert trace.static_loads() == [5, 6]

@@ -1,0 +1,369 @@
+"""Tests for MiniVM: assembler, interpreter, tracing, faults."""
+
+import pytest
+
+from repro.workloads.vm import (
+    CODE_BASE,
+    Assembler,
+    MiniVM,
+    Program,
+    VMError,
+)
+
+
+def run(build, memory=(), **kwargs):
+    asm = Assembler()
+    build(asm)
+    vm = MiniVM(asm.assemble(), list(memory), **kwargs)
+    return vm.run()
+
+
+class TestALU:
+    def test_li_and_add(self):
+        def build(asm):
+            asm.li(1, 4)
+            asm.li(2, 5)
+            asm.add(3, 1, 2)
+            asm.halt()
+
+        assert run(build).registers[3] == 9
+
+    def test_sub_mul(self):
+        def build(asm):
+            asm.li(1, 7)
+            asm.li(2, 3)
+            asm.sub(3, 1, 2)
+            asm.mul(4, 1, 2)
+            asm.halt()
+
+        result = run(build)
+        assert result.registers[3] == 4
+        assert result.registers[4] == 21
+
+    def test_div_mod(self):
+        def build(asm):
+            asm.li(1, 17)
+            asm.li(2, 5)
+            asm.div(3, 1, 2)
+            asm.mod(4, 1, 2)
+            asm.halt()
+
+        result = run(build)
+        assert result.registers[3] == 3
+        assert result.registers[4] == 2
+
+    def test_bitwise(self):
+        def build(asm):
+            asm.li(1, 0b1100)
+            asm.li(2, 0b1010)
+            asm.and_(3, 1, 2)
+            asm.or_(4, 1, 2)
+            asm.xor(5, 1, 2)
+            asm.halt()
+
+        result = run(build)
+        assert result.registers[3] == 0b1000
+        assert result.registers[4] == 0b1110
+        assert result.registers[5] == 0b0110
+
+    def test_shifts(self):
+        def build(asm):
+            asm.li(1, 3)
+            asm.li(2, 2)
+            asm.shl(3, 1, 2)
+            asm.shr(4, 3, 2)
+            asm.shli(5, 1, 4)
+            asm.shri(6, 5, 3)
+            asm.halt()
+
+        result = run(build)
+        assert result.registers[3] == 12
+        assert result.registers[4] == 3
+        assert result.registers[5] == 48
+        assert result.registers[6] == 6
+
+    def test_immediates(self):
+        def build(asm):
+            asm.li(1, 10)
+            asm.addi(2, 1, -4)
+            asm.muli(3, 1, 7)
+            asm.modi(4, 1, 3)
+            asm.andi(5, 1, 6)
+            asm.halt()
+
+        result = run(build)
+        assert result.registers[2] == 6
+        assert result.registers[3] == 70
+        assert result.registers[4] == 1
+        assert result.registers[5] == 2
+
+    def test_mov(self):
+        def build(asm):
+            asm.li(1, 42)
+            asm.mov(2, 1)
+            asm.halt()
+
+        assert run(build).registers[2] == 42
+
+    def test_div_by_zero_faults(self):
+        def build(asm):
+            asm.li(1, 1)
+            asm.li(2, 0)
+            asm.div(3, 1, 2)
+            asm.halt()
+
+        with pytest.raises(VMError):
+            run(build)
+
+
+class TestMemory:
+    def test_load_store(self):
+        def build(asm):
+            asm.li(1, 0)
+            asm.ld(2, 1, 0)       # r2 = mem[0] = 7
+            asm.addi(2, 2, 1)
+            asm.st(2, 1, 1)       # mem[1] = 8
+            asm.halt()
+
+        result = run(build, memory=[7, 0])
+        assert result.memory == [7, 8]
+
+    def test_load_out_of_bounds(self):
+        def build(asm):
+            asm.li(1, 5)
+            asm.ld(2, 1, 0)
+            asm.halt()
+
+        with pytest.raises(VMError):
+            run(build, memory=[0])
+
+    def test_store_out_of_bounds(self):
+        def build(asm):
+            asm.li(1, 0)
+            asm.st(1, 1, 3)
+            asm.halt()
+
+        with pytest.raises(VMError):
+            run(build, memory=[0])
+
+    def test_load_trace_recorded(self):
+        def build(asm):
+            asm.li(1, 0)
+            asm.ld(2, 1, 0)
+            asm.ld(3, 1, 1)
+            asm.halt()
+
+        result = run(build, memory=[5, 9], record_loads=True)
+        assert result.load_trace is not None
+        assert result.load_trace.values == [5, 9]
+        assert result.load_trace.pcs == [CODE_BASE + 4, CODE_BASE + 8]
+
+    def test_load_trace_absent_by_default(self):
+        def build(asm):
+            asm.halt()
+
+        assert run(build).load_trace is None
+
+
+class TestControlFlow:
+    def test_branch_taken_and_recorded(self):
+        def build(asm):
+            asm.li(1, 1)
+            asm.beqi(1, 1, "skip")
+            asm.li(2, 99)
+            asm.label("skip")
+            asm.halt()
+
+        result = run(build)
+        assert result.registers[2] == 0
+        assert list(result.branch_trace) == [(CODE_BASE + 4, True)]
+
+    def test_branch_not_taken_recorded(self):
+        def build(asm):
+            asm.li(1, 1)
+            asm.beqi(1, 2, "skip")
+            asm.li(2, 99)
+            asm.label("skip")
+            asm.halt()
+
+        result = run(build)
+        assert result.registers[2] == 99
+        assert list(result.branch_trace) == [(CODE_BASE + 4, False)]
+
+    def test_register_branch_variants(self):
+        def build(asm):
+            asm.li(1, 3)
+            asm.li(2, 5)
+            asm.blt(1, 2, "a")
+            asm.halt()
+            asm.label("a")
+            asm.bge(2, 1, "b")
+            asm.halt()
+            asm.label("b")
+            asm.bne(1, 2, "c")
+            asm.halt()
+            asm.label("c")
+            asm.beq(1, 1, "done")
+            asm.halt()
+            asm.label("done")
+            asm.li(3, 1)
+            asm.halt()
+
+        result = run(build)
+        assert result.registers[3] == 1
+        assert [taken for _pc, taken in result.branch_trace] == [True] * 4
+
+    def test_loop_counts(self):
+        def build(asm):
+            asm.li(1, 0)
+            asm.label("loop")
+            asm.addi(1, 1, 1)
+            asm.blti(1, 5, "loop")
+            asm.halt()
+
+        result = run(build)
+        assert result.registers[1] == 5
+        outcomes = [taken for _pc, taken in result.branch_trace]
+        assert outcomes == [True] * 4 + [False]
+
+    def test_jmp(self):
+        def build(asm):
+            asm.jmp("end")
+            asm.li(1, 9)
+            asm.label("end")
+            asm.halt()
+
+        assert run(build).registers[1] == 0
+
+    def test_call_ret(self):
+        def build(asm):
+            asm.li(1, 1)
+            asm.call("sub")
+            asm.addi(1, 1, 100)
+            asm.halt()
+            asm.label("sub")
+            asm.addi(1, 1, 10)
+            asm.ret()
+
+        assert run(build).registers[1] == 111
+
+    def test_nested_calls(self):
+        def build(asm):
+            asm.call("a")
+            asm.halt()
+            asm.label("a")
+            asm.call("b")
+            asm.addi(1, 1, 1)
+            asm.ret()
+            asm.label("b")
+            asm.addi(1, 1, 10)
+            asm.ret()
+
+        assert run(build).registers[1] == 11
+
+    def test_ret_without_call_faults(self):
+        def build(asm):
+            asm.ret()
+
+        with pytest.raises(VMError):
+            run(build)
+
+    def test_bgei_blti(self):
+        def build(asm):
+            asm.li(1, 4)
+            asm.bgei(1, 4, "yes")
+            asm.halt()
+            asm.label("yes")
+            asm.blti(1, 10, "yes2")
+            asm.halt()
+            asm.label("yes2")
+            asm.li(2, 7)
+            asm.halt()
+
+        assert run(build).registers[2] == 7
+
+
+class TestLimits:
+    def test_max_steps(self):
+        def build(asm):
+            asm.label("spin")
+            asm.jmp("spin")
+
+        with pytest.raises(VMError):
+            run(build, max_steps=1000)
+
+    def test_max_branches_stops_cleanly(self):
+        def build(asm):
+            asm.li(1, 0)
+            asm.label("loop")
+            asm.addi(1, 1, 1)
+            asm.blti(1, 1000000, "loop")
+            asm.halt()
+
+        result = run(build, max_branches=10)
+        assert len(result.branch_trace) == 10
+
+    def test_pc_out_of_range_faults(self):
+        # A program with no halt falls off the end.
+        def build(asm):
+            asm.li(1, 1)
+
+        with pytest.raises(VMError):
+            run(build)
+
+
+class TestAssembler:
+    def test_duplicate_label_rejected(self):
+        asm = Assembler()
+        asm.label("x")
+        with pytest.raises(VMError):
+            asm.label("x")
+
+    def test_undefined_label_rejected(self):
+        asm = Assembler()
+        asm.jmp("nowhere")
+        with pytest.raises(VMError):
+            asm.assemble()
+
+    def test_register_range_checked(self):
+        asm = Assembler()
+        with pytest.raises(VMError):
+            asm.li(16, 0)
+
+    def test_modi_zero_rejected(self):
+        asm = Assembler()
+        with pytest.raises(VMError):
+            asm.modi(1, 1, 0)
+
+    def test_pc_of_label(self):
+        asm = Assembler()
+        asm.li(1, 0)
+        asm.label("here")
+        asm.halt()
+        program = asm.assemble()
+        assert program.pc_of_label("here") == CODE_BASE + 4
+
+    def test_disassemble_mentions_labels(self):
+        asm = Assembler()
+        asm.label("entry")
+        asm.halt()
+        text = asm.assemble().disassemble()
+        assert "entry:" in text
+        assert "halt" in text
+
+    def test_determinism(self):
+        def build(asm):
+            asm.li(1, 0)
+            asm.label("loop")
+            asm.addi(1, 1, 1)
+            asm.modi(2, 1, 3)
+            asm.beqi(2, 0, "skip")
+            asm.addi(3, 3, 1)
+            asm.label("skip")
+            asm.blti(1, 50, "loop")
+            asm.halt()
+
+        first = run(build)
+        second = run(build)
+        assert first.registers == second.registers
+        assert list(first.branch_trace) == list(second.branch_trace)
