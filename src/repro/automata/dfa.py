@@ -9,10 +9,11 @@ later Moore-machine view emit a prediction from every state on every input.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
-from repro.automata.nfa import NFA
+from repro.automata.nfa import EPSILON, NFA
 
 
 @dataclass
@@ -80,32 +81,175 @@ class DFA:
         return seen
 
 
+def _epsilon_closures(eps_succ: List[List[int]]) -> List[int]:
+    """Per-state epsilon closure as an int bitmask (bit ``s`` = state ``s``).
+
+    Iterative Tarjan over the epsilon graph: SCCs complete in reverse
+    topological order, so when a component is popped every closure it can
+    reach is already final and one OR per edge suffices.  Linear in states
+    plus epsilon edges; no recursion (Thompson NFAs for long covers nest
+    deeply enough to blow the interpreter stack).
+    """
+    n = len(eps_succ)
+    UNVISITED = -1
+    index = [UNVISITED] * n
+    low = [0] * n
+    on_stack = bytearray(n)
+    scc_stack: List[int] = []
+    closures = [0] * n
+    counter = 0
+    for root in range(n):
+        if index[root] != UNVISITED:
+            continue
+        work: List[List[int]] = [[root, 0]]  # [state, next-child position]
+        while work:
+            frame = work[-1]
+            v = frame[0]
+            if frame[1] == 0:
+                index[v] = low[v] = counter
+                counter += 1
+                scc_stack.append(v)
+                on_stack[v] = 1
+            descended = False
+            children = eps_succ[v]
+            while frame[1] < len(children):
+                w = children[frame[1]]
+                frame[1] += 1
+                if index[w] == UNVISITED:
+                    work.append([w, 0])
+                    descended = True
+                    break
+                if on_stack[w] and index[w] < low[v]:
+                    low[v] = index[w]
+            if descended:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                if low[v] < low[parent]:
+                    low[parent] = low[v]
+            if low[v] == index[v]:
+                members: List[int] = []
+                while True:
+                    w = scc_stack.pop()
+                    on_stack[w] = 0
+                    members.append(w)
+                    if w == v:
+                        break
+                closure = 0
+                for w in members:
+                    closure |= 1 << w
+                for w in members:
+                    for t in eps_succ[w]:
+                        # Same-component targets still hold 0 here; their
+                        # bits are already in the member mask.
+                        closure |= closures[t]
+                for w in members:
+                    closures[w] = closure
+    return closures
+
+
 def subset_construct(nfa: NFA) -> DFA:
     """Determinize ``nfa`` with the classic subset construction.
 
     The result is complete over the NFA's alphabet: the empty subset acts as
     the (non-accepting) dead state when it arises.
+
+    Subsets are int bitmasks rather than frozensets, epsilon closures are
+    precomputed per NFA state, and the per-symbol move-and-close step is an
+    OR over chunk lookup tables -- the construction visits subsets in the
+    same FIFO order as the textbook version, so state numbering (and the
+    resulting DFA) is identical, just orders of magnitude cheaper on the
+    dense subsets the predictor pipeline produces.
     """
-    start_set = nfa.epsilon_closure({nfa.start})
-    index: Dict[FrozenSet[int], int] = {start_set: 0}
-    order: List[FrozenSet[int]] = [start_set]
+    n = nfa.num_states
+    eps_succ: List[List[int]] = [[] for _ in range(n)]
+    sym_succ: Dict[str, List[List[int]]] = {
+        symbol: [[] for _ in range(n)] for symbol in nfa.alphabet
+    }
+    for (state, symbol), dsts in nfa.transitions.items():
+        if symbol == EPSILON:
+            eps_succ[state] = sorted(dsts)
+        elif symbol in sym_succ:
+            sym_succ[symbol][state] = sorted(dsts)
+    closures = _epsilon_closures(eps_succ)
+
+    # step1[si][s] = epsilon-closed one-symbol image of {s}.
+    step1: List[List[int]] = []
+    for symbol in nfa.alphabet:
+        column = [0] * n
+        succ = sym_succ[symbol]
+        for state in range(n):
+            acc = 0
+            for t in succ[state]:
+                acc |= closures[t]
+            column[state] = acc
+        step1.append(column)
+
+    # Chunk tables: table[c][v] = OR of step1 over the states of chunk ``c``
+    # selected by the chunk-local bit pattern ``v``.  Byte chunks for small
+    # machines, nibble chunks for big ones (keeps the tables ~10MB even for
+    # multi-thousand-state NFAs).
+    chunk_bits = 8 if n <= 1536 else 4
+    chunk_size = 1 << chunk_bits
+    nbytes = (n + 7) // 8
+    # Nibble mode indexes chunks per byte (two tables per byte), so round
+    # the chunk count up to a whole number of bytes; the padding tables
+    # stay all-zero and are only probed for bits a subset can never hold.
+    num_chunks = nbytes if chunk_bits == 8 else 2 * nbytes
+    tables: List[List[List[int]]] = []
+    for column in step1:
+        sym_tables: List[List[int]] = []
+        for c in range(num_chunks):
+            base = c * chunk_bits
+            tab = [0] * chunk_size
+            for v in range(1, chunk_size):
+                lsb = v & -v
+                state = base + lsb.bit_length() - 1
+                prev = tab[v ^ lsb]
+                tab[v] = prev | column[state] if state < n else prev
+            sym_tables.append(tab)
+        tables.append(sym_tables)
+
+    start_mask = closures[nfa.start]
+    index: Dict[int, int] = {start_mask: 0}
+    order: List[int] = [start_mask]
     rows: List[List[int]] = []
-    worklist: List[FrozenSet[int]] = [start_set]
+    worklist: deque = deque([start_mask])
+    num_symbols = len(nfa.alphabet)
     while worklist:
-        subset = worklist.pop(0)
+        subset = worklist.popleft()
         row: List[int] = []
-        for symbol in nfa.alphabet:
-            nxt = nfa.step(subset, symbol)
-            if nxt not in index:
-                index[nxt] = len(order)
+        sbytes = subset.to_bytes(nbytes, "little")
+        for si in range(num_symbols):
+            sym_tables = tables[si]
+            nxt = 0
+            if chunk_bits == 8:
+                for c, piece in enumerate(sbytes):
+                    if piece:
+                        nxt |= sym_tables[c][piece]
+            else:
+                for c, piece in enumerate(sbytes):
+                    if piece:
+                        lo = piece & 15
+                        if lo:
+                            nxt |= sym_tables[2 * c][lo]
+                        hi = piece >> 4
+                        if hi:
+                            nxt |= sym_tables[2 * c + 1][hi]
+            slot = index.get(nxt)
+            if slot is None:
+                slot = len(order)
+                index[nxt] = slot
                 order.append(nxt)
                 worklist.append(nxt)
-            row.append(index[nxt])
+            row.append(slot)
         rows.append(row)
-    # Rows were appended in pop order == insertion order, so rows[i]
-    # corresponds to order[i].
+    accept_mask = 0
+    for a in nfa.accepts:
+        accept_mask |= 1 << a
     accepts = frozenset(
-        index[s] for s in order if s & nfa.accepts
+        i for i, subset in enumerate(order) if subset & accept_mask
     )
     return DFA(
         alphabet=nfa.alphabet,

@@ -119,19 +119,31 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         print(result.summary())
         print(result.machine.describe())
     elif args.figure == "fig2":
-        from repro.harness.fig2 import run_fig2_benchmark
+        from repro.harness.fig2 import run_fig2, run_fig2_benchmark
 
-        result = run_fig2_benchmark(args.benchmark or "gcc")
-        print(result.render())
+        if args.all:
+            from repro.harness.reporting import write_report
+
+            for benchmark, result in run_fig2().items():
+                print(write_report(f"fig2_{benchmark}.txt", result.render()))
+        else:
+            result = run_fig2_benchmark(args.benchmark or "gcc")
+            print(result.render())
     elif args.figure == "fig4":
         from repro.harness.fig4 import run_fig4
 
         print(run_fig4().render())
     elif args.figure == "fig5":
-        from repro.harness.fig5 import run_fig5_benchmark
+        from repro.harness.fig5 import run_fig5, run_fig5_benchmark
 
-        result = run_fig5_benchmark(args.benchmark or "gsm")
-        print(result.render())
+        if args.all:
+            from repro.harness.reporting import write_report
+
+            for benchmark, result in run_fig5().items():
+                print(write_report(f"fig5_{benchmark}.txt", result.render()))
+        else:
+            result = run_fig5_benchmark(args.benchmark or "gsm")
+            print(result.render())
     elif args.figure == "fig67":
         from repro.harness.fig67 import run_fig67
 
@@ -147,6 +159,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Automated design of FSM predictors (ISCA 2001 reproduction)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for sweeps (default: $REPRO_JOBS, else 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute traces and designs instead of using the on-disk cache",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -170,12 +194,29 @@ def build_parser() -> argparse.ArgumentParser:
     figures = sub.add_parser("figures", help="regenerate a paper figure")
     figures.add_argument("figure", choices=["fig1", "fig2", "fig4", "fig5", "fig67"])
     figures.add_argument("--benchmark")
+    figures.add_argument(
+        "--all",
+        action="store_true",
+        help="run every benchmark of the figure and write results/*.txt",
+    )
     figures.set_defaults(func=_cmd_figures)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    import os
+
     args = build_parser().parse_args(argv)
+    if args.jobs is not None:
+        # parallel_map reads REPRO_JOBS at call time; setting it here makes
+        # the flag apply to every sweep the command runs (including ones in
+        # worker processes, which inherit the environment).
+        os.environ["REPRO_JOBS"] = str(max(1, args.jobs))
+    if args.no_cache:
+        from repro.perf.cache import set_cache_enabled
+
+        set_cache_enabled(False)
+        os.environ["REPRO_CACHE"] = "0"  # propagate to pool workers
     return args.func(args)
 
 

@@ -18,6 +18,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+try:  # numpy accelerates batch training but is never required
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+# Below this many observations the per-element loop beats array setup.
+_BATCH_THRESHOLD = 1024
+
 
 @dataclass
 class MarkovModel:
@@ -59,6 +67,18 @@ class MarkovModel:
         n = self.order
         if len(trace) <= n:
             return
+        if _np is not None and len(trace) - n >= _BATCH_THRESHOLD:
+            bits = _as_bit_array(trace)
+            if bits is not None:
+                # History bit j-1 holds the outcome j steps back, so the
+                # whole history column is a sum of shifted trace slices.
+                length = bits.shape[0]
+                outcomes = bits[n:]
+                hist = _np.zeros(length - n, dtype=_np.int64)
+                for j in range(1, n + 1):
+                    hist += bits[n - j : length - j] << (j - 1)
+                self._accumulate_keys((hist << 1) | outcomes)
+                return
         mask = (1 << n) - 1
         history = 0
         for bit in trace[:n]:
@@ -82,6 +102,40 @@ class MarkovModel:
         self.totals[history] = self.totals.get(history, 0) + 1
         if _check_bit(outcome):
             self.ones[history] = self.ones.get(history, 0) + 1
+
+    def observe_trace(
+        self, histories: Sequence[int], outcomes: Sequence[int]
+    ) -> None:
+        """Batch :meth:`observe`: accumulate aligned (history, outcome)
+        columns in one pass.  The branch-training flow preconverts whole
+        traces to arrays and feeds per-branch slices here instead of calling
+        ``observe`` once per executed branch.
+        """
+        if len(histories) != len(outcomes):
+            raise ValueError("histories and outcomes must be the same length")
+        if _np is not None and len(histories) >= _BATCH_THRESHOLD:
+            hist = _np.asarray(histories, dtype=_np.int64)
+            outs = _as_bit_array(outcomes)
+            if outs is not None:
+                self._accumulate_keys((hist << 1) | outs)
+                return
+        for history, outcome in zip(histories, outcomes):
+            self.observe(int(history), int(outcome))
+
+    def _accumulate_keys(self, keys: "_np.ndarray") -> None:
+        """Fold composite ``(history << 1) | outcome`` keys into the count
+        dicts.  ``np.unique`` reduces millions of observations to one dict
+        update per distinct (history, outcome) pair; counts land as plain
+        Python ints.
+        """
+        uniq, counts = _np.unique(keys, return_counts=True)
+        totals = self.totals
+        ones = self.ones
+        for key, count in zip(uniq.tolist(), counts.tolist()):
+            history = key >> 1
+            totals[history] = totals.get(history, 0) + count
+            if key & 1:
+                ones[history] = ones.get(history, 0) + count
 
     def merge(self, other: "MarkovModel") -> "MarkovModel":
         """Combine two models of the same order (used for aggregate traces
@@ -169,6 +223,22 @@ def _check_bit(bit: int) -> int:
     if bit not in (0, 1):
         raise ValueError(f"trace element {bit!r} is not a 0/1 outcome")
     return bit
+
+
+def _as_bit_array(trace: Sequence[int]) -> Optional["_np.ndarray"]:
+    """Convert ``trace`` to a validated int64 0/1 array, or ``None`` when
+    the input is not array-convertible (caller falls back to the loop)."""
+    try:
+        bits = _np.asarray(trace, dtype=_np.int64)
+    except (TypeError, ValueError, OverflowError):
+        return None
+    if bits.ndim != 1:
+        return None
+    invalid = (bits != 0) & (bits != 1)
+    if invalid.any():
+        bad = bits[invalid][0]
+        raise ValueError(f"trace element {int(bad)!r} is not a 0/1 outcome")
+    return bits
 
 
 def history_push(history: int, bit: int, order: int) -> int:

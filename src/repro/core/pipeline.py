@@ -114,13 +114,51 @@ class FSMDesigner:
     # Entry points
     # ------------------------------------------------------------------
     def design_from_trace(self, trace: Sequence[int]) -> DesignResult:
-        """Full flow starting from a raw 0/1 trace."""
-        model = MarkovModel.from_trace(trace, self.config.order)
-        return self.design_from_model(model)
+        """Full flow starting from a raw 0/1 trace.
+
+        Memoized on disk: the flow is a pure function of (trace, config),
+        so the result is cached under the trace digest, the config, and the
+        design-flow version salt (see :mod:`repro.perf.cache`).
+        """
+        from repro.perf.cache import DESIGN_FLOW_VERSION, cached, digest_of
+
+        try:
+            trace_bytes = bytes(bytearray(trace))
+        except (TypeError, ValueError):
+            trace_bytes = None  # exotic elements: skip caching, still design
+        if trace_bytes is None:
+            model = MarkovModel.from_trace(trace, self.config.order)
+            return self.design_from_model(model)
+        key = digest_of(
+            "design-from-trace", trace_bytes, self.config, DESIGN_FLOW_VERSION
+        )
+
+        def compute() -> DesignResult:
+            model = MarkovModel.from_trace(trace, self.config.order)
+            return self.design_from_model(model)
+
+        return cached("designs", key, compute)
 
     def design_from_model(self, model: MarkovModel) -> DesignResult:
         """Full flow starting from a pre-built Markov model (the branch
-        flow builds per-branch models during one profiling pass)."""
+        flow builds per-branch models during one profiling pass).
+
+        Cached like :meth:`design_from_trace`, keyed by the model's sorted
+        count tables instead of a raw trace.
+        """
+        from repro.perf.cache import DESIGN_FLOW_VERSION, cached, digest_of
+
+        key = digest_of(
+            "design-from-model",
+            model.order,
+            tuple(sorted(model.totals.items())),
+            tuple(sorted(model.ones.items())),
+            self.config,
+            DESIGN_FLOW_VERSION,
+        )
+        return cached("designs", key, lambda: self._design_from_model(model))
+
+    def _design_from_model(self, model: MarkovModel) -> DesignResult:
         if model.order != self.config.order:
             model = model.truncated(self.config.order)
         patterns = define_patterns(

@@ -18,6 +18,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.markov import MarkovModel
@@ -27,6 +28,7 @@ from repro.harness.branch_training import (
     rank_branches_by_misses,
 )
 from repro.harness.reporting import format_table
+from repro.perf.parallel import parallel_map
 from repro.workloads.programs import branch_trace
 
 
@@ -79,30 +81,39 @@ def run_dontcare_ablation(
     ranked = rank_branches_by_misses(trace)
     models = collect_branch_models(trace, order=order)
     chosen = [pc for pc, _m in ranked[:top_branches]]
-    rows: List[DontCareRow] = []
-    for fraction in fractions:
-        config = DesignConfig(
-            order=order, bias_threshold=0.5, dont_care_fraction=fraction
-        )
-        designer = FSMDesigner(config)
-        states: List[int] = []
-        terms: List[int] = []
-        miss_rates: List[float] = []
-        for pc in chosen:
-            model = models.models[pc]
-            result = designer.design_from_model(model)
-            states.append(result.machine.num_states)
-            terms.append(len(result.cover))
-            miss_rates.append(_model_miss_rate(model, result.machine))
-        rows.append(
-            DontCareRow(
-                fraction=fraction,
-                num_states=round(sum(states) / len(states)),
-                num_terms=sum(terms) / len(terms),
-                expected_miss_rate=sum(miss_rates) / len(miss_rates),
-            )
-        )
-    return rows
+    chosen_models = {pc: models.models[pc] for pc in chosen}
+    return parallel_map(
+        partial(_dontcare_shard, order=order, models=chosen_models, chosen=chosen),
+        list(fractions),
+    )
+
+
+def _dontcare_shard(
+    fraction: float,
+    order: int,
+    models: Dict[int, MarkovModel],
+    chosen: Sequence[int],
+) -> DontCareRow:
+    """One don't-care fraction's row (a parallel_map shard)."""
+    config = DesignConfig(
+        order=order, bias_threshold=0.5, dont_care_fraction=fraction
+    )
+    designer = FSMDesigner(config)
+    states: List[int] = []
+    terms: List[int] = []
+    miss_rates: List[float] = []
+    for pc in chosen:
+        model = models[pc]
+        result = designer.design_from_model(model)
+        states.append(result.machine.num_states)
+        terms.append(len(result.cover))
+        miss_rates.append(_model_miss_rate(model, result.machine))
+    return DontCareRow(
+        fraction=fraction,
+        num_states=round(sum(states) / len(states)),
+        num_terms=sum(terms) / len(terms),
+        expected_miss_rate=sum(miss_rates) / len(miss_rates),
+    )
 
 
 def render_dontcare(rows: List[DontCareRow]) -> str:
@@ -137,29 +148,44 @@ def run_startup_ablation(
     max_branches: int = 60_000,
     top_branches: int = 4,
 ) -> List[StartupRow]:
+    shards = parallel_map(
+        partial(
+            _startup_shard,
+            order=order,
+            max_branches=max_branches,
+            top_branches=top_branches,
+        ),
+        list(benchmarks),
+    )
+    return [row for shard in shards for row in shard]
+
+
+def _startup_shard(
+    benchmark: str, order: int, max_branches: int, top_branches: int
+) -> List[StartupRow]:
+    """One benchmark's startup-reduction rows (a parallel_map shard)."""
+    trace = branch_trace(benchmark, "train", max_branches)
+    ranked = rank_branches_by_misses(trace)
+    models = collect_branch_models(trace, order=order)
+    with_reduction = FSMDesigner(
+        DesignConfig(order=order, dont_care_fraction=0.01)
+    )
+    without_reduction = FSMDesigner(
+        DesignConfig(order=order, dont_care_fraction=0.01, reduce_startup=False)
+    )
     rows: List[StartupRow] = []
-    for benchmark in benchmarks:
-        trace = branch_trace(benchmark, "train", max_branches)
-        ranked = rank_branches_by_misses(trace)
-        models = collect_branch_models(trace, order=order)
-        with_reduction = FSMDesigner(
-            DesignConfig(order=order, dont_care_fraction=0.01)
-        )
-        without_reduction = FSMDesigner(
-            DesignConfig(order=order, dont_care_fraction=0.01, reduce_startup=False)
-        )
-        for pc, _misses in ranked[:top_branches]:
-            model = models.models[pc]
-            full = without_reduction.design_from_model(model)
-            reduced = with_reduction.design_from_model(model)
-            rows.append(
-                StartupRow(
-                    benchmark=benchmark,
-                    branch_pc=pc,
-                    states_with_startup=full.machine.num_states,
-                    states_final=reduced.machine.num_states,
-                )
+    for pc, _misses in ranked[:top_branches]:
+        model = models.models[pc]
+        full = without_reduction.design_from_model(model)
+        reduced = with_reduction.design_from_model(model)
+        rows.append(
+            StartupRow(
+                benchmark=benchmark,
+                branch_pc=pc,
+                states_with_startup=full.machine.num_states,
+                states_final=reduced.machine.num_states,
             )
+        )
     return rows
 
 

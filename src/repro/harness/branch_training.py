@@ -16,12 +16,20 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.automata.moore import MooreMachine
-from repro.core.markov import MarkovModel
+from repro.core.markov import MarkovModel, _as_bit_array
 from repro.core.pipeline import DesignConfig, DesignResult, FSMDesigner
 from repro.predictors.xscale import XScalePredictor
 from repro.workloads.trace import BranchTrace
 
+try:  # numpy accelerates profiling but is never required
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
 CUSTOM_HISTORY_LENGTH = 9  # the paper's setting for all custom predictors
+
+# Below this many records the per-record loop beats array setup.
+_BATCH_THRESHOLD = 2048
 
 
 @dataclass
@@ -45,9 +53,40 @@ def collect_branch_models(
     """One profiling pass: feed every branch's Markov model with the
     global history at the moment the branch executes."""
     collection = PerBranchModels(order=order)
+    models = collection.models
+    if _np is not None and len(trace.pcs) >= _BATCH_THRESHOLD:
+        outcomes = _as_bit_array(trace.outcomes)
+        if outcomes is not None:
+            pcs = _np.asarray(trace.pcs, dtype=_np.int64)
+            length = outcomes.shape[0]
+            # Global history before record i, zero-seeded like the loop:
+            # bit j-1 holds the outcome j records back.
+            hist = _np.zeros(length, dtype=_np.int64)
+            for j in range(1, order + 1):
+                hist[j:] += outcomes[: length - j] << (j - 1)
+            # One composite key per record folds the whole profiling pass
+            # into a single np.unique: (dense pc index, history, outcome).
+            uniq_pcs, inverse = _np.unique(pcs, return_inverse=True)
+            shift = order + 1
+            composite = (
+                (inverse.astype(_np.int64) << shift) | (hist << 1) | outcomes
+            )
+            keys, counts = _np.unique(composite, return_counts=True)
+            pc_list = uniq_pcs.tolist()
+            submask = (1 << shift) - 1
+            for key, count in zip(keys.tolist(), counts.tolist()):
+                pc = pc_list[key >> shift]
+                history = (key & submask) >> 1
+                model = models.get(pc)
+                if model is None:
+                    model = MarkovModel(order=order)
+                    models[pc] = model
+                model.totals[history] = model.totals.get(history, 0) + count
+                if key & 1:
+                    model.ones[history] = model.ones.get(history, 0) + count
+            return collection
     mask = (1 << order) - 1
     history = 0
-    models = collection.models
     for pc, outcome in zip(trace.pcs, trace.outcomes):
         model = models.get(pc)
         if model is None:
@@ -108,7 +147,35 @@ def fsm_correct_counts(
     """Replay the update-all policy of Section 7.3: every machine consumes
     every outcome; when its own branch executes, the output of the current
     state is its prediction.  Returns ``{pc: (executions, correct)}``.
+
+    Fast path: under update-all, every machine walks the same global
+    outcome stream independently of where its own branch sits, so each
+    machine's whole state trajectory is one compiled ``run_states`` batch;
+    the per-branch tally is a couple of gathers over that trajectory.
     """
+    if _np is not None and machines and len(trace.pcs) >= _BATCH_THRESHOLD:
+        outcomes = _as_bit_array(trace.outcomes)
+        if outcomes is not None:
+            pcs = _np.asarray(trace.pcs, dtype=_np.int64)
+            result: Dict[int, Tuple[int, int]] = {}
+            for pc, machine in machines.items():
+                idx = _np.flatnonzero(pcs == pc)
+                execs = int(idx.size)
+                correct = 0
+                if execs and machine.num_states == 1:
+                    correct = int((outcomes[idx] == machine.outputs[0]).sum())
+                elif execs:
+                    states_after = machine.compile().run_states(outcomes)
+                    outputs = _np.asarray(machine.outputs, dtype=_np.int64)
+                    # The machine predicts from the state *before* each
+                    # record: after[i-1], or the start state at i == 0.
+                    before = _np.empty(execs, dtype=_np.int64)
+                    nonzero = idx > 0
+                    before[nonzero] = states_after[idx[nonzero] - 1]
+                    before[~nonzero] = machine.start
+                    correct = int((outputs[before] == outcomes[idx]).sum())
+                result[pc] = (execs, correct)
+            return result
     items = [
         (pc, machine.outputs, machine.transitions, machine.start)
         for pc, machine in machines.items()

@@ -19,12 +19,14 @@ unit (FSM state register) per value-table entry.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.markov import MarkovModel
 from repro.core.pipeline import DesignConfig, FSMDesigner
 from repro.harness.metrics import pareto_front
 from repro.harness.reporting import format_table
+from repro.perf.parallel import parallel_map
 from repro.valuepred.confidence import (
     ConfidenceStats,
     correctness_trace,
@@ -82,13 +84,21 @@ class FigureTwoResult:
         )
 
 
+def _correctness_shard(
+    benchmark: str, variant: str, num_loads: int
+) -> Tuple[List[int], List[int]]:
+    return correctness_trace(load_trace(benchmark, variant, num_loads))
+
+
 def _correctness_traces(
     benchmarks: Sequence[str], variant: str, num_loads: int
 ) -> Dict[str, Tuple[List[int], List[int]]]:
-    return {
-        benchmark: correctness_trace(load_trace(benchmark, variant, num_loads))
-        for benchmark in benchmarks
-    }
+    names = list(benchmarks)
+    shards = parallel_map(
+        partial(_correctness_shard, variant=variant, num_loads=num_loads),
+        names,
+    )
+    return dict(zip(names, shards))
 
 
 def _cross_trained_model(
@@ -161,12 +171,16 @@ def run_fig2(
     bias_thresholds: Sequence[float] = DEFAULT_BIAS_THRESHOLDS,
 ) -> Dict[str, FigureTwoResult]:
     traces = _correctness_traces(VALUE_BENCHMARKS, "train", num_loads)
-    return {
-        benchmark: run_fig2_benchmark(
-            benchmark,
+    names = list(benchmarks)
+    # One process-pool shard per benchmark; parallel_map returns results in
+    # input order, so the figure output is identical to a serial run.
+    results = parallel_map(
+        partial(
+            run_fig2_benchmark,
             traces=traces,
-            history_lengths=history_lengths,
-            bias_thresholds=bias_thresholds,
-        )
-        for benchmark in benchmarks
-    }
+            history_lengths=tuple(history_lengths),
+            bias_thresholds=tuple(bias_thresholds),
+        ),
+        names,
+    )
+    return dict(zip(names, results))

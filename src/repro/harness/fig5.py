@@ -234,4 +234,12 @@ def run_fig5(
     benchmarks: Sequence[str] = BRANCH_BENCHMARKS,
     **kwargs,
 ) -> Dict[str, FigureFiveResult]:
-    return {b: run_fig5_benchmark(b, **kwargs) for b in benchmarks}
+    from functools import partial
+
+    from repro.perf.parallel import parallel_map
+
+    names = list(benchmarks)
+    # One shard per benchmark panel; ordering (and therefore output) is
+    # identical to the serial comprehension this replaces.
+    results = parallel_map(partial(run_fig5_benchmark, **kwargs), names)
+    return dict(zip(names, results))

@@ -22,9 +22,11 @@ def _build_rows(
 ) -> Dict[int, FrozenSet[int]]:
     """Map each minterm to the set of prime indices covering it."""
     rows: Dict[int, Set[int]] = {m: set() for m in minterms}
-    for idx, prime in enumerate(primes):
+    # Raw (value, mask) pairs: containment is two int ops per probe.
+    pairs = [(prime.value, prime.mask) for prime in primes]
+    for idx, (value, mask) in enumerate(pairs):
         for m in rows:
-            if prime.contains_minterm(m):
+            if (m & mask) == value:
                 rows[m].add(idx)
     uncoverable = [m for m, cols in rows.items() if not cols]
     if uncoverable:

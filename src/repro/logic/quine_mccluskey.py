@@ -20,48 +20,38 @@ def prime_implicants(table: TruthTable) -> List[Cube]:
     Classic tabular method: start from the minterms of the on and dc sets,
     repeatedly merge cubes adjacent in one position, and keep every cube that
     never merged.  Returns primes sorted for determinism.
+
+    Cubes are handled as raw ``(mask, value)`` integer pairs throughout the
+    merge loop.  Two cubes with the same mask merge exactly when their
+    values differ in one care bit, so instead of comparing cube pairs we
+    probe, for every cube and every care position holding a 0, whether the
+    value with that bit set to 1 is also present -- a set lookup instead of
+    a quadratic pairing, and no :class:`Cube` objects on the hot path.
     """
     width = table.width
-    current: Set[Cube] = {
-        Cube.from_minterm(m, width) for m in (table.on_set | table.dc_set)
-    }
-    primes: Set[Cube] = set()
+    full = (1 << width) - 1
+    current: Dict[int, Set[int]] = {full: set(table.on_set | table.dc_set)}
+    primes: Set[Tuple[int, int]] = set()
     while current:
-        merged_away: Set[Cube] = set()
-        next_level: Set[Cube] = set()
-        # Group by mask so only compatible cubes are compared, and inside a
-        # mask group bucket by popcount of the value: merges only happen
-        # between popcounts k and k+1.
-        by_mask: Dict[int, Dict[int, List[Cube]]] = {}
-        for cube in current:
-            by_mask.setdefault(cube.mask, {}).setdefault(
-                bin(cube.value).count("1"), []
-            ).append(cube)
-        for groups in by_mask.values():
-            for count, cubes in groups.items():
-                partners = groups.get(count + 1, [])
-                for a in cubes:
-                    for b in partners:
-                        merged = a.merge(b)
-                        if merged is not None:
-                            merged_away.add(a)
-                            merged_away.add(b)
-                            next_level.add(merged)
-        primes.update(current - merged_away)
+        next_level: Dict[int, Set[int]] = {}
+        for mask, values in current.items():
+            care_bits = [1 << i for i in range(width) if mask & (1 << i)]
+            merged_away: Set[int] = set()
+            for value in values:
+                for bit in care_bits:
+                    if value & bit:
+                        continue  # probe upward only: partner has the 1
+                    partner = value | bit
+                    if partner in values:
+                        merged_away.add(value)
+                        merged_away.add(partner)
+                        next_level.setdefault(mask & ~bit, set()).add(value)
+            for value in values - merged_away:
+                primes.add((mask, value))
         current = next_level
-    return sorted(primes)
-
-
-def _coverage_map(
-    primes: List[Cube], required: FrozenSet[int]
-) -> Dict[int, List[int]]:
-    """For each required minterm, the indices of primes that contain it."""
-    coverage: Dict[int, List[int]] = {m: [] for m in required}
-    for idx, prime in enumerate(primes):
-        for m in required:
-            if prime.contains_minterm(m):
-                coverage[m].append(idx)
-    return coverage
+    return sorted(
+        Cube(width=width, value=value, mask=mask) for mask, value in primes
+    )
 
 
 def minimize_exact(table: TruthTable, max_branch_minterms: int = 4096) -> List[Cube]:

@@ -1,0 +1,33 @@
+"""Performance layer: compiled fast paths, design caching, parallelism.
+
+Three independent pieces, all strictly optional and all bit-identical to
+the slow paths they accelerate:
+
+- :mod:`repro.perf.compiled` lowers a :class:`~repro.automata.moore.MooreMachine`
+  to dense arrays with a batch ``run_bits`` kernel.
+- :mod:`repro.perf.cache` memoizes VM traces and FSM design results on disk,
+  keyed by content digests plus explicit version salts.
+- :mod:`repro.perf.parallel` maps experiment shards over a process pool with
+  deterministic result ordering.
+"""
+
+from repro.perf.cache import (
+    cache_dir,
+    cache_enabled,
+    cached,
+    digest_of,
+    set_cache_enabled,
+)
+from repro.perf.compiled import CompiledMoore
+from repro.perf.parallel import default_jobs, parallel_map
+
+__all__ = [
+    "CompiledMoore",
+    "cache_dir",
+    "cache_enabled",
+    "cached",
+    "default_jobs",
+    "digest_of",
+    "parallel_map",
+    "set_cache_enabled",
+]

@@ -1,0 +1,107 @@
+"""Content-addressed on-disk memoization for the design flow.
+
+Figure runs re-derive the same VM traces and the same FSM designs over and
+over; both are pure functions of small keys, so they cache perfectly.  Keys
+are sha256 digests of the inputs plus an explicit *version salt* per
+producer (`TRACE_VERSION`, `DESIGN_FLOW_VERSION`) -- bump the salt whenever
+the producing code changes meaning, and stale entries simply stop being
+addressed.
+
+Entries are pickles written atomically (temp file + ``os.replace``) so
+concurrent workers racing on the same key are safe: last writer wins and
+every reader sees a complete file.  Corrupt or unreadable entries are
+treated as misses.
+
+Knobs:
+
+- ``REPRO_CACHE_DIR`` -- cache location (default ``.repro-cache/`` at the
+  repository root).
+- ``REPRO_CACHE=0`` or :func:`set_cache_enabled` (the ``--no-cache`` CLI
+  flag) -- disable reads and writes; everything is recomputed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, TypeVar
+
+T = TypeVar("T")
+
+# Version salts: bump when the producer's output semantics change.
+TRACE_VERSION = 1
+DESIGN_FLOW_VERSION = 1
+
+_ENV_DISABLED = os.environ.get("REPRO_CACHE", "1").lower() in ("0", "false", "off")
+_runtime_enabled = True
+
+
+def set_cache_enabled(enabled: bool) -> None:
+    """Runtime switch (the CLI's ``--no-cache``); overrides nothing the
+    environment already disabled."""
+    global _runtime_enabled
+    _runtime_enabled = bool(enabled)
+
+
+def cache_enabled() -> bool:
+    return _runtime_enabled and not _ENV_DISABLED
+
+
+def cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    # src/repro/perf/cache.py -> repository root
+    return Path(__file__).resolve().parents[3] / ".repro-cache"
+
+
+def digest_of(*parts: Any) -> str:
+    """sha256 over the reprs of ``parts``.
+
+    Parts must have deterministic reprs (ints, strings, floats, bools,
+    tuples/lists of those, dataclasses of those).  Length-prefixing each
+    part keeps concatenations unambiguous.
+    """
+    h = hashlib.sha256()
+    for part in parts:
+        encoded = repr(part).encode("utf-8")
+        h.update(str(len(encoded)).encode("ascii"))
+        h.update(b":")
+        h.update(encoded)
+    return h.hexdigest()
+
+
+def cached(category: str, key: str, compute: Callable[[], T]) -> T:
+    """Return the cached value for ``category``/``key``, computing and
+    storing it on a miss.  With caching disabled this is just
+    ``compute()``."""
+    if not cache_enabled():
+        return compute()
+    path = cache_dir() / category / key[:2] / f"{key}.pkl"
+    if path.exists():
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, ValueError):
+            pass  # corrupt/stale entry: fall through and recompute
+    value = compute()
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        pass  # read-only filesystem etc.: caching is best-effort
+    return value

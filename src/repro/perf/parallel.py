@@ -1,0 +1,76 @@
+"""Deterministic process-pool mapping for experiment shards.
+
+``parallel_map(fn, items)`` is a drop-in for ``[fn(x) for x in items]``:
+results always come back in input order, worker exceptions propagate, and
+anything that prevents pooling (``REPRO_JOBS=1``, an unpicklable ``fn``, a
+sandbox without process support, or already being inside a worker) silently
+degrades to the serial loop.  Because every shard function in the harness is
+a pure function of its arguments, serial and parallel runs are
+byte-identical.
+
+Worker count comes from ``jobs=...`` or the ``REPRO_JOBS`` environment
+variable (default 1: opt-in parallelism).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Callable, Iterable, List, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+_IN_WORKER = False
+
+
+def _mark_worker() -> None:
+    """Pool initializer: flags the process so nested ``parallel_map`` calls
+    inside shard functions run serially instead of forking pools of pools."""
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def default_jobs() -> int:
+    raw = os.environ.get("REPRO_JOBS", "1")
+    try:
+        jobs = int(raw)
+    except ValueError:
+        return 1
+    return max(1, jobs)
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: int | None = None,
+) -> List[R]:
+    """Map ``fn`` over ``items``, preserving input order in the result."""
+    work = list(items)
+    n_jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    n_jobs = min(n_jobs, len(work))
+    if _IN_WORKER or n_jobs <= 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+    except ImportError:  # pragma: no cover - stripped-down stdlib
+        return [fn(item) for item in work]
+    try:
+        # Lambdas/closures can't cross the process boundary; probing here
+        # (pickling raises AttributeError, not just PicklingError) keeps
+        # the pool path for real shard functions only.
+        pickle.dumps(fn)
+    except (pickle.PicklingError, AttributeError, TypeError):
+        return [fn(item) for item in work]
+    try:
+        with ProcessPoolExecutor(
+            max_workers=n_jobs, initializer=_mark_worker
+        ) as pool:
+            # executor.map preserves ordering; list() surfaces worker
+            # exceptions here, with the pool still alive.
+            return list(pool.map(fn, work))
+    except (BrokenProcessPool, pickle.PicklingError, OSError):
+        # No usable subprocesses (sandbox, unpicklable fn, fork failure):
+        # the serial path computes the identical answer.
+        return [fn(item) for item in work]

@@ -87,7 +87,31 @@ def simulate_predictor(
     warmup: int = 0,
 ) -> PredictionStats:
     """Run ``predictor`` over ``trace``; the first ``warmup`` branches
-    train the predictor without being counted."""
+    train the predictor without being counted.
+
+    Column-oriented traces (anything exposing parallel ``pcs``/``outcomes``
+    lists, like :class:`~repro.workloads.trace.BranchTrace`) take an
+    array-based fast path: no per-record tuple building, no ``bool()``
+    conversion, and hit counting in local variables instead of a method
+    call per branch.  Both paths make exactly the same ``predict``/
+    ``update`` calls in the same order, so the stats are identical.
+    """
+    pcs = getattr(trace, "pcs", None)
+    outcomes = getattr(trace, "outcomes", None)
+    if pcs is not None and outcomes is not None:
+        predict = predictor.predict
+        update = predictor.update
+        lookups = 0
+        hits = 0
+        for index, (pc, outcome) in enumerate(zip(pcs, outcomes)):
+            taken = outcome == 1
+            prediction = predict(pc)
+            if index >= warmup:
+                lookups += 1
+                if prediction == taken:
+                    hits += 1
+            update(pc, taken)
+        return PredictionStats(lookups=lookups, hits=hits)
     stats = PredictionStats()
     remaining_warmup = warmup
     for pc, taken in trace:

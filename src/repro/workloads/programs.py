@@ -327,11 +327,19 @@ def branch_trace(
     The input is sized so the branch cap, not input exhaustion, ends the
     run; traces are therefore exactly ``max_branches`` long.
     """
-    # Every program executes at least one conditional branch per input
-    # word, so max_branches words always suffice.
-    program, memory = build_program(benchmark, variant, max_branches)
-    vm = MiniVM(program, memory, max_branches=max_branches)
-    return vm.run().branch_trace
+    from repro.perf.cache import TRACE_VERSION, cached, digest_of
+
+    def compute() -> BranchTrace:
+        # Every program executes at least one conditional branch per input
+        # word, so max_branches words always suffice.
+        program, memory = build_program(benchmark, variant, max_branches)
+        vm = MiniVM(program, memory, max_branches=max_branches)
+        return vm.run().branch_trace
+
+    key = digest_of(
+        "branch-trace", benchmark, variant, max_branches, TRACE_VERSION
+    )
+    return cached("traces", key, compute)
 
 
 def branch_label_map(benchmark: str) -> Dict[int, str]:

@@ -1,0 +1,89 @@
+"""The design cache must be invisible: hits return exactly what a cold
+computation returns, and a warm figure run renders byte-identical text."""
+
+import pickle
+
+import pytest
+
+from repro.perf import cache as cache_mod
+from repro.perf.cache import cache_dir, cached, digest_of, set_cache_enabled
+
+
+@pytest.fixture
+def tmp_cache(monkeypatch, tmp_path):
+    """Point the cache at a fresh directory and make sure it is on."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setattr(cache_mod, "_ENV_DISABLED", False)
+    monkeypatch.setattr(cache_mod, "_runtime_enabled", True)
+    return tmp_path / "cache"
+
+
+def test_digest_is_deterministic_and_sensitive():
+    assert digest_of("a", 1, (2.5, True)) == digest_of("a", 1, (2.5, True))
+    assert digest_of("a", 1) != digest_of("a", 2)
+    # Length prefixing: the concatenation "ab"+"c" must not collide "a"+"bc".
+    assert digest_of("ab", "c") != digest_of("a", "bc")
+
+
+def test_cached_computes_once_then_hits(tmp_cache):
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return {"rows": [1, 2, 3]}
+
+    key = digest_of("unit", 1)
+    first = cached("traces", key, compute)
+    second = cached("traces", key, compute)
+    assert first == second == {"rows": [1, 2, 3]}
+    assert len(calls) == 1
+    assert (tmp_cache / "traces" / key[:2] / f"{key}.pkl").exists()
+
+
+def test_corrupt_entry_is_a_miss(tmp_cache):
+    key = digest_of("unit", 2)
+    assert cached("designs", key, lambda: 42) == 42
+    path = tmp_cache / "designs" / key[:2] / f"{key}.pkl"
+    path.write_bytes(b"not a pickle")
+    assert cached("designs", key, lambda: 42) == 42
+    # The recompute also repaired the entry.
+    with open(path, "rb") as fh:
+        assert pickle.load(fh) == 42
+
+
+def test_disabled_cache_recomputes(tmp_cache):
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return "value"
+
+    key = digest_of("unit", 3)
+    cached("traces", key, compute)
+    set_cache_enabled(False)
+    try:
+        cached("traces", key, compute)
+    finally:
+        set_cache_enabled(True)
+    assert len(calls) == 2
+
+
+def test_cache_dir_env_override(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+    assert cache_dir() == tmp_path / "elsewhere"
+
+
+def test_warm_figure_run_is_byte_identical(tmp_cache):
+    """Cold run populates the cache; the warm run must render the exact
+    same figure text from cached traces and designs."""
+    from repro.harness.fig2 import run_fig2_benchmark
+
+    kwargs = dict(
+        num_loads=6_000, history_lengths=(2, 3), bias_thresholds=(0.5, 0.9)
+    )
+    cold = run_fig2_benchmark("gcc", **kwargs).render()
+    # The cold run must have left entries behind (traces and designs).
+    categories = {p.name for p in tmp_cache.iterdir()}
+    assert "loads" in categories
+    warm = run_fig2_benchmark("gcc", **kwargs).render()
+    assert warm == cold

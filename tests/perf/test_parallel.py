@@ -1,0 +1,68 @@
+"""parallel_map: same answer as the list comprehension, in the same order,
+no matter how the pool behaves."""
+
+import os
+
+import pytest
+
+from repro.perf import parallel as parallel_mod
+from repro.perf.parallel import default_jobs, parallel_map
+
+
+def _square(x):
+    return x * x
+
+
+def _pid_of(_x):
+    return os.getpid()
+
+
+def _explode(x):
+    raise ValueError(f"boom {x}")
+
+
+def test_serial_matches_comprehension():
+    items = list(range(20))
+    assert parallel_map(_square, items, jobs=1) == [x * x for x in items]
+
+
+def test_parallel_preserves_input_order():
+    items = list(range(37))
+    assert parallel_map(_square, items, jobs=4) == [x * x for x in items]
+
+
+def test_unpicklable_fn_falls_back_to_serial():
+    offset = 3  # closure makes the lambda unpicklable for pool workers
+    items = list(range(10))
+    assert parallel_map(lambda x: x + offset, items, jobs=2) == [
+        x + 3 for x in items
+    ]
+
+
+def test_worker_exceptions_propagate():
+    with pytest.raises(ValueError):
+        parallel_map(_explode, [1, 2, 3], jobs=1)
+    with pytest.raises(ValueError):
+        parallel_map(_explode, [1, 2, 3], jobs=2)
+
+
+def test_nested_calls_run_serially(monkeypatch):
+    monkeypatch.setattr(parallel_mod, "_IN_WORKER", True)
+    pids = parallel_map(_pid_of, [1, 2, 3, 4], jobs=4)
+    assert set(pids) == {os.getpid()}
+
+
+def test_default_jobs_env(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert default_jobs() == 1
+    monkeypatch.setenv("REPRO_JOBS", "6")
+    assert default_jobs() == 6
+    monkeypatch.setenv("REPRO_JOBS", "0")
+    assert default_jobs() == 1
+    monkeypatch.setenv("REPRO_JOBS", "many")
+    assert default_jobs() == 1
+
+
+def test_empty_and_single_item():
+    assert parallel_map(_square, [], jobs=8) == []
+    assert parallel_map(_square, [5], jobs=8) == [25]

@@ -1,0 +1,66 @@
+"""The column-oriented simulate_predictor fast path must be observationally
+identical to the generic (pc, taken) iterable path: same predict/update
+sequence, same stats, same warmup accounting."""
+
+import random
+
+import pytest
+
+from repro.predictors.base import BranchPredictor, simulate_predictor
+from repro.predictors.gshare import GSharePredictor
+from repro.predictors.xscale import XScalePredictor
+from repro.workloads.trace import BranchTrace
+
+
+def _trace(length=4000, seed=99):
+    rng = random.Random(seed)
+    pcs = [rng.choice((4, 8, 12, 16, 20)) * 16 for _ in range(length)]
+    outcomes = [1 if rng.random() < 0.6 else 0 for _ in range(length)]
+    return BranchTrace(pcs=pcs, outcomes=outcomes)
+
+
+class _Recorder(BranchPredictor):
+    """Logs the exact call sequence it sees; predicts a pc parity hash."""
+
+    name = "recorder"
+
+    def __init__(self):
+        self.calls = []
+
+    def predict(self, pc):
+        self.calls.append(("predict", pc))
+        return bool(pc & 16)
+
+    def update(self, pc, taken):
+        self.calls.append(("update", pc, taken))
+
+    def area(self):
+        return 0.0
+
+    def reset(self):
+        self.calls = []
+
+
+@pytest.mark.parametrize("warmup", [0, 1, 1000])
+def test_column_trace_equals_tuple_iterable(warmup):
+    trace = _trace()
+    rows = list(zip(trace.pcs, [bool(o) for o in trace.outcomes]))
+
+    fast = simulate_predictor(GSharePredictor(8), trace, warmup=warmup)
+    slow = simulate_predictor(GSharePredictor(8), rows, warmup=warmup)
+    assert fast == slow
+
+    fast = simulate_predictor(XScalePredictor(), trace, warmup=warmup)
+    slow = simulate_predictor(XScalePredictor(), rows, warmup=warmup)
+    assert fast == slow
+
+
+def test_call_sequence_is_identical():
+    trace = _trace(length=500)
+    rows = list(zip(trace.pcs, [bool(o) for o in trace.outcomes]))
+
+    fast = _Recorder()
+    simulate_predictor(fast, trace, warmup=7)
+    slow = _Recorder()
+    simulate_predictor(slow, rows, warmup=7)
+    assert fast.calls == slow.calls

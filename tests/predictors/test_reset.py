@@ -1,0 +1,90 @@
+"""reset() must restore power-on state for every branch predictor.
+
+The parallel experiment harness reuses predictor objects across sweeps,
+so a stale bit of state would silently skew a whole figure.  The check
+here is behavioural, not structural: after ``reset()`` a predictor must
+produce exactly the statistics a freshly-constructed instance produces
+on the same trace.
+"""
+
+import random
+
+import pytest
+
+from repro.automata.moore import MooreMachine
+from repro.predictors.base import BranchPredictor, simulate_predictor
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.custom import CustomBranchPredictor
+from repro.predictors.gshare import GSharePredictor
+from repro.predictors.local_global import LocalGlobalChooser
+from repro.predictors.loop import LoopTerminationPredictor
+from repro.predictors.ppm import PPMPredictor
+from repro.predictors.xscale import XScalePredictor
+from repro.workloads.trace import BranchTrace
+
+
+def _counter_machine() -> MooreMachine:
+    """A plain 2-bit saturating counter as a Moore machine."""
+    return MooreMachine(
+        alphabet=("0", "1"),
+        start=0,
+        outputs=(0, 0, 1, 1),
+        transitions=((0, 1), (0, 2), (1, 3), (2, 3)),
+    )
+
+
+FACTORIES = {
+    "bimodal": lambda: BimodalPredictor(64),
+    "custom": lambda: CustomBranchPredictor.from_machines(
+        {0x40: _counter_machine(), 0x8C: _counter_machine()}
+    ),
+    "gshare": lambda: GSharePredictor(8),
+    "lgc": lambda: LocalGlobalChooser(6),
+    "loop": lambda: LoopTerminationPredictor(num_entries=32),
+    "ppm": lambda: PPMPredictor(4),
+    "xscale": lambda: XScalePredictor(num_entries=32),
+}
+
+
+def _synthetic_trace(length: int = 3000, seed: int = 1234) -> BranchTrace:
+    rng = random.Random(seed)
+    pcs = []
+    outcomes = []
+    for _ in range(length):
+        pc = rng.choice((0x40, 0x8C, 0x104, 0x17C, 0x1F0, 0x244))
+        # Mix biased and loop-like behaviour so table indices collide.
+        outcome = 1 if rng.random() < (0.85 if pc < 0x100 else 0.35) else 0
+        pcs.append(pc)
+        outcomes.append(outcome)
+    return BranchTrace(pcs=pcs, outcomes=outcomes)
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_reset_then_resimulate_matches_fresh_instance(name):
+    trace = _synthetic_trace()
+    factory = FACTORIES[name]
+
+    fresh = factory()
+    expected = simulate_predictor(fresh, trace)
+
+    recycled = factory()
+    simulate_predictor(recycled, trace)  # dirty every table
+    recycled.reset()
+    observed = simulate_predictor(recycled, trace)
+
+    assert observed == expected
+
+
+def test_every_concrete_predictor_has_a_reset_case():
+    """Adding a predictor without wiring it in here must fail loudly."""
+    concrete = {
+        cls
+        for cls in BranchPredictor.__subclasses__()
+        if not getattr(cls, "__abstractmethods__", None)
+        and cls.__module__.startswith("repro.")  # ignore test doubles
+    }
+    covered = {type(factory()) for factory in FACTORIES.values()}
+    assert concrete <= covered, (
+        f"predictors missing from the reset test: "
+        f"{sorted(c.__name__ for c in concrete - covered)}"
+    )
