@@ -10,13 +10,21 @@ Subcommands mirror what a user of the paper's flow would do:
     report the customized architecture's miss rate vs the baselines.
 ``figures``
     Regenerate a paper figure (fig1/fig2/fig4/fig5/fig67) and print it.
+``selfcheck``
+    Run the full reliability battery: oracle equivalence, cache round
+    trip, parallel determinism, fault-injection smoke.
 
 Examples::
 
     echo 000010001011110111101111 | python -m repro design --order 2
     python -m repro design --order 4 --trace-file trace.txt --vhdl out.vhd
+    python -m repro design --order 4 --trace-file trace.txt --verify
     python -m repro customize gsm --branches 6
     python -m repro figures fig5 --benchmark ijpeg
+    python -m repro selfcheck
+
+Failures inside the flow surface as structured ``ReproError`` messages
+naming the failed stage (exit status 2) instead of raw tracebacks.
 """
 
 from __future__ import annotations
@@ -32,7 +40,15 @@ from repro.synth.vhdl import generate_vhdl
 
 
 def _read_trace(path: Optional[str]) -> List[int]:
-    text = open(path).read() if path else sys.stdin.read()
+    if path:
+        try:
+            with open(path) as handle:
+                text = handle.read()
+        except OSError as exc:
+            detail = exc.strerror or str(exc)
+            raise SystemExit(f"cannot read trace file {path!r}: {detail}")
+    else:
+        text = sys.stdin.read()
     bits = [ch for ch in text if ch in "01"]
     if not bits:
         raise SystemExit("no 0/1 symbols found in the trace input")
@@ -46,7 +62,10 @@ def _cmd_design(args: argparse.Namespace) -> int:
         order=args.order,
         bias_threshold=args.threshold,
         dont_care_fraction=args.dont_care,
+        verify=args.verify,
     )
+    if args.verify:
+        print("verified       : machine proven equivalent to the oracle")
     print(f"trace length   : {len(trace)}")
     print(f"cover          : {' | '.join(result.cover_strings()) or '(empty)'}")
     print(f"regex          : {result.regex}")
@@ -155,6 +174,12 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_selfcheck(args: argparse.Namespace) -> int:
+    from repro.reliability.selfcheck import run_selfcheck
+
+    return run_selfcheck(verbose=not args.quiet)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -180,6 +205,11 @@ def build_parser() -> argparse.ArgumentParser:
     design.add_argument("--dont-care", type=float, default=0.01)
     design.add_argument("--trace-file", help="file of 0/1 symbols (default: stdin)")
     design.add_argument("--area", action="store_true", help="print the area report")
+    design.add_argument(
+        "--verify",
+        action="store_true",
+        help="prove the machine equivalent to the direct-construction oracle",
+    )
     design.add_argument("--vhdl", help="write VHDL to this path")
     design.add_argument("--verilog", help="write Verilog to this path")
     design.add_argument("--dot", help="write GraphViz DOT to this path")
@@ -200,6 +230,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="run every benchmark of the figure and write results/*.txt",
     )
     figures.set_defaults(func=_cmd_figures)
+
+    selfcheck = sub.add_parser(
+        "selfcheck",
+        help="run the reliability battery (oracle, cache, pool, faults)",
+    )
+    selfcheck.add_argument(
+        "--quiet", action="store_true", help="suppress per-check output"
+    )
+    selfcheck.set_defaults(func=_cmd_selfcheck)
     return parser
 
 
@@ -217,7 +256,16 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         set_cache_enabled(False)
         os.environ["REPRO_CACHE"] = "0"  # propagate to pool workers
-    return args.func(args)
+    from repro.reliability.errors import ReproError
+
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        # Structured failure: one actionable line naming the stage, not a
+        # traceback.  Exit status 2 distinguishes it from success (0) and
+        # a failed selfcheck (1).
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

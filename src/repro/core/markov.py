@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.reliability.errors import TraceError
+
 try:  # numpy accelerates batch training but is never required
     import numpy as _np
 except ImportError:  # pragma: no cover - exercised only without numpy
@@ -221,7 +223,9 @@ class MarkovModel:
 
 def _check_bit(bit: int) -> int:
     if bit not in (0, 1):
-        raise ValueError(f"trace element {bit!r} is not a 0/1 outcome")
+        raise TraceError(
+            f"trace element {bit!r} is not a 0/1 outcome", stage="profile"
+        )
     return bit
 
 
@@ -237,7 +241,9 @@ def _as_bit_array(trace: Sequence[int]) -> Optional["_np.ndarray"]:
     invalid = (bits != 0) & (bits != 1)
     if invalid.any():
         bad = bits[invalid][0]
-        raise ValueError(f"trace element {int(bad)!r} is not a 0/1 outcome")
+        raise TraceError(
+            f"trace element {int(bad)!r} is not a 0/1 outcome", stage="profile"
+        )
     return bits
 
 

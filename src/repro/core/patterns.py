@@ -21,6 +21,7 @@ from typing import FrozenSet, List, Tuple
 
 from repro.core.markov import MarkovModel
 from repro.logic.truth_table import TruthTable
+from repro.reliability.errors import DesignError
 
 
 @dataclass(frozen=True)
@@ -74,9 +75,17 @@ def define_patterns(
     Unseen histories are don't-cares unconditionally.
     """
     if not 0.0 <= bias_threshold <= 1.0:
-        raise ValueError("bias_threshold must be in [0, 1]")
+        raise DesignError(
+            "bias_threshold must be in [0, 1]",
+            stage="define_patterns",
+            bias_threshold=bias_threshold,
+        )
     if not 0.0 <= dont_care_fraction < 1.0:
-        raise ValueError("dont_care_fraction must be in [0, 1)")
+        raise DesignError(
+            "dont_care_fraction must be in [0, 1)",
+            stage="define_patterns",
+            dont_care_fraction=dont_care_fraction,
+        )
 
     total = model.total_observations
     budget = total * dont_care_fraction

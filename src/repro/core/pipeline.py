@@ -15,6 +15,7 @@ machine) is reproduced verbatim in the test suite.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -29,6 +30,9 @@ from repro.core.patterns import PatternSets, define_patterns
 from repro.core.regex_build import history_language_regex
 from repro.logic.cube import Cube
 from repro.logic.espresso import minimize as logic_minimize
+from repro.reliability import faults
+from repro.reliability.errors import DesignError, TraceError
+from repro.reliability.faults import InjectedFault
 
 
 @dataclass(frozen=True)
@@ -51,6 +55,11 @@ class DesignConfig:
     ``canonical_history``
         The history that selects the post-reduction start state; defaults
         to all zeros.
+    ``verify``
+        Prove every freshly designed machine against the direct
+        construction oracle (:mod:`repro.reliability.verify`) before
+        returning it.  Cache *hits* are always verified regardless of
+        this flag; ``verify=True`` extends the proof to cold computes.
     """
 
     order: int = 4
@@ -58,15 +67,71 @@ class DesignConfig:
     dont_care_fraction: float = 0.0
     reduce_startup: bool = True
     canonical_history: Optional[str] = None
+    verify: bool = False
 
     def __post_init__(self) -> None:
-        if self.order < 1:
-            raise ValueError("order must be >= 1")
+        # Boundary validation with structured errors (DesignError is a
+        # ValueError, so pre-hierarchy callers keep working).
+        if not isinstance(self.order, int) or self.order < 1:
+            raise DesignError(
+                "order must be an integer >= 1",
+                stage="config",
+                order=self.order,
+            )
+        for name in ("bias_threshold", "dont_care_fraction"):
+            value = getattr(self, name)
+            try:
+                value = float(value)
+            except (TypeError, ValueError):
+                raise DesignError(
+                    f"{name} must be a real number",
+                    stage="config",
+                    **{name: value},
+                ) from None
+            if math.isnan(value) or math.isinf(value):
+                raise DesignError(
+                    f"{name} must be finite, not {value!r}",
+                    stage="config",
+                    **{name: value},
+                )
+        if not 0.0 <= self.bias_threshold <= 1.0:
+            raise DesignError(
+                "bias_threshold must be in [0, 1]",
+                stage="config",
+                bias_threshold=self.bias_threshold,
+            )
+        if not 0.0 <= self.dont_care_fraction < 1.0:
+            raise DesignError(
+                "dont_care_fraction must be in [0, 1)",
+                stage="config",
+                dont_care_fraction=self.dont_care_fraction,
+            )
         if self.canonical_history is not None:
             if len(self.canonical_history) != self.order:
-                raise ValueError("canonical_history length must equal order")
+                raise DesignError(
+                    "canonical_history length must equal order",
+                    stage="config",
+                    canonical_history=self.canonical_history,
+                    order=self.order,
+                )
             if set(self.canonical_history) - {"0", "1"}:
-                raise ValueError("canonical_history must be a 0/1 string")
+                raise DesignError(
+                    "canonical_history must be a 0/1 string",
+                    stage="config",
+                    canonical_history=self.canonical_history,
+                )
+
+    def cache_fields(self) -> tuple:
+        """The semantic knobs, for cache keys.  ``verify`` is excluded:
+        it changes what is *checked*, never what is produced, and must
+        not split the key space."""
+        return (
+            self.order,
+            self.bias_threshold,
+            self.dont_care_fraction,
+            self.reduce_startup,
+            self.canonical_history,
+        )
 
 
 @dataclass
@@ -119,9 +184,16 @@ class FSMDesigner:
         Memoized on disk: the flow is a pure function of (trace, config),
         so the result is cached under the trace digest, the config, and the
         design-flow version salt (see :mod:`repro.perf.cache`).
+
+        Degenerate traces have defined behaviour (see DESIGN.md): an empty
+        trace, or one too short to observe a single history->outcome
+        transition (``len(trace) <= order``), raises :class:`TraceError`;
+        a constant all-0/all-1 trace designs the one-state constant
+        predictor.
         """
         from repro.perf.cache import DESIGN_FLOW_VERSION, cached, digest_of
 
+        self._validate_trace(trace)
         try:
             trace_bytes = bytes(bytearray(trace))
         except (TypeError, ValueError):
@@ -130,14 +202,17 @@ class FSMDesigner:
             model = MarkovModel.from_trace(trace, self.config.order)
             return self.design_from_model(model)
         key = digest_of(
-            "design-from-trace", trace_bytes, self.config, DESIGN_FLOW_VERSION
+            "design-from-trace",
+            trace_bytes,
+            self.config.cache_fields(),
+            DESIGN_FLOW_VERSION,
         )
 
         def compute() -> DesignResult:
             model = MarkovModel.from_trace(trace, self.config.order)
-            return self.design_from_model(model)
+            return self._design_from_model(model)
 
-        return cached("designs", key, compute)
+        return self._finish(cached("designs", key, compute, validate=_design_hit_ok))
 
     def design_from_model(self, model: MarkovModel) -> DesignResult:
         """Full flow starting from a pre-built Markov model (the branch
@@ -153,12 +228,48 @@ class FSMDesigner:
             model.order,
             tuple(sorted(model.totals.items())),
             tuple(sorted(model.ones.items())),
-            self.config,
+            self.config.cache_fields(),
             DESIGN_FLOW_VERSION,
         )
-        return cached("designs", key, lambda: self._design_from_model(model))
+        return self._finish(
+            cached(
+                "designs",
+                key,
+                lambda: self._design_from_model(model),
+                validate=_design_hit_ok,
+            )
+        )
+
+    def _validate_trace(self, trace: Sequence[int]) -> None:
+        try:
+            length = len(trace)
+        except TypeError:
+            raise TraceError(
+                "trace must be a sequence of 0/1 outcomes",
+                stage="profile",
+                trace_type=type(trace).__name__,
+            ) from None
+        if length == 0:
+            raise TraceError("empty trace", stage="profile", order=self.config.order)
+        if length <= self.config.order:
+            raise TraceError(
+                f"trace of length {length} observes no history->outcome "
+                f"transition at order {self.config.order}; provide at "
+                "least order+1 outcomes",
+                stage="profile",
+                trace_length=length,
+                order=self.config.order,
+            )
+
+    def _finish(self, result: DesignResult) -> DesignResult:
+        if self.config.verify:
+            from repro.reliability.verify import verify_design
+
+            verify_design(result)
+        return result
 
     def _design_from_model(self, model: MarkovModel) -> DesignResult:
+        self._stage("define_patterns")
         if model.order != self.config.order:
             model = model.truncated(self.config.order)
         patterns = define_patterns(
@@ -172,8 +283,11 @@ class FSMDesigner:
         self, model: MarkovModel, patterns: PatternSets
     ) -> DesignResult:
         """Remaining flow once the three history sets are fixed."""
+        self._stage("logic_minimize")
         cover = logic_minimize(patterns.to_truth_table())
+        self._stage("regex")
         regex = history_language_regex(cover)
+        self._stage("compile")
         machine, nfa_states, dfa_states, minimized_states = self._compile(regex)
         removed = 0
         if self.config.reduce_startup and machine.num_states > 1:
@@ -205,6 +319,21 @@ class FSMDesigner:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _stage(self, name: str) -> None:
+        """Stage boundary: hosts the ``stage_fail`` fault point.  An
+        injected stage failure surfaces as a structured
+        :class:`DesignError` naming the stage -- the contract every sweep
+        relies on (fail loudly, never return a wrong machine)."""
+        try:
+            faults.fire("stage_fail")
+        except InjectedFault as exc:
+            raise DesignError(
+                f"stage {name!r} failed",
+                stage=name,
+                order=self.config.order,
+                bias_threshold=self.config.bias_threshold,
+            ) from exc
+
     def _compile(self, regex: rx.Regex):
         """regex -> minimized Moore machine (+ stage state counts)."""
         if isinstance(regex, rx.EmptySet):
@@ -223,16 +352,29 @@ class FSMDesigner:
         return minimized, nfa.num_states, dfa.num_states, minimized.num_states
 
 
+def _design_hit_ok(value) -> bool:
+    """Cache-hit validator: a loaded ``DesignResult`` must still prove
+    equivalent to the oracle.  An entry that unpickles fine but carries a
+    wrong machine (bit-rot, version skew, tampering) would otherwise
+    silently poison every figure that reads it; rejecting it here makes
+    the cache layer quarantine and recompute instead."""
+    from repro.reliability.verify import design_ok
+
+    return isinstance(value, DesignResult) and design_ok(value)
+
+
 def design_predictor(
     trace: Sequence[int],
     order: int = 4,
     bias_threshold: float = 0.5,
     dont_care_fraction: float = 0.0,
+    verify: bool = False,
 ) -> DesignResult:
     """One-call convenience wrapper: trace in, designed predictor out."""
     config = DesignConfig(
         order=order,
         bias_threshold=bias_threshold,
         dont_care_fraction=dont_care_fraction,
+        verify=verify,
     )
     return FSMDesigner(config).design_from_trace(trace)

@@ -9,15 +9,33 @@ addressed.
 
 Entries are pickles written atomically (temp file + ``os.replace``) so
 concurrent workers racing on the same key are safe: last writer wins and
-every reader sees a complete file.  Corrupt or unreadable entries are
-treated as misses.
+every reader sees a complete file.
+
+Hardening (the ``repro.reliability`` contract):
+
+* every payload gets a sha256 **checksum sidecar** (``<key>.sha256``);
+  truncation or bit-rot that would still unpickle "fine" is detected on
+  load instead of silently poisoning every figure that reads the entry;
+* entries that fail the checksum, fail to unpickle despite a valid
+  checksum, or fail a caller-supplied ``validate`` hook are **moved to a
+  quarantine directory** (``<cache>/quarantine/<category>/``) -- evidence
+  preserved, entry recomputed;
+* ``REPRO_CACHE_MAX_MB`` bounds the cache size with oldest-first
+  eviction after each write;
+* per-process hit/miss/write/quarantine/eviction **counters**
+  (:func:`cache_stats`), surfaced by ``python -m repro selfcheck``;
+* fault-injection hooks (``cache_read``/``cache_write``/``cache_corrupt``,
+  see :mod:`repro.reliability.faults`) chaos-test all of the above.
 
 Knobs:
 
 - ``REPRO_CACHE_DIR`` -- cache location (default ``.repro-cache/`` at the
   repository root).
 - ``REPRO_CACHE=0`` or :func:`set_cache_enabled` (the ``--no-cache`` CLI
-  flag) -- disable reads and writes; everything is recomputed.
+  flag) -- disable reads and writes; everything is recomputed.  The
+  environment is re-read on every call, so tests and pool workers that
+  flip ``REPRO_CACHE`` after import are honoured.
+- ``REPRO_CACHE_MAX_MB`` -- approximate size bound; unset means unbounded.
 """
 
 from __future__ import annotations
@@ -26,17 +44,54 @@ import hashlib
 import os
 import pickle
 import tempfile
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, TypeVar
+from typing import Any, Callable, List, Optional, Tuple, TypeVar
+
+from repro.reliability.errors import CacheError
+from repro.reliability.faults import should_fire
 
 T = TypeVar("T")
 
 # Version salts: bump when the producer's output semantics change.
 TRACE_VERSION = 1
-DESIGN_FLOW_VERSION = 1
+# 2: config cache keys switched to explicit semantic field tuples so that
+# non-semantic knobs (DesignConfig.verify) do not split the key space.
+DESIGN_FLOW_VERSION = 2
 
-_ENV_DISABLED = os.environ.get("REPRO_CACHE", "1").lower() in ("0", "false", "off")
 _runtime_enabled = True
+
+_MISS = object()  # sentinel: _load_entry found nothing usable
+
+
+@dataclass
+class CacheStats:
+    """Per-process cache counters (pool workers count separately)."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    quarantined: int = 0
+    evictions: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"hits={self.hits} misses={self.misses} writes={self.writes} "
+            f"quarantined={self.quarantined} evictions={self.evictions}"
+        )
+
+
+_stats = CacheStats()
+
+
+def cache_stats() -> CacheStats:
+    return _stats
+
+
+def reset_cache_stats() -> CacheStats:
+    global _stats
+    _stats = CacheStats()
+    return _stats
 
 
 def set_cache_enabled(enabled: bool) -> None:
@@ -47,7 +102,14 @@ def set_cache_enabled(enabled: bool) -> None:
 
 
 def cache_enabled() -> bool:
-    return _runtime_enabled and not _ENV_DISABLED
+    # Re-read the environment every call: REPRO_CACHE=0 set after import
+    # (tests, pool workers, the CLI propagating --no-cache) must win.
+    env_disabled = os.environ.get("REPRO_CACHE", "1").lower() in (
+        "0",
+        "false",
+        "off",
+    )
+    return _runtime_enabled and not env_disabled
 
 
 def cache_dir() -> Path:
@@ -56,6 +118,10 @@ def cache_dir() -> Path:
         return Path(env)
     # src/repro/perf/cache.py -> repository root
     return Path(__file__).resolve().parents[3] / ".repro-cache"
+
+
+def quarantine_dir() -> Path:
+    return cache_dir() / "quarantine"
 
 
 def digest_of(*parts: Any) -> str:
@@ -74,34 +140,185 @@ def digest_of(*parts: Any) -> str:
     return h.hexdigest()
 
 
-def cached(category: str, key: str, compute: Callable[[], T]) -> T:
+def _max_cache_bytes() -> Optional[int]:
+    raw = os.environ.get("REPRO_CACHE_MAX_MB", "").strip()
+    if not raw:
+        return None
+    try:
+        megabytes = float(raw)
+    except ValueError:
+        return None
+    if megabytes <= 0:
+        return None
+    return int(megabytes * 1024 * 1024)
+
+
+def _quarantine(category: str, path: Path, sidecar: Path, reason: str) -> None:
+    """Move a poisoned entry aside so it can be inspected, never re-read.
+
+    Raises :class:`CacheError` only when the entry can neither be moved
+    nor deleted -- the one case recompute cannot heal, because the next
+    reader would load the same poison again.
+    """
+    target_dir = quarantine_dir() / category
+    try:
+        target_dir.mkdir(parents=True, exist_ok=True)
+        os.replace(path, target_dir / path.name)
+        if sidecar.exists():
+            os.replace(sidecar, target_dir / sidecar.name)
+    except OSError:
+        try:
+            path.unlink(missing_ok=True)
+            sidecar.unlink(missing_ok=True)
+        except OSError as exc:
+            raise CacheError(
+                f"cannot quarantine or remove poisoned cache entry "
+                f"({reason})",
+                stage="cache",
+                category=category,
+                entry=str(path),
+            ) from exc
+    _stats.quarantined += 1
+
+
+def _load_entry(
+    category: str,
+    path: Path,
+    validate: Optional[Callable[[Any], bool]],
+) -> Any:
+    """Load and fully vet one cache entry; ``_MISS`` when absent/unusable."""
+    sidecar = path.with_suffix(".sha256")
+    try:
+        if should_fire("cache_read"):
+            raise OSError("injected fault: cache_read")
+        payload = path.read_bytes()
+        expected = sidecar.read_text().strip()
+    except OSError:
+        # Absent entry, unreadable file, or a pre-checksum legacy entry
+        # (no sidecar): a plain miss, recompute overwrites it.
+        return _MISS
+    if hashlib.sha256(payload).hexdigest() != expected:
+        _quarantine(category, path, sidecar, reason="checksum mismatch")
+        return _MISS
+    try:
+        value = pickle.loads(payload)
+    except Exception:
+        # Checksum valid but content unloadable: the *writer* stored
+        # garbage (version skew, interpreter bug).  Keep the evidence.
+        _quarantine(category, path, sidecar, reason="unpicklable payload")
+        return _MISS
+    if validate is not None and not validate(value):
+        # Loadable but wrong -- the dangerous case.  Quarantine and
+        # recompute instead of letting it poison every downstream figure.
+        _quarantine(category, path, sidecar, reason="failed validation")
+        return _MISS
+    return value
+
+
+def _store_entry(path: Path, value: Any) -> None:
+    """Best-effort atomic write of payload + checksum sidecar."""
+    if should_fire("cache_write"):
+        return  # dropped write: the entry is simply recomputed next time
+    try:
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return  # unpicklable value: caching is best-effort
+    checksum = hashlib.sha256(payload).hexdigest()
+    if should_fire("cache_corrupt"):
+        # Simulated bit-rot: flip one mid-payload byte *after* the
+        # checksum was computed, exactly what the sidecar must catch.
+        middle = len(payload) // 2
+        payload = (
+            payload[:middle]
+            + bytes([payload[middle] ^ 0x01])
+            + payload[middle + 1 :]
+        )
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        _atomic_write(path, payload)
+        _atomic_write(path.with_suffix(".sha256"), checksum.encode("ascii"))
+    except OSError:
+        return  # read-only filesystem etc.: caching is best-effort
+    _stats.writes += 1
+    _evict_if_needed()
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _evict_if_needed() -> None:
+    """Oldest-first eviction down to ``REPRO_CACHE_MAX_MB`` (quarantined
+    entries are evidence, not cache, and are never counted or evicted)."""
+    limit = _max_cache_bytes()
+    if limit is None:
+        return
+    root = cache_dir()
+    quarantine = quarantine_dir()
+    entries: List[Tuple[float, int, Path]] = []
+    total = 0
+    try:
+        for pkl in root.rglob("*.pkl"):
+            if quarantine in pkl.parents:
+                continue
+            try:
+                stat = pkl.stat()
+                size = stat.st_size
+                sidecar = pkl.with_suffix(".sha256")
+                if sidecar.exists():
+                    size += sidecar.stat().st_size
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, size, pkl))
+            total += size
+    except OSError:
+        return
+    if total <= limit:
+        return
+    for _mtime, size, pkl in sorted(entries):
+        try:
+            pkl.unlink(missing_ok=True)
+            pkl.with_suffix(".sha256").unlink(missing_ok=True)
+        except OSError:
+            continue
+        _stats.evictions += 1
+        total -= size
+        if total <= limit:
+            break
+
+
+def cached(
+    category: str,
+    key: str,
+    compute: Callable[[], T],
+    validate: Optional[Callable[[Any], bool]] = None,
+) -> T:
     """Return the cached value for ``category``/``key``, computing and
     storing it on a miss.  With caching disabled this is just
-    ``compute()``."""
+    ``compute()``.
+
+    ``validate`` (optional) vets every cache *hit*; entries it rejects are
+    quarantined and recomputed, so a loadable-but-wrong pickle can never
+    reach a caller.
+    """
     if not cache_enabled():
         return compute()
     path = cache_dir() / category / key[:2] / f"{key}.pkl"
-    if path.exists():
-        try:
-            with open(path, "rb") as fh:
-                return pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, ValueError):
-            pass  # corrupt/stale entry: fall through and recompute
+    value = _load_entry(category, path, validate)
+    if value is not _MISS:
+        _stats.hits += 1
+        return value
+    _stats.misses += 1
     value = compute()
-    try:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-    except OSError:
-        pass  # read-only filesystem etc.: caching is best-effort
+    _store_entry(path, value)
     return value

@@ -1,27 +1,52 @@
-"""Deterministic process-pool mapping for experiment shards.
+"""Deterministic, fault-tolerant process-pool mapping for experiment shards.
 
 ``parallel_map(fn, items)`` is a drop-in for ``[fn(x) for x in items]``:
-results always come back in input order, worker exceptions propagate, and
-anything that prevents pooling (``REPRO_JOBS=1``, an unpicklable ``fn``, a
-sandbox without process support, or already being inside a worker) silently
-degrades to the serial loop.  Because every shard function in the harness is
-a pure function of its arguments, serial and parallel runs are
-byte-identical.
+results always come back in input order and anything that prevents pooling
+(``REPRO_JOBS=1``, an unpicklable ``fn``, a sandbox without process
+support, or already being inside a worker) silently degrades to the serial
+loop.  Because every shard function in the harness is a pure function of
+its arguments, serial and parallel runs are byte-identical -- and the
+hardening below preserves that under infrastructure failure:
+
+* **crash isolation** -- a worker that dies (``BrokenProcessPool``) fails
+  only its own item; the item is retried on a fresh pool with bounded
+  deterministic backoff and, as a last resort, recomputed serially in the
+  parent instead of aborting the whole sweep;
+* **per-task timeout** -- ``REPRO_TASK_TIMEOUT`` (seconds) bounds each
+  item; a hung worker is abandoned (and terminated) rather than waited on
+  forever, and its item goes through the same retry/serial path;
+* **structured failure** -- an item that still cannot be computed raises
+  :class:`~repro.reliability.errors.WorkerError` naming the item index.
+
+Exceptions raised by ``fn`` itself are *not* retried: they are
+deterministic application errors and propagate unchanged, exactly like
+the serial loop.
 
 Worker count comes from ``jobs=...`` or the ``REPRO_JOBS`` environment
-variable (default 1: opt-in parallelism).
+variable (default 1: opt-in parallelism); retries from
+``REPRO_TASK_RETRIES`` (default 2).  The ``worker_crash``/``worker_hang``/
+``worker_reorder`` fault points (:mod:`repro.reliability.faults`) let the
+chaos suite prove all of this.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
-from typing import Callable, Iterable, List, TypeVar
+import time
+from typing import Callable, Dict, Iterable, List, Optional, TypeVar
+
+from repro.reliability import faults
+from repro.reliability.errors import WorkerError
+from repro.reliability.faults import InjectedFault
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 _IN_WORKER = False
+
+_BACKOFF_BASE = 0.05  # seconds; doubles per retry pass, deterministic
+_BACKOFF_MAX = 0.5
 
 
 def _mark_worker() -> None:
@@ -40,6 +65,59 @@ def default_jobs() -> int:
     return max(1, jobs)
 
 
+def task_timeout() -> Optional[float]:
+    """Per-item timeout in seconds (``REPRO_TASK_TIMEOUT``); None = wait
+    forever (the default)."""
+    raw = os.environ.get("REPRO_TASK_TIMEOUT", "").strip()
+    if not raw:
+        return None
+    try:
+        seconds = float(raw)
+    except ValueError:
+        return None
+    return seconds if seconds > 0 else None
+
+
+def task_retries() -> int:
+    """Pool retry passes per item before the serial fallback
+    (``REPRO_TASK_RETRIES``, default 2)."""
+    raw = os.environ.get("REPRO_TASK_RETRIES", "2")
+    try:
+        retries = int(raw)
+    except ValueError:
+        return 2
+    return max(0, retries)
+
+
+def _hang_seconds() -> float:
+    raw = os.environ.get("REPRO_FAULT_HANG_SECONDS", "30")
+    try:
+        return max(0.0, float(raw))
+    except ValueError:
+        return 30.0
+
+
+def _pool_call(fn: Callable[[T], R], item: T) -> R:
+    """Runs inside a pool worker; hosts the worker-side fault points."""
+    faults.fire("worker_crash")
+    if faults.should_fire("worker_hang"):
+        time.sleep(_hang_seconds())
+    return fn(item)
+
+
+def _reap(pool) -> None:
+    """Abandon a pool without waiting on hung workers."""
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+    try:
+        for process in list(getattr(pool, "_processes", {}).values()):
+            process.terminate()
+    except Exception:
+        pass
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
@@ -52,6 +130,7 @@ def parallel_map(
     if _IN_WORKER or n_jobs <= 1 or len(work) <= 1:
         return [fn(item) for item in work]
     try:
+        from concurrent.futures import TimeoutError as FuturesTimeout
         from concurrent.futures import ProcessPoolExecutor
         from concurrent.futures.process import BrokenProcessPool
     except ImportError:  # pragma: no cover - stripped-down stdlib
@@ -63,14 +142,66 @@ def parallel_map(
         pickle.dumps(fn)
     except (pickle.PicklingError, AttributeError, TypeError):
         return [fn(item) for item in work]
-    try:
-        with ProcessPoolExecutor(
-            max_workers=n_jobs, initializer=_mark_worker
-        ) as pool:
-            # executor.map preserves ordering; list() surfaces worker
-            # exceptions here, with the pool still alive.
-            return list(pool.map(fn, work))
-    except (BrokenProcessPool, pickle.PicklingError, OSError):
-        # No usable subprocesses (sandbox, unpicklable fn, fork failure):
-        # the serial path computes the identical answer.
-        return [fn(item) for item in work]
+
+    timeout = task_timeout()
+    retries = task_retries()
+    # Only infrastructure failures are retryable; fn's own exceptions are
+    # deterministic and propagate unchanged (same as the serial loop).
+    retryable = (FuturesTimeout, BrokenProcessPool, InjectedFault,
+                 pickle.PicklingError)
+
+    results: List[Optional[R]] = [None] * len(work)
+    pending = set(range(len(work)))
+    last_error: Dict[int, BaseException] = {}
+
+    for attempt in range(retries + 1):
+        if not pending:
+            break
+        if attempt:
+            time.sleep(min(_BACKOFF_BASE * (2 ** (attempt - 1)), _BACKOFF_MAX))
+        order = sorted(pending)
+        rng = faults.plan_rng()
+        if rng is not None and faults.should_fire("worker_reorder"):
+            # Chaos: shuffled submission/completion order must not change
+            # the output, because results are keyed by item index.
+            rng.shuffle(order)
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=min(n_jobs, len(order)), initializer=_mark_worker
+            )
+        except OSError:
+            break  # no subprocess support at all: serial fallback below
+        try:
+            try:
+                futures = {
+                    index: pool.submit(_pool_call, fn, work[index])
+                    for index in order
+                }
+            except (BrokenProcessPool, OSError, pickle.PicklingError) as exc:
+                for index in order:
+                    last_error.setdefault(index, exc)
+                continue
+            for index in order:
+                try:
+                    results[index] = futures[index].result(timeout=timeout)
+                    pending.discard(index)
+                except retryable as exc:
+                    last_error[index] = exc
+        finally:
+            _reap(pool)
+
+    # Last resort: recompute survivors serially in the parent.  A pure fn
+    # returns the identical value, so the output stays byte-identical.
+    for index in sorted(pending):
+        try:
+            results[index] = fn(work[index])
+        except retryable as exc:
+            raise WorkerError(
+                f"work item {index} failed {retries + 1} pool attempts "
+                "and the serial recompute",
+                stage="parallel_map",
+                item_index=index,
+                attempts=retries + 1,
+                last_pool_error=repr(last_error.get(index)),
+            ) from exc
+    return results  # type: ignore[return-value]

@@ -1,0 +1,32 @@
+"""Fault tolerance and verification for the design flow.
+
+The production contract this package enforces end-to-end: a sweep either
+completes with the same bytes a clean serial run would produce (recovered
+fault) or fails with a structured :class:`ReproError` naming the stage --
+never a silent wrong result.
+
+Modules:
+
+- :mod:`repro.reliability.errors` -- the ``ReproError`` hierarchy;
+- :mod:`repro.reliability.faults` -- deterministic fault injection
+  (``REPRO_FAULTS``) for chaos-testing the cache, the pool, the pipeline;
+- :mod:`repro.reliability.verify` -- proves produced machines against the
+  direct-construction oracle;
+- :mod:`repro.reliability.selfcheck` -- ``python -m repro selfcheck``.
+"""
+
+from repro.reliability.errors import (
+    CacheError,
+    DesignError,
+    ReproError,
+    TraceError,
+    WorkerError,
+)
+
+__all__ = [
+    "CacheError",
+    "DesignError",
+    "ReproError",
+    "TraceError",
+    "WorkerError",
+]

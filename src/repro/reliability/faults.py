@@ -1,0 +1,203 @@
+"""Deterministic fault injection for chaos-testing the execution layer.
+
+A *fault plan* arms named fault points scattered through the cache, the
+process pool, and the pipeline.  Each point is armed either with a count
+(``worker_crash:2`` -- fire on the first two queries) or a probability
+(``cache_read:0.5`` -- fire on each query with p=0.5 from a seeded PRNG,
+so a given plan misbehaves identically on every run).
+
+Activation is environment-driven (``REPRO_FAULTS`` + ``REPRO_FAULTS_SEED``,
+read at import so pool workers inherit the plan) or scoped with the
+:func:`inject_faults` context manager in tests.  With no plan armed every
+hook is a single ``is None`` check -- zero overhead in production.
+
+Fault points currently wired in:
+
+=================  ==========================================================
+``cache_read``     reading a cache entry raises ``OSError`` (treated as miss)
+``cache_write``    a cache write is dropped (entry simply not persisted)
+``cache_corrupt``  a cache write lands with a tampered payload (bit-rot)
+``worker_crash``   a pool worker raises before running its item
+``worker_hang``    a pool worker sleeps past the task timeout
+``worker_reorder`` items are submitted to the pool in shuffled order
+``stage_fail``     a pipeline stage raises before running
+=================  ==========================================================
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+KNOWN_POINTS = frozenset(
+    {
+        "cache_read",
+        "cache_write",
+        "cache_corrupt",
+        "worker_crash",
+        "worker_hang",
+        "worker_reorder",
+        "stage_fail",
+    }
+)
+
+
+class InjectedFault(Exception):
+    """Raised by an armed fault point.
+
+    Deliberately *not* a :class:`~repro.reliability.errors.ReproError`:
+    injected faults simulate infrastructure failures (bit-rot, OOM-killed
+    workers), and the recovery machinery must either heal them invisibly
+    or surface them wrapped in the structured hierarchy -- an escaped
+    ``InjectedFault`` in a result is itself a test failure.
+    """
+
+    def __init__(self, point: str):
+        super().__init__(f"injected fault: {point}")
+        self.point = point
+
+    def __reduce__(self):
+        # Survive the pool boundary without re-prefixing the message.
+        return (InjectedFault, (self.point,))
+
+
+class FaultPlan:
+    """Parsed ``name:value`` fault spec with a seeded PRNG."""
+
+    def __init__(self, spec: str, seed: int = 0):
+        self.spec = spec
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.counts: Dict[str, int] = {}
+        self.probabilities: Dict[str, float] = {}
+        self.fired: Dict[str, int] = {}
+        for clause in spec.split(","):
+            clause = clause.strip()
+            if not clause:
+                continue
+            name, _, raw = clause.partition(":")
+            name = name.strip()
+            if name not in KNOWN_POINTS:
+                raise ValueError(
+                    f"unknown fault point {name!r} "
+                    f"(known: {', '.join(sorted(KNOWN_POINTS))})"
+                )
+            raw = raw.strip() or "1"
+            try:
+                if any(ch in raw for ch in ".eE"):
+                    probability = float(raw)
+                    if not 0.0 <= probability <= 1.0:
+                        raise ValueError
+                    self.probabilities[name] = probability
+                else:
+                    self.counts[name] = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"fault value {raw!r} for {name!r} is neither a count "
+                    "nor a probability in [0, 1]"
+                ) from None
+
+    def query(self, point: str) -> bool:
+        """Should this occurrence of ``point`` fail?  Consumes counts and
+        advances the PRNG, so identical query sequences fire identically."""
+        fire = False
+        remaining = self.counts.get(point)
+        if remaining is not None and remaining > 0:
+            self.counts[point] = remaining - 1
+            fire = True
+        elif point in self.probabilities:
+            fire = self.rng.random() < self.probabilities[point]
+        if fire:
+            self.fired[point] = self.fired.get(point, 0) + 1
+        return fire
+
+
+def _plan_from_env() -> Optional[FaultPlan]:
+    spec = os.environ.get("REPRO_FAULTS", "").strip()
+    if not spec:
+        return None
+    seed = int(os.environ.get("REPRO_FAULTS_SEED", "0") or 0)
+    return FaultPlan(spec, seed=seed)
+
+
+# Read once at import: pool workers are fresh processes, so they pick up
+# the inherited environment here; the parent pays one getenv at startup
+# and a single `is None` test per hook afterwards.
+_plan: Optional[FaultPlan] = _plan_from_env()
+
+
+def active_plan() -> Optional[FaultPlan]:
+    return _plan
+
+
+def faults_enabled() -> bool:
+    return _plan is not None
+
+
+def should_fire(point: str) -> bool:
+    """True when ``point`` should fail now.  The disabled path is one
+    global load and an ``is None`` test."""
+    if _plan is None:
+        return False
+    return _plan.query(point)
+
+
+def fire(point: str) -> None:
+    """Raise :class:`InjectedFault` when ``point`` is armed and due."""
+    if _plan is not None and _plan.query(point):
+        raise InjectedFault(point)
+
+
+def plan_rng() -> Optional[random.Random]:
+    """The active plan's PRNG (for order-shuffling faults); None when
+    faults are disabled."""
+    return _plan.rng if _plan is not None else None
+
+
+@contextmanager
+def inject_faults(
+    spec: str, seed: int = 0, propagate_env: bool = False
+) -> Iterator[FaultPlan]:
+    """Arm ``spec`` for the duration of the block (tests, selfcheck).
+
+    ``propagate_env=True`` additionally exports ``REPRO_FAULTS`` /
+    ``REPRO_FAULTS_SEED`` so freshly spawned pool workers inherit the
+    plan; counts are per-process either way.
+    """
+    global _plan
+    previous = _plan
+    previous_env = (
+        os.environ.get("REPRO_FAULTS"),
+        os.environ.get("REPRO_FAULTS_SEED"),
+    )
+    _plan = FaultPlan(spec, seed=seed)
+    if propagate_env:
+        os.environ["REPRO_FAULTS"] = spec
+        os.environ["REPRO_FAULTS_SEED"] = str(seed)
+    try:
+        yield _plan
+    finally:
+        _plan = previous
+        if propagate_env:
+            for key, value in zip(
+                ("REPRO_FAULTS", "REPRO_FAULTS_SEED"), previous_env
+            ):
+                if value is None:
+                    os.environ.pop(key, None)
+                else:
+                    os.environ[key] = value
+
+
+@contextmanager
+def no_faults() -> Iterator[None]:
+    """Disarm every fault point for the block (lets targeted tests assert
+    clean-path behaviour even under a chaos CI environment)."""
+    global _plan
+    previous = _plan
+    _plan = None
+    try:
+        yield
+    finally:
+        _plan = previous

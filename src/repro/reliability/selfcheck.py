@@ -1,0 +1,202 @@
+"""``python -m repro selfcheck``: the full self-validation battery.
+
+Runs, in-process and in a couple of minutes of CPU at most:
+
+1. **oracle equivalence** -- design machines for orders 1-6 from the
+   paper's worked trace and a seeded pseudo-random trace, and prove each
+   against the direct-construction oracle;
+2. **cache round-trip** -- store/hit/corrupt/quarantine/recompute against
+   a throwaway cache directory, checking the counters at each step;
+3. **parallel determinism** -- a pooled sweep must equal the serial sweep
+   element-for-element;
+4. **fault-injection smoke** -- each recoverable injector (worker crash,
+   cache corruption) heals invisibly, and an unrecoverable one
+   (``stage_fail``) surfaces as a structured ``DesignError`` naming the
+   stage.
+
+Every check is independent; the command prints one PASS/FAIL line per
+check plus the cache counters and exits non-zero when anything failed.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import tempfile
+from contextlib import contextmanager
+from typing import Callable, Iterator, List, Tuple
+
+PAPER_TRACE = [int(ch) for ch in "000010001011110111101111"]
+SELFCHECK_ORDERS = (1, 2, 3, 4, 5, 6)
+
+
+@contextmanager
+def _scratch_env() -> Iterator[str]:
+    """A throwaway cache dir with caching force-enabled and ambient fault
+    plans stripped, so the battery measures the code, not the caller's
+    environment.  Everything is restored on exit."""
+    from repro.perf.cache import set_cache_enabled
+
+    saved = {
+        key: os.environ.get(key)
+        for key in ("REPRO_CACHE", "REPRO_CACHE_DIR", "REPRO_CACHE_MAX_MB",
+                    "REPRO_FAULTS", "REPRO_FAULTS_SEED")
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-selfcheck-") as scratch:
+        for key in saved:
+            os.environ.pop(key, None)
+        os.environ["REPRO_CACHE_DIR"] = scratch
+        set_cache_enabled(True)
+        try:
+            yield scratch
+        finally:
+            for key, value in saved.items():
+                if value is None:
+                    os.environ.pop(key, None)
+                else:
+                    os.environ[key] = value
+
+
+def _random_trace(length: int = 400, seed: int = 0xC0FFEE) -> List[int]:
+    rng = random.Random(seed)
+    return [rng.random() < 0.7 and 1 or 0 for _ in range(length)]
+
+
+def _design_summary(order: int) -> Tuple[int, Tuple[str, ...]]:
+    """Picklable parallel shard: design the paper trace at ``order``."""
+    from repro.core.pipeline import design_predictor
+
+    result = design_predictor(PAPER_TRACE * 20, order=order)
+    return result.machine.num_states, tuple(result.cover_strings())
+
+
+def _check_oracle_equivalence() -> str:
+    from repro.core.pipeline import design_predictor
+    from repro.reliability.verify import verify_design
+
+    random_trace = _random_trace()
+    for order in SELFCHECK_ORDERS:
+        for trace in (PAPER_TRACE * 4, random_trace):
+            verify_design(design_predictor(trace, order=order))
+    return f"orders {SELFCHECK_ORDERS[0]}-{SELFCHECK_ORDERS[-1]} proven"
+
+
+def _check_cache_round_trip() -> str:
+    from repro.perf.cache import (
+        cache_dir,
+        cache_stats,
+        cached,
+        digest_of,
+        quarantine_dir,
+        reset_cache_stats,
+    )
+
+    reset_cache_stats()
+    key = digest_of("selfcheck-roundtrip", 1)
+    value = {"rows": list(range(32))}
+    first = cached("selfcheck", key, lambda: value)
+    second = cached("selfcheck", key, lambda: {"rows": []})
+    if first != value or second != value:
+        raise AssertionError("cache hit returned a different value")
+    stats = cache_stats()
+    if stats.hits != 1 or stats.misses != 1 or stats.writes != 1:
+        raise AssertionError(f"unexpected counters after round trip: {stats}")
+
+    # Bit-rot: flip one payload byte behind the checksum's back.
+    path = cache_dir() / "selfcheck" / key[:2] / f"{key}.pkl"
+    payload = bytearray(path.read_bytes())
+    payload[len(payload) // 2] ^= 0x01
+    path.write_bytes(bytes(payload))
+    healed = cached("selfcheck", key, lambda: value)
+    if healed != value:
+        raise AssertionError("corrupt entry was not recomputed correctly")
+    stats = cache_stats()
+    if stats.quarantined != 1:
+        raise AssertionError(f"corrupt entry was not quarantined: {stats}")
+    if not any(quarantine_dir().rglob("*.pkl")):
+        raise AssertionError("quarantine directory holds no evidence")
+    return f"store/hit/corrupt/quarantine/recompute ok ({stats})"
+
+
+def _check_parallel_determinism() -> str:
+    from repro.perf.parallel import parallel_map
+
+    orders = list(SELFCHECK_ORDERS)
+    serial = [_design_summary(order) for order in orders]
+    pooled = parallel_map(_design_summary, orders, jobs=2)
+    if serial != pooled:
+        raise AssertionError("parallel sweep diverged from the serial sweep")
+    return f"{len(orders)} shards identical serial vs pooled"
+
+
+def _check_fault_smoke() -> str:
+    from repro.core.pipeline import design_predictor
+    from repro.perf.cache import cached, digest_of
+    from repro.perf.parallel import parallel_map
+    from repro.reliability.errors import DesignError
+    from repro.reliability.faults import inject_faults
+
+    orders = list(SELFCHECK_ORDERS[:3])
+    expected = [_design_summary(order) for order in orders]
+
+    # Recoverable: crashed workers are retried / recomputed serially.
+    with inject_faults("worker_crash:2", seed=7, propagate_env=True):
+        survived = parallel_map(_design_summary, orders, jobs=2)
+    if survived != expected:
+        raise AssertionError("worker_crash injection changed sweep results")
+
+    # Recoverable: a corrupted write is caught, quarantined, recomputed.
+    key = digest_of("selfcheck-faults", 2)
+    with inject_faults("cache_corrupt:1", seed=7):
+        cached("selfcheck", key, lambda: "truth")
+    if cached("selfcheck", key, lambda: "truth") != "truth":
+        raise AssertionError("cache_corrupt injection leaked a wrong value")
+
+    # Unrecoverable: a failed stage must raise a structured error that
+    # names the stage, never return a machine.  (A fresh trace: a cache
+    # hit would skip the stages entirely.)
+    with inject_faults("stage_fail:1", seed=7):
+        try:
+            design_predictor(_random_trace(seed=0xBEEF), order=2)
+        except DesignError as exc:
+            if not exc.stage:
+                raise AssertionError("stage failure did not name its stage")
+        else:
+            raise AssertionError("stage failure produced a result")
+    return "crash recovered, corruption healed, stage failure structured"
+
+
+CHECKS: Tuple[Tuple[str, Callable[[], str]], ...] = (
+    ("oracle-equivalence", _check_oracle_equivalence),
+    ("cache-round-trip", _check_cache_round_trip),
+    ("parallel-determinism", _check_parallel_determinism),
+    ("fault-injection-smoke", _check_fault_smoke),
+)
+
+
+def run_selfcheck(verbose: bool = True) -> int:
+    """Run the battery; returns 0 when every check passes."""
+    from repro.perf.cache import cache_stats
+    from repro.reliability.faults import no_faults
+
+    failures = 0
+    with _scratch_env(), no_faults():
+        for name, check in CHECKS:
+            try:
+                detail = check()
+            except Exception as exc:  # a failed check must not stop the rest
+                failures += 1
+                status, detail = "FAIL", f"{type(exc).__name__}: {exc}"
+            else:
+                status = "PASS"
+            if verbose:
+                print(f"[{status}] {name:<24s} {detail}")
+        if verbose:
+            print(f"cache counters: {cache_stats()}")
+    if verbose:
+        total = len(CHECKS)
+        print(
+            f"selfcheck: {total - failures}/{total} checks passed"
+            + ("" if failures == 0 else f", {failures} FAILED")
+        )
+    return 0 if failures == 0 else 1

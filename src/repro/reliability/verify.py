@@ -1,0 +1,86 @@
+"""Design verification: prove a produced machine against the oracle.
+
+The pipeline's output is checkable independently of how it was produced:
+the final :class:`MooreMachine` must be steady-state equivalent (on every
+input of length >= N) to the 2^N-state shift-register machine built
+directly from the minimized cover (:func:`direct_history_machine`), and
+the cover itself must agree with the pattern sets it was minimized from.
+``verify_design`` runs both checks and raises a :class:`DesignError`
+carrying a shortest distinguishing input when they fail.
+
+The test suite has always used this oracle; wiring it here lets
+*production* paths use it too -- ``DesignConfig(verify=True)``, the CLI's
+``--verify``, and (always) validation of design-cache hits, where a
+corrupt-but-loadable entry would otherwise silently poison every figure
+that reads it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.automata.equivalence import equivalent_from, find_distinguishing_string
+from repro.core.direct import direct_history_machine
+from repro.logic.cube import cover_contains
+from repro.reliability.errors import DesignError
+
+
+def design_issues(result) -> List[str]:
+    """Every verification failure of a :class:`DesignResult`, as human
+    readable strings; empty when the design is provably good."""
+    issues: List[str] = []
+    order = result.config.order
+    cover = list(result.cover)
+
+    for cube in cover:
+        if cube.width != order:
+            issues.append(
+                f"cover cube {cube} has width {cube.width}, expected {order}"
+            )
+    if issues:
+        return issues  # the oracle below needs well-formed cubes
+
+    # Cover vs pattern sets: minimization may only move don't-cares.
+    patterns = result.patterns
+    for history in sorted(patterns.predict_one):
+        if not cover_contains(cover, history):
+            issues.append(
+                f"predict-1 history {history:0{order}b} not covered"
+            )
+    for history in sorted(patterns.predict_zero):
+        if cover_contains(cover, history):
+            issues.append(
+                f"predict-0 history {history:0{order}b} wrongly covered"
+            )
+
+    # Machine vs oracle: steady-state equivalence with horizon = order.
+    oracle = direct_history_machine(cover, order)
+    if not equivalent_from(result.machine, oracle, horizon=order):
+        witness = find_distinguishing_string(result.machine, oracle)
+        issues.append(
+            "machine disagrees with the direct-construction oracle"
+            + (f" (witness input: {witness!r})" if witness is not None else "")
+        )
+    return issues
+
+
+def verify_design(result) -> None:
+    """Raise :class:`DesignError` unless ``result`` provably implements
+    its own cover."""
+    issues = design_issues(result)
+    if issues:
+        raise DesignError(
+            "design verification failed: " + "; ".join(issues),
+            stage="verify",
+            order=result.config.order,
+            bias_threshold=result.config.bias_threshold,
+            states=result.machine.num_states,
+        )
+
+
+def design_ok(result) -> bool:
+    """Boolean form of :func:`verify_design` (cache-hit validation)."""
+    try:
+        return not design_issues(result)
+    except Exception:  # malformed artifact: anything goes when poisoned
+        return False

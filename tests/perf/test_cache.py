@@ -13,7 +13,7 @@ from repro.perf.cache import cache_dir, cached, digest_of, set_cache_enabled
 def tmp_cache(monkeypatch, tmp_path):
     """Point the cache at a fresh directory and make sure it is on."""
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
-    monkeypatch.setattr(cache_mod, "_ENV_DISABLED", False)
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
     monkeypatch.setattr(cache_mod, "_runtime_enabled", True)
     return tmp_path / "cache"
 

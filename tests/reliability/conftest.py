@@ -1,0 +1,33 @@
+"""Fixtures for the reliability/chaos suite.
+
+The CI chaos job runs the *whole* test suite with an ambient
+``REPRO_FAULTS`` plan armed to prove that recovered faults are invisible.
+The targeted tests here assert exact counter values and clean-path
+behaviour, so each one starts disarmed and injects its own plan.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf import cache as cache_mod
+from repro.reliability import faults as faults_mod
+
+
+@pytest.fixture(autouse=True)
+def disarm_ambient_faults(monkeypatch):
+    """Each test controls its own fault plan via inject_faults()."""
+    monkeypatch.setattr(faults_mod, "_plan", None)
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    monkeypatch.delenv("REPRO_FAULTS_SEED", raising=False)
+
+
+@pytest.fixture
+def tmp_cache(monkeypatch, tmp_path):
+    """A fresh, enabled cache directory with zeroed counters."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_MAX_MB", raising=False)
+    monkeypatch.setattr(cache_mod, "_runtime_enabled", True)
+    cache_mod.reset_cache_stats()
+    return tmp_path / "cache"

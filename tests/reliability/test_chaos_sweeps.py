@@ -1,0 +1,84 @@
+"""End-to-end chaos: real experiment sweeps under injected faults.
+
+The acceptance contract: with any injector armed, a sweep either
+completes with output identical to a clean serial run (recovered fault)
+or fails with a structured ReproError naming the stage -- never a silent
+wrong result.
+"""
+
+import pytest
+
+from repro.harness.ablations import render_dontcare, run_dontcare_ablation
+from repro.reliability.errors import DesignError, ReproError
+from repro.reliability.faults import inject_faults
+
+
+@pytest.fixture(scope="module")
+def clean_rows():
+    """The clean serial baseline, computed once."""
+    return run_dontcare_ablation(
+        benchmark="ijpeg",
+        fractions=(0.0, 0.01),
+        order=4,
+        max_branches=6_000,
+        top_branches=2,
+    )
+
+
+def _chaos_rows(jobs_env, monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", jobs_env)
+    return run_dontcare_ablation(
+        benchmark="ijpeg",
+        fractions=(0.0, 0.01),
+        order=4,
+        max_branches=6_000,
+        top_branches=2,
+    )
+
+
+class TestRecoveredFaultsAreInvisible:
+    def test_worker_crashes_leave_sweep_byte_identical(
+        self, clean_rows, monkeypatch
+    ):
+        with inject_faults("worker_crash:2", seed=23, propagate_env=True):
+            rows = _chaos_rows("2", monkeypatch)
+        assert rows == clean_rows
+        assert render_dontcare(rows) == render_dontcare(clean_rows)
+
+    def test_cache_faults_leave_sweep_byte_identical(
+        self, clean_rows, monkeypatch
+    ):
+        with inject_faults(
+            "cache_read:0.5,cache_write:0.5,cache_corrupt:0.5",
+            seed=29,
+            propagate_env=True,
+        ):
+            rows = _chaos_rows("2", monkeypatch)
+        assert rows == clean_rows
+
+    def test_reorder_fault_leaves_sweep_byte_identical(
+        self, clean_rows, monkeypatch
+    ):
+        with inject_faults("worker_reorder:1", seed=31, propagate_env=True):
+            rows = _chaos_rows("2", monkeypatch)
+        assert rows == clean_rows
+
+
+class TestUnrecoverableFaultsAreStructured:
+    def test_stage_failure_surfaces_as_design_error_naming_stage(
+        self, monkeypatch, tmp_path
+    ):
+        # A cold cache forces the stages to actually run.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        with inject_faults("stage_fail:1", seed=37, propagate_env=True):
+            with pytest.raises(ReproError) as excinfo:
+                run_dontcare_ablation(
+                    benchmark="ijpeg",
+                    fractions=(0.0,),
+                    order=4,
+                    max_branches=6_000,
+                    top_branches=1,
+                )
+        assert isinstance(excinfo.value, DesignError)
+        assert excinfo.value.stage is not None

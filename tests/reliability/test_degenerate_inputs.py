@@ -1,0 +1,131 @@
+"""Defined behaviour for degenerate design inputs (satellite task).
+
+Every case either produces an exactly-specified machine or raises a
+TraceError/DesignError -- never "whatever the internals happen to do".
+"""
+
+import math
+
+import pytest
+
+from repro.cli import main
+from repro.core.markov import MarkovModel
+from repro.core.pipeline import DesignConfig, design_predictor
+from repro.reliability.errors import DesignError, TraceError
+
+
+class TestDesignPredictorBoundaries:
+    def test_empty_trace_raises_trace_error(self):
+        with pytest.raises(TraceError) as excinfo:
+            design_predictor([], order=2)
+        assert excinfo.value.stage == "profile"
+
+    def test_trace_error_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            design_predictor([], order=2)
+
+    def test_trace_shorter_than_order_raises(self):
+        with pytest.raises(TraceError) as excinfo:
+            design_predictor([0, 1, 0], order=4)
+        assert excinfo.value.context["trace_length"] == 3
+        assert excinfo.value.context["order"] == 4
+
+    def test_trace_equal_to_order_raises(self):
+        # order bits fill the history register but observe no outcome.
+        with pytest.raises(TraceError):
+            design_predictor([0, 1, 0, 1], order=4)
+
+    def test_all_zero_trace_gives_always_zero_machine(self):
+        result = design_predictor([0] * 40, order=3)
+        assert result.machine.num_states == 1
+        assert result.machine.outputs == (0,)
+        assert result.cover == []
+
+    def test_all_one_trace_gives_always_one_machine(self):
+        result = design_predictor([1] * 40, order=3)
+        assert result.machine.num_states == 1
+        assert result.machine.outputs == (1,)
+
+    def test_non_binary_symbol_raises_trace_error(self):
+        with pytest.raises(TraceError):
+            design_predictor([0, 1, 2, 0, 1, 0], order=2)
+
+
+class TestConfigBoundaries:
+    @pytest.mark.parametrize("threshold", [float("nan"), float("inf"), -0.1, 1.5])
+    def test_bad_bias_threshold_raises_design_error(self, threshold):
+        with pytest.raises(DesignError) as excinfo:
+            DesignConfig(order=2, bias_threshold=threshold)
+        assert excinfo.value.stage == "config"
+
+    @pytest.mark.parametrize("fraction", [float("nan"), -0.01, 1.0, 2.0])
+    def test_bad_dont_care_fraction_raises_design_error(self, fraction):
+        with pytest.raises(DesignError):
+            DesignConfig(order=2, dont_care_fraction=fraction)
+
+    def test_bad_order_raises_design_error(self):
+        with pytest.raises(DesignError):
+            DesignConfig(order=0)
+
+    def test_design_error_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            DesignConfig(order=2, bias_threshold=math.nan)
+
+
+class TestMarkovModelBoundaries:
+    def test_empty_trace_builds_empty_model(self):
+        model = MarkovModel.from_trace([], order=3)
+        assert model.total_observations == 0
+        assert model.num_histories == 0
+
+    def test_short_trace_builds_empty_model(self):
+        model = MarkovModel.from_trace([0, 1], order=3)
+        assert model.total_observations == 0
+
+    def test_constant_trace_counts_one_history(self):
+        model = MarkovModel.from_trace([0] * 20, order=3)
+        assert model.num_histories == 1
+        assert model.probability_of_one(0) == 0.0
+
+    def test_non_binary_symbol_raises_trace_error(self):
+        with pytest.raises(TraceError):
+            MarkovModel.from_trace([0, 1, 7, 0, 1], order=1)
+
+    def test_non_binary_symbol_raises_trace_error_batch(self):
+        # Long enough to take the numpy fast path when numpy is present.
+        trace = [0, 1] * 1000 + [9] + [0] * 100
+        with pytest.raises(TraceError):
+            MarkovModel.from_trace(trace, order=2)
+
+
+class TestCliBoundaries:
+    def test_constant_trace_designs_constant_machine(self, tmp_path, capsys):
+        trace = tmp_path / "zeros.txt"
+        trace.write_text("0" * 64)
+        assert main(["design", "--order", "3", "--trace-file", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "MooreMachine: 1 states" in out
+
+    def test_short_trace_exits_with_structured_error(self, tmp_path, capsys):
+        trace = tmp_path / "short.txt"
+        trace.write_text("010")
+        assert main(["design", "--order", "4", "--trace-file", str(trace)]) == 2
+        err = capsys.readouterr().err
+        assert "repro: error:" in err
+        assert "stage=profile" in err
+
+    def test_missing_trace_file_is_clean_systemexit(self, tmp_path):
+        missing = tmp_path / "nope.txt"
+        with pytest.raises(SystemExit) as excinfo:
+            main(["design", "--trace-file", str(missing)])
+        assert "cannot read trace file" in str(excinfo.value)
+
+    def test_nan_threshold_exits_with_structured_error(self, tmp_path, capsys):
+        trace = tmp_path / "trace.txt"
+        trace.write_text("0101" * 20)
+        code = main(
+            ["design", "--order", "2", "--threshold", "nan",
+             "--trace-file", str(trace)]
+        )
+        assert code == 2
+        assert "bias_threshold" in capsys.readouterr().err

@@ -1,0 +1,57 @@
+"""The ReproError hierarchy: structure, rendering, and back-compat."""
+
+import pickle
+
+import pytest
+
+from repro.reliability.errors import (
+    CacheError,
+    DesignError,
+    ReproError,
+    TraceError,
+    WorkerError,
+)
+
+
+class TestHierarchy:
+    def test_all_are_repro_errors(self):
+        for cls in (TraceError, DesignError, CacheError, WorkerError):
+            assert issubclass(cls, ReproError)
+
+    def test_value_error_back_compat(self):
+        """Pre-hierarchy callers catch ValueError; they must keep working."""
+        assert issubclass(TraceError, ValueError)
+        assert issubclass(DesignError, ValueError)
+
+    def test_runtime_error_back_compat(self):
+        assert issubclass(CacheError, RuntimeError)
+        assert issubclass(WorkerError, RuntimeError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise TraceError("empty trace", stage="profile")
+
+
+class TestRendering:
+    def test_str_names_stage_and_context(self):
+        err = DesignError("stage failed", stage="compile", order=4, item=7)
+        text = str(err)
+        assert "stage failed" in text
+        assert "stage=compile" in text
+        assert "order=4" in text
+        assert "item=7" in text
+
+    def test_plain_message_stays_plain(self):
+        assert str(ReproError("just a message")) == "just a message"
+
+
+class TestPickleRoundTrip:
+    def test_stage_and_context_survive_pool_boundary(self):
+        original = WorkerError(
+            "item failed", stage="parallel_map", item_index=3, attempts=2
+        )
+        clone = pickle.loads(pickle.dumps(original))
+        assert type(clone) is WorkerError
+        assert clone.message == "item failed"
+        assert clone.stage == "parallel_map"
+        assert clone.context == {"item_index": 3, "attempts": 2}

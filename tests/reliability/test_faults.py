@@ -1,0 +1,91 @@
+"""Fault injector: spec parsing, determinism, scoping, zero overhead."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.reliability import faults
+from repro.reliability.faults import (
+    FaultPlan,
+    InjectedFault,
+    inject_faults,
+    no_faults,
+)
+
+
+class TestSpecParsing:
+    def test_count_spec_fires_exactly_n_times(self):
+        plan = FaultPlan("worker_crash:2")
+        fired = [plan.query("worker_crash") for _ in range(5)]
+        assert fired == [True, True, False, False, False]
+
+    def test_probability_spec_is_seed_deterministic(self):
+        plan_a = FaultPlan("cache_read:0.5", seed=42)
+        plan_b = FaultPlan("cache_read:0.5", seed=42)
+        a = [plan_a.query("cache_read") for _ in range(50)]
+        b = [plan_b.query("cache_read") for _ in range(50)]
+        assert a == b
+        assert any(a) and not all(a)  # p=0.5 over 50 queries
+
+    def test_bare_name_means_once(self):
+        plan = FaultPlan("stage_fail")
+        assert plan.query("stage_fail") is True
+        assert plan.query("stage_fail") is False
+
+    def test_multiple_clauses(self):
+        plan = FaultPlan("worker_crash:1, cache_write:1")
+        assert plan.query("worker_crash") is True
+        assert plan.query("cache_write") is True
+        assert plan.query("cache_read") is False
+
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault point"):
+            FaultPlan("warp_core_breach:1")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan("cache_read:maybe")
+        with pytest.raises(ValueError):
+            FaultPlan("cache_read:1.5")
+
+
+class TestScoping:
+    def test_disabled_by_default_here(self):
+        # conftest disarms ambient plans; every point must be cold.
+        assert faults.should_fire("worker_crash") is False
+        assert faults.faults_enabled() is False
+        faults.fire("stage_fail")  # must not raise
+
+    def test_inject_faults_scopes_and_restores(self):
+        with inject_faults("stage_fail:1"):
+            assert faults.faults_enabled()
+            with pytest.raises(InjectedFault):
+                faults.fire("stage_fail")
+        assert not faults.faults_enabled()
+
+    def test_propagate_env_exports_and_restores(self):
+        assert "REPRO_FAULTS" not in os.environ
+        with inject_faults("worker_crash:3", seed=9, propagate_env=True):
+            assert os.environ["REPRO_FAULTS"] == "worker_crash:3"
+            assert os.environ["REPRO_FAULTS_SEED"] == "9"
+        assert "REPRO_FAULTS" not in os.environ
+
+    def test_no_faults_disarms_inner_scope(self):
+        with inject_faults("stage_fail:5"):
+            with no_faults():
+                assert faults.should_fire("stage_fail") is False
+            assert faults.should_fire("stage_fail") is True
+
+    def test_env_plan_parsing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "cache_read:0.25")
+        monkeypatch.setenv("REPRO_FAULTS_SEED", "7")
+        plan = faults._plan_from_env()
+        assert plan is not None
+        assert plan.probabilities == {"cache_read": 0.25}
+        assert plan.seed == 7
+
+    def test_injected_fault_pickles_cleanly(self):
+        clone = pickle.loads(pickle.dumps(InjectedFault("worker_crash")))
+        assert clone.point == "worker_crash"
+        assert str(clone) == "injected fault: worker_crash"

@@ -1,0 +1,32 @@
+"""The selfcheck battery itself, and its CLI plumbing."""
+
+from repro.cli import main
+from repro.reliability.selfcheck import CHECKS, run_selfcheck
+
+
+def test_selfcheck_passes(capsys):
+    assert run_selfcheck(verbose=True) == 0
+    out = capsys.readouterr().out
+    for name, _check in CHECKS:
+        assert f"[PASS] {name}" in out
+    assert "cache counters:" in out
+
+
+def test_selfcheck_cli_quiet(capsys):
+    assert main(["selfcheck", "--quiet"]) == 0
+    assert "[PASS]" not in capsys.readouterr().out
+
+
+def test_selfcheck_reports_failures(monkeypatch, capsys):
+    import repro.reliability.selfcheck as selfcheck_mod
+
+    def broken():
+        raise AssertionError("deliberately broken")
+
+    monkeypatch.setattr(
+        selfcheck_mod, "CHECKS", (("broken-check", broken),) + CHECKS[:1]
+    )
+    assert run_selfcheck(verbose=True) == 1
+    out = capsys.readouterr().out
+    assert "[FAIL] broken-check" in out
+    assert "1 FAILED" in out

@@ -1,0 +1,70 @@
+"""verify_design: proves good machines, rejects tampered artifacts."""
+
+import pytest
+
+from repro.automata.moore import MooreMachine
+from repro.core.pipeline import DesignConfig, FSMDesigner, design_predictor
+from repro.reliability.errors import DesignError
+from repro.reliability.verify import design_issues, design_ok, verify_design
+
+PAPER_TRACE = [int(ch) for ch in "000010001011110111101111"]
+
+
+def _flip_outputs(machine: MooreMachine) -> MooreMachine:
+    return MooreMachine(
+        alphabet=machine.alphabet,
+        start=machine.start,
+        outputs=tuple(1 - out for out in machine.outputs),
+        transitions=machine.transitions,
+    )
+
+
+class TestGoodDesigns:
+    @pytest.mark.parametrize("order", [1, 2, 3, 4])
+    def test_paper_trace_designs_verify(self, order):
+        result = design_predictor(PAPER_TRACE * 4, order=order)
+        verify_design(result)  # must not raise
+        assert design_ok(result)
+        assert design_issues(result) == []
+
+    def test_dont_care_designs_verify(self):
+        result = design_predictor(
+            PAPER_TRACE * 40, order=4, dont_care_fraction=0.01
+        )
+        verify_design(result)
+
+    def test_config_verify_flag_proves_cold_computes(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        config = DesignConfig(order=3, verify=True)
+        result = FSMDesigner(config).design_from_trace(PAPER_TRACE * 4)
+        assert result.machine.num_states >= 1
+
+
+class TestTamperedDesigns:
+    def test_flipped_outputs_rejected_with_stage(self):
+        result = design_predictor(PAPER_TRACE * 4, order=2)
+        result.machine = _flip_outputs(result.machine)
+        assert not design_ok(result)
+        with pytest.raises(DesignError) as excinfo:
+            verify_design(result)
+        assert excinfo.value.stage == "verify"
+
+    def test_truncated_cover_rejected(self):
+        result = design_predictor(PAPER_TRACE * 4, order=2)
+        assert result.cover  # paper example has a non-empty cover
+        result.cover = []
+        issues = design_issues(result)
+        assert issues  # predict-1 histories are no longer covered
+
+    def test_malformed_artifact_is_not_ok(self):
+        class Hollow:
+            pass
+
+        assert not design_ok(Hollow())
+
+
+class TestVerifyFlagCacheKeys:
+    def test_verify_flag_does_not_split_the_key_space(self):
+        base = DesignConfig(order=4)
+        checked = DesignConfig(order=4, verify=True)
+        assert base.cache_fields() == checked.cache_fields()
