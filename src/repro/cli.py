@@ -12,7 +12,15 @@ Subcommands mirror what a user of the paper's flow would do:
     Regenerate a paper figure (fig1/fig2/fig4/fig5/fig67) and print it.
 ``selfcheck``
     Run the full reliability battery: oracle equivalence, cache round
-    trip, parallel determinism, fault-injection smoke.
+    trip, parallel determinism, fault-injection smoke, metrics
+    aggregation.
+``bench``
+    Run the benchmark-telemetry pass and write the schema-versioned
+    ``BENCH_pipeline.json`` snapshot (see :mod:`repro.obs.bench`).
+
+Observability (any command): ``--trace FILE`` appends one JSON line per
+pipeline span to FILE (workers included); ``--profile`` prints a
+per-stage wall-time summary and the unified counters after the command.
 
 Examples::
 
@@ -21,6 +29,9 @@ Examples::
     python -m repro design --order 4 --trace-file trace.txt --verify
     python -m repro customize gsm --branches 6
     python -m repro figures fig5 --benchmark ijpeg
+    python -m repro --profile figures fig2 --benchmark gcc
+    python -m repro --trace spans.jsonl figures fig5
+    python -m repro bench --out BENCH_pipeline.json
     python -m repro selfcheck
 
 Failures inside the flow surface as structured ``ReproError`` messages
@@ -180,6 +191,22 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
     return run_selfcheck(verbose=not args.quiet)
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs.bench import collect_bench_snapshot, write_bench_snapshot
+
+    scale = {}
+    if args.loads:
+        scale["fig2_loads"] = args.loads
+    if args.branches:
+        scale["fig5_branches"] = args.branches
+    snapshot = collect_bench_snapshot(scale or None)
+    write_bench_snapshot(args.out, snapshot)
+    print(f"wrote {args.out}")
+    for entry in snapshot["timings"]:
+        print(f"  {entry['name']:<20s} {entry['seconds']:.3f}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -196,6 +223,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="recompute traces and designs instead of using the on-disk cache",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="append pipeline span events to FILE as JSON lines "
+        "(sets $REPRO_TRACE_FILE, so pool workers trace too)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-stage wall-time summary and the unified "
+        "counters after the command",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -239,6 +278,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-check output"
     )
     selfcheck.set_defaults(func=_cmd_selfcheck)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the telemetry pass and write BENCH_pipeline.json",
+    )
+    bench.add_argument(
+        "--out",
+        default="BENCH_pipeline.json",
+        help="snapshot path (default: BENCH_pipeline.json)",
+    )
+    bench.add_argument(
+        "--loads", type=int, default=None, help="fig2 load-stream length"
+    )
+    bench.add_argument(
+        "--branches", type=int, default=None, help="fig5 branch-trace length"
+    )
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 
@@ -256,16 +312,38 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         set_cache_enabled(False)
         os.environ["REPRO_CACHE"] = "0"  # propagate to pool workers
+    if args.trace:
+        # The environment (not a runtime flag) arms the JSONL sink so
+        # pool workers, which inherit it, append their spans too.
+        os.environ["REPRO_TRACE_FILE"] = args.trace
+    if args.profile:
+        from repro.obs.tracing import reset_tracing, set_tracing
+
+        reset_tracing()
+        set_tracing(True)
     from repro.reliability.errors import ReproError
 
     try:
-        return args.func(args)
+        status = args.func(args)
     except ReproError as exc:
         # Structured failure: one actionable line naming the stage, not a
         # traceback.  Exit status 2 distinguishes it from success (0) and
         # a failed selfcheck (1).
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2
+    if args.profile:
+        from repro.harness.reporting import format_table
+        from repro.obs.metrics import metrics
+        from repro.obs.tracing import render_profile, set_tracing
+
+        set_tracing(False)
+        print()
+        print(render_profile())
+        rows = metrics().rows()
+        if rows:
+            print()
+            print(format_table(["counter", "value"], rows, title="Counters"))
+    return status
 
 
 if __name__ == "__main__":

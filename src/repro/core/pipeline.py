@@ -30,6 +30,7 @@ from repro.core.patterns import PatternSets, define_patterns
 from repro.core.regex_build import history_language_regex
 from repro.logic.cube import Cube
 from repro.logic.espresso import minimize as logic_minimize
+from repro.obs.tracing import trace_span
 from repro.reliability import faults
 from repro.reliability.errors import DesignError, TraceError
 from repro.reliability.faults import InjectedFault
@@ -209,10 +210,24 @@ class FSMDesigner:
         )
 
         def compute() -> DesignResult:
-            model = MarkovModel.from_trace(trace, self.config.order)
+            with trace_span(
+                "design.markov",
+                trace_len=len(trace),
+                order=self.config.order,
+            ) as span:
+                model = MarkovModel.from_trace(trace, self.config.order)
+                span.set(histories=len(model.totals))
             return self._design_from_model(model)
 
-        return self._finish(cached("designs", key, compute, validate=_design_hit_ok))
+        with trace_span(
+            "design.flow",
+            source="trace",
+            order=self.config.order,
+            bias_threshold=self.config.bias_threshold,
+        ) as span:
+            result = cached("designs", key, compute, validate=_design_hit_ok)
+            span.set(final_states=result.num_states)
+        return self._finish(result)
 
     def design_from_model(self, model: MarkovModel) -> DesignResult:
         """Full flow starting from a pre-built Markov model (the branch
@@ -231,14 +246,20 @@ class FSMDesigner:
             self.config.cache_fields(),
             DESIGN_FLOW_VERSION,
         )
-        return self._finish(
-            cached(
+        with trace_span(
+            "design.flow",
+            source="model",
+            order=self.config.order,
+            bias_threshold=self.config.bias_threshold,
+        ) as span:
+            result = cached(
                 "designs",
                 key,
                 lambda: self._design_from_model(model),
                 validate=_design_hit_ok,
             )
-        )
+            span.set(final_states=result.num_states)
+        return self._finish(result)
 
     def _validate_trace(self, trace: Sequence[int]) -> None:
         try:
@@ -272,11 +293,20 @@ class FSMDesigner:
         self._stage("define_patterns")
         if model.order != self.config.order:
             model = model.truncated(self.config.order)
-        patterns = define_patterns(
-            model,
-            bias_threshold=self.config.bias_threshold,
-            dont_care_fraction=self.config.dont_care_fraction,
-        )
+        with trace_span(
+            "design.patterns",
+            order=self.config.order,
+            histories=len(model.totals),
+        ) as span:
+            patterns = define_patterns(
+                model,
+                bias_threshold=self.config.bias_threshold,
+                dont_care_fraction=self.config.dont_care_fraction,
+            )
+            span.set(
+                predict_one=len(patterns.predict_one),
+                predict_zero=len(patterns.predict_zero),
+            )
         return self.design_from_patterns(model, patterns)
 
     def design_from_patterns(
@@ -284,25 +314,40 @@ class FSMDesigner:
     ) -> DesignResult:
         """Remaining flow once the three history sets are fixed."""
         self._stage("logic_minimize")
-        cover = logic_minimize(patterns.to_truth_table())
+        with trace_span(
+            "design.cover",
+            order=self.config.order,
+            on_set=len(patterns.predict_one),
+            off_set=len(patterns.predict_zero),
+        ) as span:
+            cover = logic_minimize(patterns.to_truth_table())
+            span.set(product_terms=len(cover))
         self._stage("regex")
-        regex = history_language_regex(cover)
+        with trace_span("design.regex", product_terms=len(cover)):
+            regex = history_language_regex(cover)
         self._stage("compile")
         machine, nfa_states, dfa_states, minimized_states = self._compile(regex)
         removed = 0
         if self.config.reduce_startup and machine.num_states > 1:
-            removed = startup_state_count(machine, self.config.order)
-            # Run the reduction even when no states get removed: it also
-            # normalizes the start to the canonical-history state, so the
-            # predictor powers up as if it had seen that history.
-            machine = steady_state_reduce(
-                machine,
-                self.config.order,
-                canonical_history=self.config.canonical_history,
-            )
-            if removed:
-                # Reduction can expose new merges; re-minimize.
-                machine = hopcroft_minimize(machine)
+            with trace_span(
+                "design.startup",
+                order=self.config.order,
+                states_in=machine.num_states,
+            ) as span:
+                removed = startup_state_count(machine, self.config.order)
+                # Run the reduction even when no states get removed: it
+                # also normalizes the start to the canonical-history
+                # state, so the predictor powers up as if it had seen
+                # that history.
+                machine = steady_state_reduce(
+                    machine,
+                    self.config.order,
+                    canonical_history=self.config.canonical_history,
+                )
+                if removed:
+                    # Reduction can expose new merges; re-minimize.
+                    machine = hopcroft_minimize(machine)
+                span.set(removed=removed, states_out=machine.num_states)
         return DesignResult(
             config=self.config,
             model=model,
@@ -345,10 +390,16 @@ class FSMDesigner:
                 transitions=((0, 0),),
             )
             return machine, 0, 1, 1
-        nfa = thompson_construct(regex, alphabet=BINARY_ALPHABET)
-        dfa = subset_construct(nfa)
-        moore = MooreMachine.from_dfa(dfa)
-        minimized = hopcroft_minimize(moore)
+        with trace_span("design.nfa") as span:
+            nfa = thompson_construct(regex, alphabet=BINARY_ALPHABET)
+            span.set(states=nfa.num_states)
+        with trace_span("design.dfa", nfa_states=nfa.num_states) as span:
+            dfa = subset_construct(nfa)
+            span.set(states=dfa.num_states)
+        with trace_span("design.minimize", dfa_states=dfa.num_states) as span:
+            moore = MooreMachine.from_dfa(dfa)
+            minimized = hopcroft_minimize(moore)
+            span.set(states=minimized.num_states)
         return minimized, nfa.num_states, dfa.num_states, minimized.num_states
 
 

@@ -31,15 +31,54 @@ def dominates(a: Tuple[float, float], b: Tuple[float, float]) -> bool:
 
 
 def interpolate_coverage_at(
-    curve: Sequence[Tuple[float, float]], accuracy: float
+    curve: Sequence[Tuple[float, float]],
+    accuracy: float,
+    mode: str = "linear",
 ) -> float:
-    """Coverage a (sorted ascending-accuracy) Pareto curve attains at a
-    target accuracy: the best coverage among points with accuracy >= the
-    target (0.0 when the curve never reaches it).  This is how "coverage
-    at 80% accuracy" comparisons like the paper's gcc example are read off
-    Figure 2."""
-    eligible = [cov for acc, cov in curve if acc >= accuracy]
-    return max(eligible) if eligible else 0.0
+    """Coverage an (accuracy, coverage) Pareto curve attains at a target
+    accuracy.
+
+    ``mode="linear"`` (the default) linearly interpolates between the two
+    Pareto points bracketing the target accuracy -- the operating point a
+    predictor sweeping its threshold between the two configurations would
+    reach.  A target below the curve's accuracy range returns the best
+    coverage on the curve; a target above it returns 0.0 (the curve never
+    reaches that accuracy).
+
+    ``mode="step"`` keeps the conservative read-off used for the paper's
+    gcc example ("coverage at 80% accuracy"): the best coverage among
+    points with accuracy >= the target, 0.0 when none qualify -- i.e. the
+    coverage of an *achieved* configuration, with no credit between
+    points.  (This function historically always behaved this way despite
+    its name; the linear mode is the documented behaviour.)
+    """
+    if mode == "step":
+        eligible = [cov for acc, cov in curve if acc >= accuracy]
+        return max(eligible) if eligible else 0.0
+    if mode != "linear":
+        raise ValueError(f"unknown interpolation mode {mode!r}")
+    if not curve:
+        return 0.0
+    # Collapse duplicate accuracies to their best coverage and sort, so
+    # arbitrary (non-Pareto) input still yields a well-defined curve.
+    best: dict = {}
+    for acc, cov in curve:
+        if acc not in best or cov > best[acc]:
+            best[acc] = cov
+    points = sorted(best.items())
+    if accuracy > points[-1][0]:
+        return 0.0
+    if accuracy <= points[0][0]:
+        # Below the measured range: the easiest configuration's coverage
+        # (on a Pareto curve, the maximum coverage) already qualifies.
+        return max(cov for _acc, cov in points)
+    for (a0, c0), (a1, c1) in zip(points, points[1:]):
+        if accuracy == a1:
+            return c1
+        if a0 < accuracy < a1:
+            fraction = (accuracy - a0) / (a1 - a0)
+            return c0 + (c1 - c0) * fraction
+    return points[-1][1]  # accuracy == last point (loop covers the rest)
 
 
 def weighted_miss_rate(pairs: Iterable[Tuple[int, int]]) -> float:

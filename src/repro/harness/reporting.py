@@ -10,7 +10,23 @@ from __future__ import annotations
 import os
 from typing import Iterable, List, Optional, Sequence
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "..", "results")
+# Explicit override for the results directory (tests monkeypatch this).
+# When unset, the location is resolved at call time by results_dir():
+# REPRO_RESULTS_DIR if set, else <cwd>/results.  It used to be derived
+# from __file__ (src/repro/harness/../../../results), which works from a
+# source checkout but sends an installed wheel's reports into
+# site-packages.
+RESULTS_DIR: Optional[str] = None
+
+
+def results_dir() -> str:
+    """Absolute path of the directory reports are written to."""
+    if RESULTS_DIR:
+        return os.path.abspath(RESULTS_DIR)
+    env = os.environ.get("REPRO_RESULTS_DIR", "").strip()
+    if env:
+        return os.path.abspath(env)
+    return os.path.join(os.getcwd(), "results")
 
 
 def format_table(
@@ -48,7 +64,7 @@ def _cell(value: object) -> str:
 
 def results_path(name: str) -> str:
     """Absolute path of ``results/<name>`` (directory created on demand)."""
-    directory = os.path.abspath(RESULTS_DIR)
+    directory = results_dir()
     os.makedirs(directory, exist_ok=True)
     return os.path.join(directory, name)
 

@@ -1,0 +1,40 @@
+"""Observability layer: spans, unified metrics, benchmark telemetry.
+
+Three zero-dependency pieces, all disarmed by default:
+
+- :mod:`repro.obs.tracing` -- ``trace_span(stage, **attrs)`` instruments
+  every pipeline stage, trace generation, predictor simulation, cache
+  I/O, and each ``parallel_map`` task; sinks are an in-memory tree, a
+  JSONL event log (``REPRO_TRACE_FILE`` / ``--trace``), and the
+  ``--profile`` summary table.
+- :mod:`repro.obs.metrics` -- the process-wide :class:`MetricsRegistry`
+  that unifies the cache/pool/fault counters and aggregates pool-worker
+  deltas back to the parent (so counters are correct under
+  ``REPRO_JOBS>1``).
+- :mod:`repro.obs.bench` -- the ``BENCH_pipeline.json`` exporter CI runs
+  to accumulate the perf trajectory.
+"""
+
+from repro.obs.metrics import MetricsRegistry, metrics, reset_metrics
+from repro.obs.tracing import (
+    profile_rows,
+    render_profile,
+    reset_tracing,
+    set_tracing,
+    spans,
+    trace_span,
+    tracing_armed,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "metrics",
+    "profile_rows",
+    "render_profile",
+    "reset_metrics",
+    "reset_tracing",
+    "set_tracing",
+    "spans",
+    "trace_span",
+    "tracing_armed",
+]

@@ -1,0 +1,215 @@
+"""Span-based tracing for the design flow: see where time and states go.
+
+``trace_span(stage, **attrs)`` wraps every pipeline stage (Markov
+profiling, pattern definition, logic minimization, NFA/DFA construction,
+Hopcroft, start-state reduction), trace generation, predictor simulation,
+cache reads/writes, and each ``parallel_map`` task.  A completed span
+records:
+
+* the stage name and a parent link (spans nest, forming a tree per
+  process);
+* wall time (``perf_counter`` duration) and a wall-clock start stamp;
+* caller-supplied attributes -- input/output sizes such as history
+  counts, product terms, and state counts;
+* the outcome: ``"ok"`` or the exception type that escaped the block.
+
+**Disarmed by default.**  When tracing is off, ``trace_span`` returns a
+shared no-op span: no allocation, no timestamps, no I/O -- the figure
+pipelines are byte-identical with tracing off (proved by a test).  Arm it
+with:
+
+* ``REPRO_TRACE_FILE=<path>`` (or the CLI's ``--trace FILE``) -- every
+  completed span is appended to the file as one JSON line.  Pool workers
+  inherit the environment and append to the same file; each line carries
+  the writer's ``pid``, and single-``write`` appends in ``O_APPEND`` mode
+  keep lines intact across processes;
+* ``REPRO_TRACE=1`` or :func:`set_tracing` -- spans are collected in the
+  in-memory sink (``spans()``), which tests and the CLI's ``--profile``
+  summary read.
+
+The JSONL event schema (``repro.span/1``) is documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import metrics
+
+SPAN_SCHEMA = "repro.span/1"
+
+_runtime_armed = False
+_memory_sink: List[Dict[str, Any]] = []
+_memory_limit = 100_000  # hard cap: tracing must never exhaust memory
+_next_id = 0
+_active_stack: List[int] = []  # span ids of open spans (per process)
+
+
+def set_tracing(enabled: bool) -> None:
+    """Runtime arm/disarm (the CLI's ``--profile``, tests)."""
+    global _runtime_armed
+    _runtime_armed = bool(enabled)
+
+
+def trace_file() -> Optional[str]:
+    path = os.environ.get("REPRO_TRACE_FILE", "").strip()
+    return path or None
+
+
+def tracing_armed() -> bool:
+    """Re-reads the environment so ``REPRO_TRACE*`` set after import (CLI
+    flags, pool workers, tests) is honoured, like the cache switch."""
+    if _runtime_armed:
+        return True
+    if trace_file():
+        return True
+    return os.environ.get("REPRO_TRACE", "").lower() in ("1", "true", "on")
+
+
+def reset_tracing() -> None:
+    """Clear the in-memory sink and id/parent state (tests, ``--profile``)."""
+    global _next_id
+    _memory_sink.clear()
+    _active_stack.clear()
+    _next_id = 0
+
+
+def spans() -> List[Dict[str, Any]]:
+    """Completed spans collected in memory (oldest first)."""
+    return list(_memory_sink)
+
+
+class _NullSpan:
+    """The disarmed path: a shared, stateless, do-nothing span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One armed span; records itself to the active sinks on exit."""
+
+    __slots__ = ("stage", "attrs", "span_id", "parent_id", "_t0", "_wall")
+
+    def __init__(self, stage: str, attrs: Dict[str, Any]):
+        self.stage = stage
+        self.attrs = attrs
+        self.span_id = -1
+        self.parent_id: Optional[int] = None
+        self._t0 = 0.0
+        self._wall = 0.0
+
+    def __enter__(self) -> "Span":
+        global _next_id
+        self.span_id = _next_id
+        _next_id += 1
+        self.parent_id = _active_stack[-1] if _active_stack else None
+        _active_stack.append(self.span_id)
+        self._wall = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._t0
+        if _active_stack and _active_stack[-1] == self.span_id:
+            _active_stack.pop()
+        outcome = "ok" if exc_type is None else exc_type.__name__
+        record = {
+            "schema": SPAN_SCHEMA,
+            "span": self.stage,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "pid": os.getpid(),
+            "t_wall": round(self._wall, 6),
+            "dur_s": round(duration, 9),
+            "outcome": outcome,
+            "attrs": self.attrs,
+        }
+        metrics().incr(f"spans.{self.stage}")
+        if len(_memory_sink) < _memory_limit:
+            _memory_sink.append(record)
+        path = trace_file()
+        if path:
+            _append_jsonl(path, record)
+        return False  # never swallow the exception
+
+    def set(self, **attrs: Any) -> None:
+        """Attach output attributes (sizes, state counts) mid-span."""
+        self.attrs.update(attrs)
+
+
+def trace_span(stage: str, **attrs: Any):
+    """Context manager instrumenting one unit of work.
+
+    Disarmed (the default) this returns a shared no-op object; armed it
+    returns a fresh :class:`Span`.  Attribute values should be small
+    scalars (numbers, short strings) so JSONL lines stay cheap.
+    """
+    if not tracing_armed():
+        return NULL_SPAN
+    return Span(stage, attrs)
+
+
+def _append_jsonl(path: str, record: Dict[str, Any]) -> None:
+    """Best-effort single-write append; tracing must never break the run."""
+    try:
+        line = json.dumps(record, sort_keys=True, default=repr) + "\n"
+    except (TypeError, ValueError):
+        return
+    try:
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+    except OSError:
+        return
+
+
+# ----------------------------------------------------------------------
+# Aggregation (the --profile summary and the bench exporter read this)
+# ----------------------------------------------------------------------
+
+def profile_rows(
+    records: Optional[List[Dict[str, Any]]] = None,
+) -> List[Tuple[str, int, float, float]]:
+    """Aggregate spans into ``(stage, calls, total_s, mean_ms)`` rows,
+    sorted by total time descending."""
+    source = _memory_sink if records is None else records
+    totals: Dict[str, List[float]] = {}
+    for record in source:
+        entry = totals.setdefault(record["span"], [0, 0.0])
+        entry[0] += 1
+        entry[1] += record["dur_s"]
+    rows = [
+        (stage, int(calls), total, (total / calls) * 1e3 if calls else 0.0)
+        for stage, (calls, total) in totals.items()
+    ]
+    rows.sort(key=lambda row: (-row[2], row[0]))
+    return rows
+
+
+def render_profile(records: Optional[List[Dict[str, Any]]] = None) -> str:
+    """The human ``--profile`` table."""
+    from repro.harness.reporting import format_table
+
+    rows = [
+        (stage, calls, f"{total:.4f}", f"{mean_ms:.3f}")
+        for stage, calls, total, mean_ms in profile_rows(records)
+    ]
+    return format_table(
+        ["stage", "calls", "total_s", "mean_ms"],
+        rows,
+        title="Pipeline profile (per-stage wall time)",
+    )

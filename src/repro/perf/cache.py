@@ -22,8 +22,10 @@ Hardening (the ``repro.reliability`` contract):
   preserved, entry recomputed;
 * ``REPRO_CACHE_MAX_MB`` bounds the cache size with oldest-first
   eviction after each write;
-* per-process hit/miss/write/quarantine/eviction **counters**
-  (:func:`cache_stats`), surfaced by ``python -m repro selfcheck``;
+* hit/miss/write/quarantine/eviction **counters** in the unified
+  :mod:`repro.obs.metrics` registry (:func:`cache_stats` is a snapshot
+  view), aggregated across pool workers and surfaced by
+  ``python -m repro selfcheck``;
 * fault-injection hooks (``cache_read``/``cache_write``/``cache_corrupt``,
   see :mod:`repro.reliability.faults`) chaos-test all of the above.
 
@@ -48,6 +50,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, List, Optional, Tuple, TypeVar
 
+from repro.obs.metrics import metrics
+from repro.obs.tracing import trace_span
 from repro.reliability.errors import CacheError
 from repro.reliability.faults import should_fire
 
@@ -66,13 +70,23 @@ _MISS = object()  # sentinel: _load_entry found nothing usable
 
 @dataclass
 class CacheStats:
-    """Per-process cache counters (pool workers count separately)."""
+    """Snapshot view of the ``cache.*`` counters in the unified
+    :class:`~repro.obs.metrics.MetricsRegistry`.
+
+    The registry (not this dataclass) is the source of truth: cache
+    activity inside pool workers is shipped back to the parent through
+    the ``parallel_map`` result channel and merged, so these totals are
+    correct under ``REPRO_JOBS>1`` -- previously each worker counted
+    into a private module global that died with the process.
+    """
 
     hits: int = 0
     misses: int = 0
     writes: int = 0
     quarantined: int = 0
     evictions: int = 0
+
+    FIELDS = ("hits", "misses", "writes", "quarantined", "evictions")
 
     def __str__(self) -> str:
         return (
@@ -81,17 +95,21 @@ class CacheStats:
         )
 
 
-_stats = CacheStats()
+def _count(event: str) -> None:
+    metrics().incr(f"cache.{event}")
 
 
 def cache_stats() -> CacheStats:
-    return _stats
+    """Current ``cache.*`` totals (parent work plus merged worker deltas)."""
+    registry = metrics()
+    return CacheStats(
+        **{name: registry.get(f"cache.{name}") for name in CacheStats.FIELDS}
+    )
 
 
 def reset_cache_stats() -> CacheStats:
-    global _stats
-    _stats = CacheStats()
-    return _stats
+    metrics().reset(prefix="cache.")
+    return cache_stats()
 
 
 def set_cache_enabled(enabled: bool) -> None:
@@ -178,7 +196,7 @@ def _quarantine(category: str, path: Path, sidecar: Path, reason: str) -> None:
                 category=category,
                 entry=str(path),
             ) from exc
-    _stats.quarantined += 1
+    _count("quarantined")
 
 
 def _load_entry(
@@ -239,7 +257,7 @@ def _store_entry(path: Path, value: Any) -> None:
         _atomic_write(path.with_suffix(".sha256"), checksum.encode("ascii"))
     except OSError:
         return  # read-only filesystem etc.: caching is best-effort
-    _stats.writes += 1
+    _count("writes")
     _evict_if_needed()
 
 
@@ -291,7 +309,7 @@ def _evict_if_needed() -> None:
             pkl.with_suffix(".sha256").unlink(missing_ok=True)
         except OSError:
             continue
-        _stats.evictions += 1
+        _count("evictions")
         total -= size
         if total <= limit:
             break
@@ -314,11 +332,14 @@ def cached(
     if not cache_enabled():
         return compute()
     path = cache_dir() / category / key[:2] / f"{key}.pkl"
-    value = _load_entry(category, path, validate)
+    with trace_span("cache.read", category=category, key=key[:12]) as span:
+        value = _load_entry(category, path, validate)
+        span.set(hit=value is not _MISS)
     if value is not _MISS:
-        _stats.hits += 1
+        _count("hits")
         return value
-    _stats.misses += 1
+    _count("misses")
     value = compute()
-    _store_entry(path, value)
+    with trace_span("cache.write", category=category, key=key[:12]):
+        _store_entry(path, value)
     return value

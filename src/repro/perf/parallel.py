@@ -36,6 +36,8 @@ import pickle
 import time
 from typing import Callable, Dict, Iterable, List, Optional, TypeVar
 
+from repro.obs.metrics import metrics
+from repro.obs.tracing import trace_span
 from repro.reliability import faults
 from repro.reliability.errors import WorkerError
 from repro.reliability.faults import InjectedFault
@@ -97,12 +99,33 @@ def _hang_seconds() -> float:
         return 30.0
 
 
-def _pool_call(fn: Callable[[T], R], item: T) -> R:
-    """Runs inside a pool worker; hosts the worker-side fault points."""
+def _pool_call(fn: Callable[[T], R], item: T):
+    """Runs inside a pool worker; hosts the worker-side fault points.
+
+    Returns ``(result, metrics_delta)``: the counters the task gained in
+    this worker process (cache hits/misses, fault hits, nested spans) are
+    snapshotted around the call and shipped back through the result
+    channel, so the parent can merge them into its own registry --
+    without this, worker-side counters die with the pool and the parent's
+    ``cache_stats()`` silently under-reports under ``REPRO_JOBS>1``.
+    """
     faults.fire("worker_crash")
     if faults.should_fire("worker_hang"):
         time.sleep(_hang_seconds())
-    return fn(item)
+    before = metrics().snapshot()
+    with trace_span("parallel.task", where="worker"):
+        value = fn(item)
+    return value, metrics().diff_since(before)
+
+
+def _serial_map(fn: Callable[[T], R], work: List[T]) -> List[R]:
+    """The serial path; spans still mark task boundaries (same stage name
+    as pooled tasks, so ``--profile`` aggregates them together)."""
+    results: List[R] = []
+    for index, item in enumerate(work):
+        with trace_span("parallel.task", where="serial", index=index):
+            results.append(fn(item))
+    return results
 
 
 def _reap(pool) -> None:
@@ -128,20 +151,20 @@ def parallel_map(
     n_jobs = default_jobs() if jobs is None else max(1, int(jobs))
     n_jobs = min(n_jobs, len(work))
     if _IN_WORKER or n_jobs <= 1 or len(work) <= 1:
-        return [fn(item) for item in work]
+        return _serial_map(fn, work)
     try:
         from concurrent.futures import TimeoutError as FuturesTimeout
         from concurrent.futures import ProcessPoolExecutor
         from concurrent.futures.process import BrokenProcessPool
     except ImportError:  # pragma: no cover - stripped-down stdlib
-        return [fn(item) for item in work]
+        return _serial_map(fn, work)
     try:
         # Lambdas/closures can't cross the process boundary; probing here
         # (pickling raises AttributeError, not just PicklingError) keeps
         # the pool path for real shard functions only.
         pickle.dumps(fn)
     except (pickle.PicklingError, AttributeError, TypeError):
-        return [fn(item) for item in work]
+        return _serial_map(fn, work)
 
     timeout = task_timeout()
     retries = task_retries()
@@ -183,18 +206,29 @@ def parallel_map(
                 continue
             for index in order:
                 try:
-                    results[index] = futures[index].result(timeout=timeout)
+                    value, worker_delta = futures[index].result(timeout=timeout)
+                    # The worker-aggregation fix: fold the task's counter
+                    # delta (cache hits/misses, fault hits) into the
+                    # parent registry before handing back the value.
+                    metrics().merge(worker_delta)
+                    metrics().incr("parallel.pool_tasks")
+                    results[index] = value
                     pending.discard(index)
                 except retryable as exc:
                     last_error[index] = exc
+                    metrics().incr("parallel.retries")
+                    if isinstance(exc, FuturesTimeout):
+                        metrics().incr("parallel.timeouts")
         finally:
             _reap(pool)
 
     # Last resort: recompute survivors serially in the parent.  A pure fn
     # returns the identical value, so the output stays byte-identical.
     for index in sorted(pending):
+        metrics().incr("parallel.serial_fallbacks")
         try:
-            results[index] = fn(work[index])
+            with trace_span("parallel.task", where="fallback", index=index):
+                results[index] = fn(work[index])
         except retryable as exc:
             raise WorkerError(
                 f"work item {index} failed {retries + 1} pool attempts "

@@ -96,29 +96,42 @@ def simulate_predictor(
     call per branch.  Both paths make exactly the same ``predict``/
     ``update`` calls in the same order, so the stats are identical.
     """
+    from repro.obs.tracing import trace_span
+
     pcs = getattr(trace, "pcs", None)
     outcomes = getattr(trace, "outcomes", None)
     if pcs is not None and outcomes is not None:
-        predict = predictor.predict
-        update = predictor.update
-        lookups = 0
-        hits = 0
-        for index, (pc, outcome) in enumerate(zip(pcs, outcomes)):
-            taken = outcome == 1
-            prediction = predict(pc)
-            if index >= warmup:
-                lookups += 1
-                if prediction == taken:
-                    hits += 1
-            update(pc, taken)
+        with trace_span(
+            "sim.predictor",
+            predictor=getattr(predictor, "name", type(predictor).__name__),
+            records=len(pcs),
+        ) as span:
+            predict = predictor.predict
+            update = predictor.update
+            lookups = 0
+            hits = 0
+            for index, (pc, outcome) in enumerate(zip(pcs, outcomes)):
+                taken = outcome == 1
+                prediction = predict(pc)
+                if index >= warmup:
+                    lookups += 1
+                    if prediction == taken:
+                        hits += 1
+                update(pc, taken)
+            span.set(lookups=lookups, hits=hits)
         return PredictionStats(lookups=lookups, hits=hits)
-    stats = PredictionStats()
-    remaining_warmup = warmup
-    for pc, taken in trace:
-        prediction = predictor.predict(pc)
-        if remaining_warmup > 0:
-            remaining_warmup -= 1
-        else:
-            stats.record(prediction == bool(taken))
-        predictor.update(pc, bool(taken))
+    with trace_span(
+        "sim.predictor",
+        predictor=getattr(predictor, "name", type(predictor).__name__),
+    ) as span:
+        stats = PredictionStats()
+        remaining_warmup = warmup
+        for pc, taken in trace:
+            prediction = predictor.predict(pc)
+            if remaining_warmup > 0:
+                remaining_warmup -= 1
+            else:
+                stats.record(prediction == bool(taken))
+            predictor.update(pc, bool(taken))
+        span.set(lookups=stats.lookups, hits=stats.hits)
     return stats

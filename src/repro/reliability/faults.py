@@ -111,6 +111,11 @@ class FaultPlan:
             fire = self.rng.random() < self.probabilities[point]
         if fire:
             self.fired[point] = self.fired.get(point, 0) + 1
+            # Unified observability: fault hits land in the same registry
+            # as the cache/pool counters (and aggregate across workers).
+            from repro.obs.metrics import metrics
+
+            metrics().incr(f"faults.fired.{point}")
         return fire
 
 

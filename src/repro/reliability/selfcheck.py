@@ -12,7 +12,11 @@ Runs, in-process and in a couple of minutes of CPU at most:
 4. **fault-injection smoke** -- each recoverable injector (worker crash,
    cache corruption) heals invisibly, and an unrecoverable one
    (``stage_fail``) surfaces as a structured ``DesignError`` naming the
-   stage.
+   stage;
+5. **metrics aggregation** -- a pooled sweep's cache hit/miss/write
+   totals equal the serial sweep's: worker-side counters must ride the
+   ``parallel_map`` result channel back to the parent registry instead
+   of dying with the pool.
 
 Every check is independent; the command prints one PASS/FAIL line per
 check plus the cache counters and exits non-zero when anything failed.
@@ -40,7 +44,8 @@ def _scratch_env() -> Iterator[str]:
     saved = {
         key: os.environ.get(key)
         for key in ("REPRO_CACHE", "REPRO_CACHE_DIR", "REPRO_CACHE_MAX_MB",
-                    "REPRO_FAULTS", "REPRO_FAULTS_SEED")
+                    "REPRO_FAULTS", "REPRO_FAULTS_SEED",
+                    "REPRO_TRACE", "REPRO_TRACE_FILE")
     }
     with tempfile.TemporaryDirectory(prefix="repro-selfcheck-") as scratch:
         for key in saved:
@@ -166,11 +171,48 @@ def _check_fault_smoke() -> str:
     return "crash recovered, corruption healed, stage failure structured"
 
 
+def _check_metrics_aggregation() -> str:
+    """The stats-correctness contract: pooled and serial sweeps must
+    report identical cache counter totals.  Worker-side increments ride
+    the ``parallel_map`` result channel back into the parent's
+    :mod:`repro.obs.metrics` registry; before that fix they vanished with
+    the worker process and ``REPRO_JOBS>1`` silently under-reported."""
+    import shutil
+
+    from repro.obs.metrics import reset_metrics
+    from repro.perf.cache import cache_dir, cache_stats
+    from repro.perf.parallel import parallel_map
+
+    orders = list(SELFCHECK_ORDERS)
+
+    def totals(jobs: int) -> Tuple[int, int, int]:
+        # Fresh cache contents and zeroed counters for each leg, so both
+        # legs do identical cold (miss+write) then warm (hit) work.
+        shutil.rmtree(cache_dir() / "designs", ignore_errors=True)
+        reset_metrics()
+        parallel_map(_design_summary, orders, jobs=jobs)
+        parallel_map(_design_summary, orders, jobs=jobs)
+        stats = cache_stats()
+        return stats.hits, stats.misses, stats.writes
+
+    serial = totals(jobs=1)
+    pooled = totals(jobs=2)
+    if serial != pooled:
+        raise AssertionError(
+            f"pooled cache counters {pooled} != serial {serial} "
+            "(worker deltas not aggregated)"
+        )
+    if serial[0] == 0 or serial[1] == 0:
+        raise AssertionError(f"sweep saw no cache traffic ({serial})")
+    return f"serial == pooled (hits,misses,writes) = {serial}"
+
+
 CHECKS: Tuple[Tuple[str, Callable[[], str]], ...] = (
     ("oracle-equivalence", _check_oracle_equivalence),
     ("cache-round-trip", _check_cache_round_trip),
     ("parallel-determinism", _check_parallel_determinism),
     ("fault-injection-smoke", _check_fault_smoke),
+    ("metrics-aggregation", _check_metrics_aggregation),
 )
 
 

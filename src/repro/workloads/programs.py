@@ -327,14 +327,23 @@ def branch_trace(
     The input is sized so the branch cap, not input exhaustion, ends the
     run; traces are therefore exactly ``max_branches`` long.
     """
+    from repro.obs.tracing import trace_span
     from repro.perf.cache import TRACE_VERSION, cached, digest_of
 
     def compute() -> BranchTrace:
-        # Every program executes at least one conditional branch per input
-        # word, so max_branches words always suffice.
-        program, memory = build_program(benchmark, variant, max_branches)
-        vm = MiniVM(program, memory, max_branches=max_branches)
-        return vm.run().branch_trace
+        with trace_span(
+            "trace.generate",
+            kind="branch",
+            benchmark=benchmark,
+            variant=variant,
+        ) as span:
+            # Every program executes at least one conditional branch per
+            # input word, so max_branches words always suffice.
+            program, memory = build_program(benchmark, variant, max_branches)
+            vm = MiniVM(program, memory, max_branches=max_branches)
+            trace = vm.run().branch_trace
+            span.set(records=len(trace))
+        return trace
 
     key = digest_of(
         "branch-trace", benchmark, variant, max_branches, TRACE_VERSION

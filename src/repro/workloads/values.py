@@ -125,21 +125,30 @@ def load_trace(
         raise KeyError(
             f"unknown value benchmark {benchmark!r}; choose from {VALUE_BENCHMARKS}"
         )
+    from repro.obs.tracing import trace_span
     from repro.perf.cache import TRACE_VERSION, cached, digest_of
 
     def compute() -> LoadTrace:
-        rng = rng_for(benchmark, variant)
-        sites = _make_sites(benchmark, rng)
-        trace = LoadTrace()
-        while len(trace) < num_loads:
-            working_set = rng.sample(sites, rng.randrange(1, 4))
-            iterations = rng.randrange(8, 60)
-            for _ in range(iterations):
-                for site in working_set:
-                    trace.append(site.pc, site.next_value())
-                    if len(trace) >= num_loads:
-                        return trace
-        return trace
+        with trace_span(
+            "trace.generate",
+            kind="load",
+            benchmark=benchmark,
+            variant=variant,
+        ) as span:
+            rng = rng_for(benchmark, variant)
+            sites = _make_sites(benchmark, rng)
+            trace = LoadTrace()
+            while len(trace) < num_loads:
+                working_set = rng.sample(sites, rng.randrange(1, 4))
+                iterations = rng.randrange(8, 60)
+                for _ in range(iterations):
+                    for site in working_set:
+                        trace.append(site.pc, site.next_value())
+                        if len(trace) >= num_loads:
+                            span.set(records=len(trace))
+                            return trace
+            span.set(records=len(trace))
+            return trace
 
     key = digest_of("load-trace", benchmark, variant, num_loads, TRACE_VERSION)
     return cached("loads", key, compute)

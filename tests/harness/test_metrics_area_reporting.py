@@ -34,6 +34,39 @@ class TestParetoFront:
     def test_empty(self):
         assert pareto_front([]) == []
 
+    def test_single_point(self):
+        assert pareto_front([(0.5, 0.5)]) == [(0.5, 0.5)]
+
+    def test_tie_on_accuracy_keeps_best_coverage(self):
+        # Two points with equal accuracy: the lower-coverage one is
+        # dominated and must not survive.
+        front = pareto_front([(0.9, 0.2), (0.9, 0.6), (0.5, 0.9)])
+        assert front == [(0.5, 0.9), (0.9, 0.6)]
+
+    def test_tie_on_coverage_keeps_best_accuracy(self):
+        front = pareto_front([(0.7, 0.4), (0.9, 0.4)])
+        assert front == [(0.9, 0.4)]
+
+    def test_all_points_on_front_when_mutually_nondominated(self):
+        points = [(0.5, 0.9), (0.7, 0.7), (0.9, 0.5)]
+        assert pareto_front(points) == points
+
+
+class TestDominates:
+    def test_strictly_better_on_both(self):
+        assert dominates((0.9, 0.9), (0.5, 0.5))
+
+    def test_better_on_one_tie_on_other(self):
+        assert dominates((0.9, 0.5), (0.8, 0.5))
+        assert dominates((0.9, 0.5), (0.9, 0.4))
+
+    def test_identical_points_do_not_dominate(self):
+        assert not dominates((0.5, 0.5), (0.5, 0.5))
+
+    def test_tradeoff_points_do_not_dominate_each_other(self):
+        assert not dominates((0.9, 0.1), (0.1, 0.9))
+        assert not dominates((0.1, 0.9), (0.9, 0.1))
+
     @given(st.lists(st.tuples(st.floats(0, 1), st.floats(0, 1)), max_size=40))
     def test_property_front_is_mutually_nondominated(self, points):
         front = pareto_front(points)
@@ -50,11 +83,39 @@ class TestParetoFront:
 
 
 class TestInterpolation:
-    def test_coverage_at(self):
-        curve = [(0.8, 0.9), (0.9, 0.5), (0.99, 0.1)]
-        assert interpolate_coverage_at(curve, 0.85) == 0.5
-        assert interpolate_coverage_at(curve, 0.999) == 0.0
-        assert interpolate_coverage_at(curve, 0.5) == 0.9
+    CURVE = [(0.8, 0.9), (0.9, 0.5), (0.99, 0.1)]
+
+    def test_linear_between_bracketing_points(self):
+        # Halfway between (0.8, 0.9) and (0.9, 0.5).
+        assert interpolate_coverage_at(self.CURVE, 0.85) == pytest.approx(0.7)
+        # Quarter of the way between (0.9, 0.5) and (0.99, 0.1).
+        assert interpolate_coverage_at(self.CURVE, 0.9225) == pytest.approx(0.4)
+
+    def test_linear_exact_points_and_range_ends(self):
+        assert interpolate_coverage_at(self.CURVE, 0.9) == pytest.approx(0.5)
+        assert interpolate_coverage_at(self.CURVE, 0.99) == pytest.approx(0.1)
+        # Above the curve's reach: unattainable.
+        assert interpolate_coverage_at(self.CURVE, 0.999) == 0.0
+        # Below the measured range: the best coverage already qualifies.
+        assert interpolate_coverage_at(self.CURVE, 0.5) == pytest.approx(0.9)
+
+    def test_linear_collapses_duplicate_accuracies(self):
+        curve = [(0.8, 0.2), (0.8, 0.9), (0.9, 0.5)]
+        assert interpolate_coverage_at(curve, 0.85) == pytest.approx(0.7)
+
+    def test_linear_empty_curve(self):
+        assert interpolate_coverage_at([], 0.8) == 0.0
+
+    def test_step_mode_preserves_readoff_semantics(self):
+        # The historical behaviour: best coverage among achieved points
+        # with accuracy >= target, no credit between points.
+        assert interpolate_coverage_at(self.CURVE, 0.85, mode="step") == 0.5
+        assert interpolate_coverage_at(self.CURVE, 0.999, mode="step") == 0.0
+        assert interpolate_coverage_at(self.CURVE, 0.5, mode="step") == 0.9
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            interpolate_coverage_at(self.CURVE, 0.8, mode="spline")
 
     def test_weighted_miss_rate(self):
         assert weighted_miss_rate([(100, 10), (100, 30)]) == pytest.approx(0.2)
@@ -111,3 +172,38 @@ class TestReporting:
         path = write_report("demo.txt", "hello")
         assert os.path.exists(path)
         assert open(path).read() == "hello\n"
+
+
+class TestResultsDir:
+    """Regression: reports land under the *invocation* cwd (or the
+    REPRO_RESULTS_DIR override), never a path derived from __file__,
+    which sent an installed wheel's reports into site-packages."""
+
+    def test_defaults_to_cwd_results(self, tmp_path, monkeypatch):
+        from repro.harness.reporting import results_dir
+
+        monkeypatch.delenv("REPRO_RESULTS_DIR", raising=False)
+        monkeypatch.chdir(tmp_path)
+        assert results_dir() == str(tmp_path / "results")
+
+    def test_env_override_wins_over_cwd(self, tmp_path, monkeypatch):
+        from repro.harness.reporting import results_dir
+
+        target = tmp_path / "elsewhere"
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(target))
+        monkeypatch.chdir(tmp_path)
+        assert results_dir() == str(target)
+
+    def test_module_override_wins_over_env(self, tmp_path, monkeypatch):
+        import repro.harness.reporting as reporting
+
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "env"))
+        monkeypatch.setattr(reporting, "RESULTS_DIR", str(tmp_path / "explicit"))
+        assert reporting.results_dir() == str(tmp_path / "explicit")
+
+    def test_write_report_creates_under_tmp_cwd(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_RESULTS_DIR", raising=False)
+        monkeypatch.chdir(tmp_path)
+        path = write_report("cwd_demo.txt", "data")
+        assert path == str(tmp_path / "results" / "cwd_demo.txt")
+        assert open(path).read() == "data\n"

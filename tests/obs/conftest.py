@@ -1,0 +1,49 @@
+"""Fixtures for the observability suite.
+
+These tests assert exact counter totals and disarmed-by-default
+behaviour, so each one starts with a clean registry, disarmed tracing,
+and no ambient fault plan or trace file (the CI chaos and tracing jobs
+arm both suite-wide).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import sys
+
+import repro.obs.metrics  # noqa: F401  (binds the real submodule below)
+import repro.obs.tracing  # noqa: F401
+
+# `repro.obs` re-exports a `metrics()` *function*, which shadows the
+# submodule as a package attribute; go through sys.modules instead.
+metrics_mod = sys.modules["repro.obs.metrics"]
+tracing_mod = sys.modules["repro.obs.tracing"]
+from repro.perf import cache as cache_mod
+from repro.reliability import faults as faults_mod
+
+
+@pytest.fixture(autouse=True)
+def clean_observability(monkeypatch):
+    monkeypatch.setattr(faults_mod, "_plan", None)
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    monkeypatch.delenv("REPRO_FAULTS_SEED", raising=False)
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    monkeypatch.delenv("REPRO_TRACE_FILE", raising=False)
+    monkeypatch.setattr(tracing_mod, "_runtime_armed", False)
+    tracing_mod.reset_tracing()
+    metrics_mod.reset_metrics()
+    yield
+    tracing_mod.reset_tracing()
+    metrics_mod.reset_metrics()
+
+
+@pytest.fixture
+def tmp_cache(monkeypatch, tmp_path):
+    """A fresh, enabled cache directory with zeroed counters."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_MAX_MB", raising=False)
+    monkeypatch.setattr(cache_mod, "_runtime_enabled", True)
+    cache_mod.reset_cache_stats()
+    return tmp_path / "cache"

@@ -1,0 +1,138 @@
+"""MetricsRegistry semantics and the worker-aggregation correctness fix."""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry, metrics, reset_metrics
+from repro.perf.cache import cache_stats, cached, digest_of, reset_cache_stats
+from repro.perf.parallel import parallel_map
+
+
+def _cached_square(x: int) -> int:
+    """Picklable shard doing one cache round per item (distinct keys)."""
+    key = digest_of("obs-aggregation-shard", x)
+    return cached("obstest", key, lambda: x * x)
+
+
+class TestRegistry:
+    def test_incr_and_get(self):
+        reg = MetricsRegistry()
+        assert reg.get("a.b") == 0
+        reg.incr("a.b")
+        reg.incr("a.b", 4)
+        assert reg.get("a.b") == 5
+
+    def test_snapshot_is_a_copy(self):
+        reg = MetricsRegistry()
+        reg.incr("x")
+        snap = reg.snapshot()
+        reg.incr("x")
+        assert snap == {"x": 1}
+        assert reg.get("x") == 2
+
+    def test_diff_since_only_positive_gains(self):
+        reg = MetricsRegistry()
+        reg.incr("kept", 2)
+        before = reg.snapshot()
+        reg.incr("kept")
+        reg.incr("new", 3)
+        assert reg.diff_since(before) == {"kept": 1, "new": 3}
+
+    def test_merge_folds_deltas(self):
+        reg = MetricsRegistry()
+        reg.incr("cache.hits", 2)
+        reg.merge({"cache.hits": 3, "cache.misses": 1})
+        reg.merge(None)
+        reg.merge({})
+        assert reg.get("cache.hits") == 5
+        assert reg.get("cache.misses") == 1
+
+    def test_reset_by_prefix(self):
+        reg = MetricsRegistry()
+        reg.incr("cache.hits")
+        reg.incr("parallel.retries")
+        reg.reset(prefix="cache.")
+        assert reg.get("cache.hits") == 0
+        assert reg.get("parallel.retries") == 1
+
+    def test_rows_sorted_and_filtered(self):
+        reg = MetricsRegistry()
+        reg.incr("b.two", 2)
+        reg.incr("a.one")
+        assert reg.rows() == [("a.one", 1), ("b.two", 2)]
+        assert reg.rows(prefix="b.") == [("b.two", 2)]
+
+
+class TestCacheStatsView:
+    def test_cache_stats_reads_registry(self, tmp_cache):
+        reset_cache_stats()
+        key = digest_of("obs-view", 1)
+        cached("obstest", key, lambda: 42)  # miss + write
+        cached("obstest", key, lambda: 0)  # hit
+        stats = cache_stats()
+        assert (stats.hits, stats.misses, stats.writes) == (1, 1, 1)
+        assert metrics().get("cache.hits") == 1
+
+    def test_reset_cache_stats_only_touches_cache(self, tmp_cache):
+        metrics().incr("parallel.retries")
+        metrics().incr("cache.hits", 7)
+        reset_cache_stats()
+        assert cache_stats().hits == 0
+        assert metrics().get("parallel.retries") == 1
+
+
+class TestWorkerAggregation:
+    """The headline bugfix: counters from pool workers must not vanish."""
+
+    def _sweep_totals(self, jobs: int) -> tuple:
+        items = list(range(8))
+        cold = parallel_map(_cached_square, items, jobs=jobs)
+        warm = parallel_map(_cached_square, items, jobs=jobs)
+        assert cold == warm == [x * x for x in items]
+        stats = cache_stats()
+        return stats.hits, stats.misses, stats.writes
+
+    def test_parallel_equals_serial_cache_totals(self, tmp_cache):
+        reset_metrics()
+        serial = self._sweep_totals(jobs=1)
+        assert serial == (8, 8, 8)
+
+        # Fresh cache + counters; the pooled sweep must report the same
+        # totals even though every hit/miss happens in a worker process.
+        import shutil
+
+        shutil.rmtree(tmp_cache, ignore_errors=True)
+        reset_metrics()
+        pooled = self._sweep_totals(jobs=2)
+        assert pooled == serial
+
+    def test_pool_task_counter(self, tmp_cache):
+        reset_metrics()
+        parallel_map(_cached_square, list(range(6)), jobs=2)
+        assert metrics().get("parallel.pool_tasks") == 6
+        assert metrics().get("parallel.serial_fallbacks") == 0
+
+    def test_fault_hits_counted_in_registry(self, tmp_cache):
+        from repro.reliability.faults import inject_faults
+
+        reset_metrics()
+        key = digest_of("obs-fault-count", 1)
+        with inject_faults("cache_read:1"):
+            cached("obstest", key, lambda: 1)
+        assert metrics().get("faults.fired.cache_read") == 1
+
+
+class TestWorkerErrorPath:
+    def test_application_errors_still_propagate(self):
+        import pytest
+
+        def boom(x):
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError):
+            parallel_map(_explode_module_level, [1, 2], jobs=2)
+        with pytest.raises(ValueError):
+            parallel_map(boom, [1, 2], jobs=1)
+
+
+def _explode_module_level(x):
+    raise ValueError(f"boom {x}")
