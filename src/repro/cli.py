@@ -22,6 +22,13 @@ Observability (any command): ``--trace FILE`` appends one JSON line per
 pipeline span to FILE (workers included); ``--profile`` prints a
 per-stage wall-time summary and the unified counters after the command.
 
+Durability (any command): ``--run-id ID`` journals every sweep under a
+run directory so a killed command can be resumed; ``--resume ID`` is the
+same flag spelled for the second invocation.  ``figures --all`` derives
+a deterministic run id automatically, so a plain re-run after a crash
+resumes by itself.  SIGINT/SIGTERM drain the worker pool, flush the
+journal, and exit 130 with a resume hint instead of dying mid-write.
+
 Examples::
 
     echo 000010001011110111101111 | python -m repro design --order 2
@@ -142,6 +149,25 @@ def _cmd_customize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _figures_run_id(args: argparse.Namespace) -> Optional[str]:
+    """The run id figure sweeps journal under.
+
+    ``--run-id``/``--resume`` win; otherwise ``--all`` derives a
+    deterministic id from the figure name so a plain re-run of the same
+    command after a crash resumes automatically (same id -> same
+    journal).  Single-panel invocations are short enough that we don't
+    journal them unless asked."""
+    from repro.reliability import durability
+
+    rid = durability.current_run_id()
+    if rid is None and args.all and durability.durability_enabled():
+        rid = durability.derive_run_id("figures", args.figure, "all")
+        durability.set_run_id(rid)
+    if rid is not None:
+        print(f"repro: run id {rid}", file=sys.stderr)
+    return rid
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     if args.figure == "fig1":
         trace = [int(c) for c in "000010001011110111101111"]
@@ -154,7 +180,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         if args.all:
             from repro.harness.reporting import write_report
 
-            for benchmark, result in run_fig2().items():
+            for benchmark, result in run_fig2(run_id=_figures_run_id(args)).items():
                 print(write_report(f"fig2_{benchmark}.txt", result.render()))
         else:
             result = run_fig2_benchmark(args.benchmark or "gcc")
@@ -162,14 +188,14 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     elif args.figure == "fig4":
         from repro.harness.fig4 import run_fig4
 
-        print(run_fig4().render())
+        print(run_fig4(run_id=_figures_run_id(args)).render())
     elif args.figure == "fig5":
         from repro.harness.fig5 import run_fig5, run_fig5_benchmark
 
         if args.all:
             from repro.harness.reporting import write_report
 
-            for benchmark, result in run_fig5().items():
+            for benchmark, result in run_fig5(run_id=_figures_run_id(args)).items():
                 print(write_report(f"fig5_{benchmark}.txt", result.render()))
         else:
             result = run_fig5_benchmark(args.benchmark or "gsm")
@@ -177,7 +203,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     elif args.figure == "fig67":
         from repro.harness.fig67 import run_fig67
 
-        for name, example in run_fig67().items():
+        for name, example in run_fig67(run_id=_figures_run_id(args)).items():
             print(f"== {name} ==")
             print(example.render())
     else:
@@ -229,6 +255,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="append pipeline span events to FILE as JSON lines "
         "(sets $REPRO_TRACE_FILE, so pool workers trace too)",
+    )
+    parser.add_argument(
+        "--run-id",
+        metavar="ID",
+        default=None,
+        help="journal sweeps under this run id (see DESIGN.md: Durability)",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="ID",
+        default=None,
+        help="resume a journaled run: replay completed shards, compute "
+        "the rest (alias of --run-id for the second invocation)",
     )
     parser.add_argument(
         "--profile",
@@ -300,8 +339,36 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     import os
+    import signal
 
     args = build_parser().parse_args(argv)
+    run_id = getattr(args, "resume", None) or getattr(args, "run_id", None)
+    if args.resume and args.run_id and args.resume != args.run_id:
+        print(
+            "repro: error: --resume and --run-id name different runs",
+            file=sys.stderr,
+        )
+        return 2
+    if run_id is not None:
+        from repro.reliability import durability
+
+        try:
+            durability.set_run_id(durability.sanitize_run_id(run_id))
+        except ValueError as exc:
+            print(f"repro: error: {exc}", file=sys.stderr)
+            return 2
+
+    def _on_sigterm(signum, frame):
+        # Funnel SIGTERM into the KeyboardInterrupt path so a polite kill
+        # gets the same drain-pool/flush-journal/resume-hint treatment as
+        # Ctrl-C.  (SIGKILL can't be caught; the journal's write-ahead
+        # ordering is what makes that case safe.)
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except (ValueError, OSError):
+        pass  # not the main thread, or an exotic platform
     if args.jobs is not None:
         # parallel_map reads REPRO_JOBS at call time; setting it here makes
         # the flag apply to every sweep the command runs (including ones in
@@ -331,6 +398,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         # a failed selfcheck (1).
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # parallel_map has already reaped its workers on the way out, and
+        # every completed shard was journaled as it landed; nothing is
+        # torn, so the run can pick up where it stopped.
+        from repro.reliability import durability
+
+        rid = durability.current_run_id()
+        hint = (
+            f"; resume with: --resume {rid}"
+            if rid is not None
+            else ""
+        )
+        print(
+            f"repro: interrupted -- completed shards are journaled{hint}",
+            file=sys.stderr,
+        )
+        return 130
     if args.profile:
         from repro.harness.reporting import format_table
         from repro.obs.metrics import metrics

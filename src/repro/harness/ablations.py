@@ -28,7 +28,8 @@ from repro.harness.branch_training import (
     rank_branches_by_misses,
 )
 from repro.harness.reporting import format_table
-from repro.perf.parallel import parallel_map
+from repro.perf.cache import digest_of
+from repro.reliability.durability import durable_map
 from repro.workloads.programs import branch_trace
 
 
@@ -68,6 +69,7 @@ def run_dontcare_ablation(
     order: int = 9,
     max_branches: int = 60_000,
     top_branches: int = 5,
+    run_id: Optional[str] = None,
 ) -> List[DontCareRow]:
     """Average predictor size and model-expected miss rate over the worst
     branches of ``benchmark``, for each don't-care fraction.
@@ -82,9 +84,12 @@ def run_dontcare_ablation(
     models = collect_branch_models(trace, order=order)
     chosen = [pc for pc, _m in ranked[:top_branches]]
     chosen_models = {pc: models.models[pc] for pc in chosen}
-    return parallel_map(
+    return durable_map(
         partial(_dontcare_shard, order=order, models=chosen_models, chosen=chosen),
         list(fractions),
+        run_id=run_id,
+        sweep="ablation.dontcare",
+        fingerprint=digest_of(benchmark, order, max_branches, top_branches),
     )
 
 
@@ -147,8 +152,9 @@ def run_startup_ablation(
     order: int = 9,
     max_branches: int = 60_000,
     top_branches: int = 4,
+    run_id: Optional[str] = None,
 ) -> List[StartupRow]:
-    shards = parallel_map(
+    shards = durable_map(
         partial(
             _startup_shard,
             order=order,
@@ -156,6 +162,9 @@ def run_startup_ablation(
             top_branches=top_branches,
         ),
         list(benchmarks),
+        run_id=run_id,
+        sweep="ablation.startup",
+        fingerprint=digest_of(order, max_branches, top_branches),
     )
     return [row for shard in shards for row in shard]
 
@@ -222,6 +231,7 @@ def run_ga_comparison(
     top_branches: int = 2,
     generations: int = 40,
     seed: int = 7,
+    run_id: Optional[str] = None,
 ) -> List[GAComparisonRow]:
     """Constructed FSMs vs. GA-searched machines of the same state budget,
     scored on per-branch prediction accuracy over the training trace."""
@@ -251,7 +261,12 @@ def run_ga_comparison(
             generations=generations,
             seed=seed,
         )
-        ga_machine, ga_accuracy = search_predictor(trace, pc, config)
+        # With run_id the GA checkpoints per generation and resumes a
+        # killed search from the last complete generation.
+        ga_machine, ga_accuracy = search_predictor(
+            trace, pc, config,
+            run_id=run_id, checkpoint_tag=f"{benchmark}-{pc:x}",
+        )
         rows.append(
             GAComparisonRow(
                 benchmark=benchmark,

@@ -26,7 +26,8 @@ from repro.core.markov import MarkovModel
 from repro.core.pipeline import DesignConfig, FSMDesigner
 from repro.harness.metrics import pareto_front
 from repro.harness.reporting import format_table
-from repro.perf.parallel import parallel_map
+from repro.perf.cache import digest_of
+from repro.reliability.durability import durable_map
 from repro.valuepred.confidence import (
     ConfidenceStats,
     correctness_trace,
@@ -91,12 +92,18 @@ def _correctness_shard(
 
 
 def _correctness_traces(
-    benchmarks: Sequence[str], variant: str, num_loads: int
+    benchmarks: Sequence[str],
+    variant: str,
+    num_loads: int,
+    run_id: Optional[str] = None,
 ) -> Dict[str, Tuple[List[int], List[int]]]:
     names = list(benchmarks)
-    shards = parallel_map(
+    shards = durable_map(
         partial(_correctness_shard, variant=variant, num_loads=num_loads),
         names,
+        run_id=run_id,
+        sweep=f"fig2.traces.{variant}",
+        fingerprint=digest_of(variant, num_loads),
     )
     return dict(zip(names, shards))
 
@@ -169,12 +176,18 @@ def run_fig2(
     num_loads: int = 80_000,
     history_lengths: Sequence[int] = DEFAULT_HISTORY_LENGTHS,
     bias_thresholds: Sequence[float] = DEFAULT_BIAS_THRESHOLDS,
+    run_id: Optional[str] = None,
 ) -> Dict[str, FigureTwoResult]:
-    traces = _correctness_traces(VALUE_BENCHMARKS, "train", num_loads)
+    """The full figure.  With ``run_id`` both sweeps (trace generation,
+    per-benchmark panels) journal shard completions and resume after a
+    kill; without it they run as plain parallel sweeps."""
+    traces = _correctness_traces(
+        VALUE_BENCHMARKS, "train", num_loads, run_id=run_id
+    )
     names = list(benchmarks)
-    # One process-pool shard per benchmark; parallel_map returns results in
+    # One process-pool shard per benchmark; durable_map returns results in
     # input order, so the figure output is identical to a serial run.
-    results = parallel_map(
+    results = durable_map(
         partial(
             run_fig2_benchmark,
             traces=traces,
@@ -182,5 +195,10 @@ def run_fig2(
             bias_thresholds=tuple(bias_thresholds),
         ),
         names,
+        run_id=run_id,
+        sweep="fig2.panels",
+        fingerprint=digest_of(
+            num_loads, tuple(history_lengths), tuple(bias_thresholds)
+        ),
     )
     return dict(zip(names, results))

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, List, Optional, Tuple
 
 from repro.harness.area_model import LinearAreaModel, fit_area_model, residuals
@@ -22,6 +23,8 @@ from repro.harness.branch_training import (
     rank_branches_by_misses,
 )
 from repro.harness.reporting import format_table
+from repro.perf.cache import digest_of
+from repro.reliability.durability import durable_map
 from repro.synth.area import AreaReport, estimate_area
 from repro.workloads.programs import BRANCH_BENCHMARKS, branch_trace
 
@@ -51,28 +54,51 @@ class FigureFourResult:
         return f"{table}\n\nfit: {self.model}\n"
 
 
+def _benchmark_machines(
+    benchmark: str,
+    max_branches: int,
+    branches_per_benchmark: int,
+    min_states: int,
+):
+    """One benchmark's deployable machines (a durable_map shard)."""
+    trace = branch_trace(benchmark, "train", max_branches)
+    ranked = rank_branches_by_misses(trace)
+    models = collect_branch_models(trace)
+    top = [pc for pc, _ in ranked[:branches_per_benchmark]]
+    machines = []
+    for pc, design in design_branch_predictors(models, top).items():
+        if design.machine.num_states >= min_states:
+            machines.append((f"{benchmark}@{pc:#x}", design.machine))
+    return machines
+
+
 def collect_design_machines(
     benchmarks: Tuple[str, ...] = BRANCH_BENCHMARKS,
     max_branches: int = 60_000,
     branches_per_benchmark: int = 8,
     min_states: int = 4,
+    run_id: Optional[str] = None,
 ):
     """Design custom predictors for the worst branches of every benchmark
-    (the population Figure 4 samples from).
+    (the population Figure 4 samples from) -- one journaled shard per
+    benchmark, so a killed collection resumes where it stopped.
 
     Machines below ``min_states`` are excluded: they belong to trivially
     biased branches that a real flow would never hard-wire, and the paper's
     sampled population consists of deployed custom predictors."""
-    machines = []
-    for benchmark in benchmarks:
-        trace = branch_trace(benchmark, "train", max_branches)
-        ranked = rank_branches_by_misses(trace)
-        models = collect_branch_models(trace)
-        top = [pc for pc, _ in ranked[:branches_per_benchmark]]
-        for pc, design in design_branch_predictors(models, top).items():
-            if design.machine.num_states >= min_states:
-                machines.append((f"{benchmark}@{pc:#x}", design.machine))
-    return machines
+    shards = durable_map(
+        partial(
+            _benchmark_machines,
+            max_branches=max_branches,
+            branches_per_benchmark=branches_per_benchmark,
+            min_states=min_states,
+        ),
+        list(benchmarks),
+        run_id=run_id,
+        sweep="fig4.machines",
+        fingerprint=digest_of(max_branches, branches_per_benchmark, min_states),
+    )
+    return [machine for shard in shards for machine in shard]
 
 
 def run_fig4(
@@ -81,6 +107,7 @@ def run_fig4(
     branches_per_benchmark: int = 8,
     sample_fraction: float = 1.0,
     seed: int = _SAMPLE_SEED,
+    run_id: Optional[str] = None,
 ) -> FigureFourResult:
     """Regenerate Figure 4.
 
@@ -89,7 +116,7 @@ def run_fig4(
     paper's literal 10% sampling.
     """
     machines = collect_design_machines(
-        benchmarks, max_branches, branches_per_benchmark
+        benchmarks, max_branches, branches_per_benchmark, run_id=run_id
     )
     if not machines:
         raise RuntimeError("no machines designed; check the workload setup")

@@ -232,14 +232,24 @@ def run_fig5_benchmark(
 
 def run_fig5(
     benchmarks: Sequence[str] = BRANCH_BENCHMARKS,
+    run_id: Optional[str] = None,
     **kwargs,
 ) -> Dict[str, FigureFiveResult]:
     from functools import partial
 
-    from repro.perf.parallel import parallel_map
+    from repro.perf.cache import digest_of
+    from repro.reliability.durability import durable_map
 
     names = list(benchmarks)
     # One shard per benchmark panel; ordering (and therefore output) is
-    # identical to the serial comprehension this replaces.
-    results = parallel_map(partial(run_fig5_benchmark, **kwargs), names)
+    # identical to the serial comprehension this replaces.  With run_id
+    # each completed panel is journaled, so a killed sweep resumes with
+    # only the missing panels.
+    results = durable_map(
+        partial(run_fig5_benchmark, **kwargs),
+        names,
+        run_id=run_id,
+        sweep="fig5.panels",
+        fingerprint=digest_of(sorted(kwargs.items())),
+    )
     return dict(zip(names, results))

@@ -92,8 +92,30 @@ def find_multi_pattern(
     )
 
 
-def run_fig67(max_branches: int = 60_000) -> Dict[str, ExampleMachine]:
-    """Reproduce both example figures.  Keys: ``fig6`` and ``fig7``."""
+def run_fig67(
+    max_branches: int = 60_000, run_id: Optional[str] = None
+) -> Dict[str, ExampleMachine]:
+    """Reproduce both example figures.  Keys: ``fig6`` and ``fig7``.
+
+    With ``run_id`` the whole reproduction runs as one journaled shard
+    (:func:`~repro.reliability.durability.durable_call`), so a crashed
+    ``figures fig67`` re-run replays instead of redesigning."""
+    if run_id is not None:
+        from functools import partial
+
+        from repro.perf.cache import digest_of
+        from repro.reliability.durability import durable_call
+
+        return durable_call(
+            partial(_run_fig67, max_branches),
+            run_id,
+            "fig67.examples",
+            fingerprint=digest_of(max_branches),
+        )
+    return _run_fig67(max_branches)
+
+
+def _run_fig67(max_branches: int = 60_000) -> Dict[str, ExampleMachine]:
     examples: Dict[str, ExampleMachine] = {}
 
     ijpeg_designs = design_all_branches("ijpeg", max_branches)

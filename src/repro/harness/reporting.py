@@ -2,12 +2,15 @@
 
 Every figure driver both *returns* structured data (for tests) and can
 *render* it the way the paper's tables/series read; the benchmark targets
-print the rendering and tee it under ``results/``.
+print the rendering and tee it under ``results/``.  Reports are written
+atomically (temp file + ``os.replace``, the cache's pattern), so a crash
+mid-write can never leave a truncated ``results/*.txt`` behind.
 """
 
 from __future__ import annotations
 
 import os
+import tempfile
 from typing import Iterable, List, Optional, Sequence
 
 # Explicit override for the results directory (tests monkeypatch this).
@@ -70,8 +73,23 @@ def results_path(name: str) -> str:
 
 
 def write_report(name: str, text: str) -> str:
-    """Write a rendering under ``results/`` and return its path."""
+    """Atomically write a rendering under ``results/``; returns its path.
+
+    The rendering lands in a temp file first and is renamed into place,
+    so readers (and a resumed run diffing against a clean one) see either
+    the previous complete report or the new complete report -- never a
+    torn file, even if the process is killed mid-write."""
     path = results_path(name)
-    with open(path, "w") as handle:
-        handle.write(text if text.endswith("\n") else text + "\n")
+    data = text if text.endswith("\n") else text + "\n"
+    fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
     return path

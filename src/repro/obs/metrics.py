@@ -7,7 +7,9 @@ anything incremented inside a pool worker silently vanished when the
 worker exited.  The :class:`MetricsRegistry` unifies them:
 
 * **dotted counter names** namespace the producers (``cache.hits``,
-  ``parallel.retries``, ``faults.fired.worker_crash``, ...);
+  ``cache.lock_acquired``, ``parallel.retries``, ``parallel.interrupts``,
+  ``faults.fired.worker_crash``, ``journal.appends``,
+  ``durable.replayed``, ``ga.resumed``, ...);
 * **snapshot / diff / merge** make the counters *transportable*: a pool
   worker snapshots the registry around each task, ships the per-task
   delta back through the ``parallel_map`` result channel, and the parent

@@ -21,7 +21,16 @@ Hardening (the ``repro.reliability`` contract):
   quarantine directory** (``<cache>/quarantine/<category>/``) -- evidence
   preserved, entry recomputed;
 * ``REPRO_CACHE_MAX_MB`` bounds the cache size with oldest-first
-  eviction after each write;
+  eviction after each write; eviction tolerates entries vanishing under
+  it (a second process evicting or reading concurrently is normal);
+* a **cross-process single-flight lock** per key: concurrent workers
+  that miss on the same key elect one computer via an ``O_EXCL`` lock
+  file; the rest wait and then read the winner's entry instead of
+  duplicating minutes of design-flow work.  A lock whose holder died
+  (crash, SIGKILL) goes *stale* and is broken after
+  ``REPRO_LOCK_TIMEOUT`` seconds (default 30); a waiter that exhausts
+  the timeout computes anyway -- duplicated work, never a deadlock
+  (``cache.lock_*`` counters record all of it);
 * hit/miss/write/quarantine/eviction **counters** in the unified
   :mod:`repro.obs.metrics` registry (:func:`cache_stats` is a snapshot
   view), aggregated across pool workers and surfaced by
@@ -46,9 +55,11 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, List, Optional, Tuple, TypeVar
+from typing import Any, Callable, Iterator, List, Optional, Tuple, TypeVar
 
 from repro.obs.metrics import metrics
 from repro.obs.tracing import trace_span
@@ -261,7 +272,11 @@ def _store_entry(path: Path, value: Any) -> None:
     _evict_if_needed()
 
 
-def _atomic_write(path: Path, data: bytes) -> None:
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` via temp file + ``os.replace``: readers
+    racing the write see either the old complete file or the new complete
+    file, never a torn one.  (Shared with the durability layer's journal
+    result store and checkpoint blobs.)"""
     fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
     try:
         with os.fdopen(fd, "wb") as fh:
@@ -275,9 +290,20 @@ def _atomic_write(path: Path, data: bytes) -> None:
         raise
 
 
+# Internal alias kept for the pre-durability callers in this module.
+_atomic_write = atomic_write_bytes
+
+
 def _evict_if_needed() -> None:
     """Oldest-first eviction down to ``REPRO_CACHE_MAX_MB`` (quarantined
-    entries are evidence, not cache, and are never counted or evicted)."""
+    entries are evidence, not cache, and are never counted or evicted).
+
+    Concurrency contract: several processes may evict (or read) the same
+    directory at once, so every per-entry filesystem call tolerates the
+    entry having just been deleted by somebody else -- a vanished entry
+    is skipped, never a crash, and the scan keeps going instead of
+    aborting the whole eviction pass.
+    """
     limit = _max_cache_bytes()
     if limit is None:
         return
@@ -286,21 +312,26 @@ def _evict_if_needed() -> None:
     entries: List[Tuple[float, int, Path]] = []
     total = 0
     try:
-        for pkl in root.rglob("*.pkl"):
-            if quarantine in pkl.parents:
-                continue
-            try:
-                stat = pkl.stat()
-                size = stat.st_size
-                sidecar = pkl.with_suffix(".sha256")
-                if sidecar.exists():
-                    size += sidecar.stat().st_size
-            except OSError:
-                continue
-            entries.append((stat.st_mtime, size, pkl))
-            total += size
+        # Materialize the listing up front: rglob is lazy, and a
+        # concurrently-removed directory mid-iteration would otherwise
+        # abort the scan from inside the for loop.
+        candidates = list(root.rglob("*.pkl"))
     except OSError:
         return
+    for pkl in candidates:
+        if quarantine in pkl.parents:
+            continue
+        try:
+            stat = pkl.stat()
+        except OSError:
+            continue  # deleted by a concurrent evictor between list and stat
+        size = stat.st_size
+        try:
+            size += pkl.with_suffix(".sha256").stat().st_size
+        except OSError:
+            pass  # sidecar missing (legacy entry) or just deleted
+        entries.append((stat.st_mtime, size, pkl))
+        total += size
     if total <= limit:
         return
     for _mtime, size, pkl in sorted(entries):
@@ -313,6 +344,92 @@ def _evict_if_needed() -> None:
         total -= size
         if total <= limit:
             break
+
+
+# ----------------------------------------------------------------------
+# Cross-process single-flight
+# ----------------------------------------------------------------------
+
+_LOCK_POLL_SECONDS = 0.05
+
+
+def lock_timeout() -> float:
+    """Seconds before a held key lock is considered stale and before a
+    waiter gives up and computes anyway (``REPRO_LOCK_TIMEOUT``, default
+    30).  Should exceed the longest single design-flow computation."""
+    raw = os.environ.get("REPRO_LOCK_TIMEOUT", "").strip()
+    if not raw:
+        return 30.0
+    try:
+        seconds = float(raw)
+    except ValueError:
+        return 30.0
+    return seconds if seconds > 0 else 30.0
+
+
+@contextmanager
+def _single_flight(path: Path) -> Iterator[bool]:
+    """Elect one computer per cache key across processes.
+
+    Creates ``<key>.lock`` with ``O_CREAT | O_EXCL`` (atomic on every
+    filesystem we care about).  Losers poll; when the winner finishes
+    (lock released) they re-check the cache and hit instead of
+    recomputing.  A lock older than :func:`lock_timeout` means its holder
+    died mid-compute (SIGKILL leaves no chance to clean up): it is broken
+    and the race restarts.  A waiter that exhausts the timeout proceeds
+    *without* the lock -- duplicate work, but the atomic entry writes
+    keep that safe; this layer must never deadlock a sweep.
+
+    Yields True when the caller waited for another process at some point
+    (so re-checking the cache before computing is worthwhile).
+    """
+    lock = path.with_suffix(".lock")
+    timeout = lock_timeout()
+    deadline = time.monotonic() + timeout
+    acquired = False
+    waited = False
+    try:
+        while True:
+            try:
+                lock.parent.mkdir(parents=True, exist_ok=True)
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                if not waited:
+                    waited = True
+                    _count("lock_waits")
+                try:
+                    age = time.time() - lock.stat().st_mtime
+                except OSError:
+                    continue  # released between open and stat: retry now
+                if age > timeout:
+                    # Holder died (crash, OOM kill): break the stale lock.
+                    try:
+                        lock.unlink(missing_ok=True)
+                    except OSError:
+                        pass
+                    _count("lock_stale_broken")
+                    continue
+                if time.monotonic() > deadline:
+                    _count("lock_timeouts")
+                    break
+                time.sleep(_LOCK_POLL_SECONDS)
+            except OSError:
+                break  # unwritable cache dir: locking is best-effort
+            else:
+                try:
+                    os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+                finally:
+                    os.close(fd)
+                acquired = True
+                _count("lock_acquired")
+                break
+        yield waited
+    finally:
+        if acquired:
+            try:
+                lock.unlink(missing_ok=True)
+            except OSError:
+                pass
 
 
 def cached(
@@ -339,7 +456,16 @@ def cached(
         _count("hits")
         return value
     _count("misses")
-    value = compute()
-    with trace_span("cache.write", category=category, key=key[:12]):
-        _store_entry(path, value)
+    # Single-flight: when several processes miss on this key at once, one
+    # computes and the rest wait, then read its entry -- instead of every
+    # worker redoing the same design-flow work.
+    with _single_flight(path) as waited:
+        if waited:
+            value = _load_entry(category, path, validate)
+            if value is not _MISS:
+                _count("lock_hits")
+                return value
+        value = compute()
+        with trace_span("cache.write", category=category, key=key[:12]):
+            _store_entry(path, value)
     return value

@@ -20,7 +20,17 @@ hardening below preserves that under infrastructure failure:
 
 Exceptions raised by ``fn`` itself are *not* retried: they are
 deterministic application errors and propagate unchanged, exactly like
-the serial loop.
+the serial loop.  ``KeyboardInterrupt`` (Ctrl-C, or the CLI's SIGTERM
+handler) is *never* treated as retryable either -- the pool is torn down
+immediately (no zombie workers) and the interrupt propagates, so the
+durability layer above can report a resumable run instead of half-dying
+into a hung process tree.
+
+``on_result(index, value)`` (optional) runs in the parent as each item's
+result lands, in input order for the serial path and submission order
+for the pooled path -- :func:`repro.reliability.durability.durable_map`
+uses it to journal shard completions *as they happen*, so an interrupt
+mid-sweep loses only in-flight shards, not finished ones.
 
 Worker count comes from ``jobs=...`` or the ``REPRO_JOBS`` environment
 variable (default 1: opt-in parallelism); retries from
@@ -118,13 +128,19 @@ def _pool_call(fn: Callable[[T], R], item: T):
     return value, metrics().diff_since(before)
 
 
-def _serial_map(fn: Callable[[T], R], work: List[T]) -> List[R]:
+def _serial_map(
+    fn: Callable[[T], R],
+    work: List[T],
+    on_result: Optional[Callable[[int, R], None]] = None,
+) -> List[R]:
     """The serial path; spans still mark task boundaries (same stage name
     as pooled tasks, so ``--profile`` aggregates them together)."""
     results: List[R] = []
     for index, item in enumerate(work):
         with trace_span("parallel.task", where="serial", index=index):
             results.append(fn(item))
+        if on_result is not None:
+            on_result(index, results[-1])
     return results
 
 
@@ -145,26 +161,32 @@ def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
     jobs: int | None = None,
+    on_result: Optional[Callable[[int, R], None]] = None,
 ) -> List[R]:
-    """Map ``fn`` over ``items``, preserving input order in the result."""
+    """Map ``fn`` over ``items``, preserving input order in the result.
+
+    ``on_result(index, value)`` (optional) is invoked in the parent once
+    per item as its result becomes available (exactly once per item, on
+    success only) -- the durability layer's journaling hook.
+    """
     work = list(items)
     n_jobs = default_jobs() if jobs is None else max(1, int(jobs))
     n_jobs = min(n_jobs, len(work))
     if _IN_WORKER or n_jobs <= 1 or len(work) <= 1:
-        return _serial_map(fn, work)
+        return _serial_map(fn, work, on_result)
     try:
         from concurrent.futures import TimeoutError as FuturesTimeout
         from concurrent.futures import ProcessPoolExecutor
         from concurrent.futures.process import BrokenProcessPool
     except ImportError:  # pragma: no cover - stripped-down stdlib
-        return _serial_map(fn, work)
+        return _serial_map(fn, work, on_result)
     try:
         # Lambdas/closures can't cross the process boundary; probing here
         # (pickling raises AttributeError, not just PicklingError) keeps
         # the pool path for real shard functions only.
         pickle.dumps(fn)
     except (pickle.PicklingError, AttributeError, TypeError):
-        return _serial_map(fn, work)
+        return _serial_map(fn, work, on_result)
 
     timeout = task_timeout()
     retries = task_retries()
@@ -214,6 +236,15 @@ def parallel_map(
                     metrics().incr("parallel.pool_tasks")
                     results[index] = value
                     pending.discard(index)
+                    if on_result is not None:
+                        on_result(index, value)
+                except KeyboardInterrupt:
+                    # Graceful shutdown, not an infrastructure failure:
+                    # never lands in the retry/serial-fallback machinery.
+                    # Terminate the workers right here (no zombies) and
+                    # let the interrupt propagate to the CLI handler.
+                    metrics().incr("parallel.interrupts")
+                    raise
                 except retryable as exc:
                     last_error[index] = exc
                     metrics().incr("parallel.retries")
@@ -224,6 +255,8 @@ def parallel_map(
 
     # Last resort: recompute survivors serially in the parent.  A pure fn
     # returns the identical value, so the output stays byte-identical.
+    # KeyboardInterrupt is not in `retryable`: an interrupt here aborts
+    # the sweep instead of being converted into a WorkerError.
     for index in sorted(pending):
         metrics().incr("parallel.serial_fallbacks")
         try:
@@ -238,4 +271,6 @@ def parallel_map(
                 attempts=retries + 1,
                 last_pool_error=repr(last_error.get(index)),
             ) from exc
+        if on_result is not None:
+            on_result(index, results[index])
     return results  # type: ignore[return-value]

@@ -9,9 +9,14 @@ Modules:
 
 - :mod:`repro.reliability.errors` -- the ``ReproError`` hierarchy;
 - :mod:`repro.reliability.faults` -- deterministic fault injection
-  (``REPRO_FAULTS``) for chaos-testing the cache, the pool, the pipeline;
+  (``REPRO_FAULTS``) for chaos-testing the cache, the pool, the pipeline,
+  the journal (``journal_write``), and whole processes (``kill_point``);
 - :mod:`repro.reliability.verify` -- proves produced machines against the
   direct-construction oracle;
+- :mod:`repro.reliability.durability` -- write-ahead journal, checkpoint
+  blobs, and :func:`~repro.reliability.durability.durable_map`
+  (kill/resume-safe sweeps; imported lazily by callers, not here, to keep
+  the package import light);
 - :mod:`repro.reliability.selfcheck` -- ``python -m repro selfcheck``.
 """
 

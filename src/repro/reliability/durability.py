@@ -1,0 +1,426 @@
+"""Durable sweeps: write-ahead journal, checkpoint/resume, crash-safe runs.
+
+PR 2 made individual tasks fault-tolerant and PR 3 made them observable;
+this layer makes whole *processes* killable.  A sweep that dies from OOM,
+SIGKILL, Ctrl-C, or a CI timeout resumes where it stopped and never
+leaves a torn artifact behind:
+
+* every run gets a **run id** (``--run-id``/``--resume`` on the CLI, or
+  :func:`derive_run_id` for a deterministic default) naming a directory
+  under ``REPRO_RUN_DIR`` (default ``<cwd>/.repro-runs``);
+* a **write-ahead journal** (``journal.jsonl``, schema
+  ``repro.journal/1``) records one JSON line per event -- sweep started,
+  shard started, shard completed (with a content-addressed result key),
+  sweep completed, GA generation checkpointed.  Lines are written with a
+  single ``os.write`` to an ``O_APPEND`` descriptor and fsync'd
+  (``REPRO_JOURNAL_FSYNC=0`` trades crash-safety for speed), and the
+  reader tolerates a torn final line -- the worst a crash can do is lose
+  the record of one shard, which is then recomputed;
+* **shard results** are pickled to a content-addressed store
+  (``shards/<key>.pkl`` + sha256 sidecar, both written atomically), so a
+  journal record is only ever believed when the bytes it names are
+  intact;
+* :func:`durable_map` wraps :func:`~repro.perf.parallel.parallel_map`:
+  on restart, shards whose ``shard_completed`` record *and* stored result
+  both survive are replayed from disk and only the rest execute.  Because
+  every shard function is pure, an interrupted-then-resumed sweep is
+  byte-identical to an uninterrupted one;
+* :func:`store_blob`/:func:`load_blob` give the GA (and anything else
+  with evolving state) atomic, checksummed checkpoints.
+
+The ``kill_point`` fault point (:mod:`repro.reliability.faults`, spec
+``kill_point:@k``) SIGKILLs the process right after the k-th shard is
+journaled -- the chaos suite uses it to prove kill/resume equivalence.
+
+Counters (:mod:`repro.obs.metrics`): ``journal.appends`` /
+``journal.fsyncs`` / ``journal.append_errors`` / ``journal.dropped`` /
+``journal.torn_records``, ``durable.sweeps`` / ``durable.replayed`` /
+``durable.executed`` / ``durable.load_failures``, ``ga.resumed``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import re
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, TypeVar
+
+from repro.obs.metrics import metrics
+from repro.obs.tracing import trace_span
+from repro.perf.cache import atomic_write_bytes, digest_of
+from repro.perf.parallel import parallel_map
+from repro.reliability import faults
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+JOURNAL_SCHEMA = "repro.journal/1"
+
+_MISS = object()  # sentinel: stored shard result absent or failed its checksum
+
+_RUN_ID_SAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+# The run id the CLI (or a test) selected for this process; harness
+# functions default to it when no explicit run_id is passed.
+_current_run_id: Optional[str] = None
+
+
+# ----------------------------------------------------------------------
+# Run identity and layout
+# ----------------------------------------------------------------------
+
+def durability_enabled() -> bool:
+    """``REPRO_DURABLE=0`` disables journaling entirely (sweeps fall back
+    to plain ``parallel_map``); read at call time like the cache switch."""
+    return os.environ.get("REPRO_DURABLE", "1").lower() not in (
+        "0",
+        "false",
+        "off",
+    )
+
+
+def runs_root() -> Path:
+    """Root of every run directory (``REPRO_RUN_DIR``, default
+    ``<cwd>/.repro-runs``)."""
+    env = os.environ.get("REPRO_RUN_DIR", "").strip()
+    if env:
+        return Path(env)
+    return Path(os.getcwd()) / ".repro-runs"
+
+
+def run_dir(run_id: str) -> Path:
+    return runs_root() / sanitize_run_id(run_id)
+
+
+def journal_path(run_id: str) -> Path:
+    return run_dir(run_id) / "journal.jsonl"
+
+
+def sanitize_run_id(run_id: str) -> str:
+    """Run ids become directory names; keep them filesystem-safe."""
+    cleaned = _RUN_ID_SAFE.sub("-", str(run_id)).strip("-.")
+    if not cleaned:
+        raise ValueError(f"run id {run_id!r} has no usable characters")
+    return cleaned
+
+
+def derive_run_id(kind: str, *parts: Any) -> str:
+    """Deterministic run id for a sweep: same command + same parameters
+    -> same id, so a plain re-run after a crash resumes automatically."""
+    return f"{sanitize_run_id(kind)}-{digest_of(kind, *parts)[:10]}"
+
+
+def set_run_id(run_id: Optional[str]) -> None:
+    """Select the process-wide run id (the CLI's ``--run-id``/``--resume``)."""
+    global _current_run_id
+    _current_run_id = sanitize_run_id(run_id) if run_id is not None else None
+
+
+def current_run_id() -> Optional[str]:
+    return _current_run_id
+
+
+def fsync_enabled() -> bool:
+    return os.environ.get("REPRO_JOURNAL_FSYNC", "1").lower() not in (
+        "0",
+        "false",
+        "off",
+    )
+
+
+# ----------------------------------------------------------------------
+# The write-ahead journal
+# ----------------------------------------------------------------------
+
+class Journal:
+    """Append-only JSONL journal for one run (schema ``repro.journal/1``).
+
+    Appends are one ``os.write`` of a complete line to an ``O_APPEND``
+    descriptor (atomic on POSIX for these sizes) followed by ``fsync``,
+    so after a crash every record on disk is either complete or a single
+    torn tail line the reader skips.  Appends never raise: a journal that
+    cannot be written degrades the run to non-resumable, it does not
+    break the sweep (``journal.append_errors`` counts the damage).
+    """
+
+    def __init__(self, run_id: str):
+        self.run_id = sanitize_run_id(run_id)
+        self.path = journal_path(self.run_id)
+        self._fd: Optional[int] = None
+        self._seq: Optional[int] = None
+
+    def _ensure_open(self) -> int:
+        if self._fd is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fd = os.open(
+                self.path, os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644
+            )
+        if self._seq is None:
+            self._seq = len(read_journal(self.run_id))
+        return self._fd
+
+    def append(self, event: str, **fields: Any) -> None:
+        """Write one event record; a WAL append, so callers journal
+        *before* relying on the event having happened."""
+        if faults.should_fire("journal_write"):
+            # Simulated lost write (full disk, crash before the append
+            # landed): the shard is simply recomputed on resume.
+            metrics().incr("journal.dropped")
+            return
+        try:
+            fd = self._ensure_open()
+            record: Dict[str, Any] = {
+                "schema": JOURNAL_SCHEMA,
+                "event": event,
+                "run": self.run_id,
+                "seq": self._seq,
+                "ts": round(time.time(), 3),
+            }
+            record.update(fields)
+            line = json.dumps(record, sort_keys=True, default=repr) + "\n"
+            os.write(fd, line.encode("utf-8"))
+            if fsync_enabled():
+                os.fsync(fd)
+                metrics().incr("journal.fsyncs")
+        except (OSError, ValueError):
+            metrics().incr("journal.append_errors")
+            return
+        self._seq = (self._seq or 0) + 1
+        metrics().incr("journal.appends")
+
+    def completed_keys(self, sweep: str) -> Set[str]:
+        """Result keys of every ``shard_completed`` record for ``sweep``."""
+        return {
+            record["key"]
+            for record in read_journal(self.run_id)
+            if record.get("event") == "shard_completed"
+            and record.get("sweep") == sweep
+            and "key" in record
+        }
+
+    def close(self) -> None:
+        if self._fd is not None:
+            try:
+                os.close(self._fd)
+            except OSError:
+                pass
+            self._fd = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def read_journal(run_id: str) -> List[Dict[str, Any]]:
+    """Every parseable record of a run's journal, in append order.
+
+    A torn final line (the process died mid-``write``) or any other
+    unparseable line is skipped and counted (``journal.torn_records``),
+    never fatal: losing one record costs one recompute.
+    """
+    path = journal_path(run_id)
+    try:
+        raw = path.read_bytes()
+    except OSError:
+        return []
+    records: List[Dict[str, Any]] = []
+    for line in raw.splitlines():
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            metrics().incr("journal.torn_records")
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+    return records
+
+
+# ----------------------------------------------------------------------
+# Content-addressed shard results + checkpoint blobs
+# ----------------------------------------------------------------------
+
+def shard_path(run_id: str, key: str) -> Path:
+    return run_dir(run_id) / "shards" / key[:2] / f"{key}.pkl"
+
+
+def checkpoint_path(run_id: str, kind: str, tag: str, key: str) -> Path:
+    name = f"{sanitize_run_id(kind)}-{sanitize_run_id(tag)}-{key[:16]}.pkl"
+    return run_dir(run_id) / "checkpoints" / name
+
+
+def store_blob(path: Path, value: Any) -> bool:
+    """Atomically pickle ``value`` to ``path`` with a sha256 sidecar.
+    Best-effort: returns False (and the run degrades to non-resumable)
+    instead of raising on unpicklable values or unwritable disks."""
+    try:
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return False
+    checksum = hashlib.sha256(payload).hexdigest()
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_bytes(path, payload)
+        atomic_write_bytes(path.with_suffix(".sha256"), checksum.encode("ascii"))
+    except OSError:
+        return False
+    return True
+
+
+def load_blob(path: Path) -> Optional[Any]:
+    """Load a checkpoint blob; None when absent, torn, or corrupt.  The
+    caller recomputes -- a bad checkpoint can never resume a run wrongly."""
+    value = _load_checked(path)
+    return None if value is _MISS else value
+
+
+def _load_checked(path: Path) -> Any:
+    sidecar = path.with_suffix(".sha256")
+    try:
+        payload = path.read_bytes()
+        expected = sidecar.read_text().strip()
+    except OSError:
+        return _MISS
+    if hashlib.sha256(payload).hexdigest() != expected:
+        metrics().incr("durable.load_failures")
+        return _MISS
+    try:
+        return pickle.loads(payload)
+    except Exception:
+        metrics().incr("durable.load_failures")
+        return _MISS
+
+
+def store_result(run_id: str, key: str, value: Any) -> bool:
+    return store_blob(shard_path(run_id, key), value)
+
+
+def load_result(run_id: str, key: str) -> Any:
+    """Stored shard result, or the module sentinel ``_MISS``."""
+    return _load_checked(shard_path(run_id, key))
+
+
+# ----------------------------------------------------------------------
+# durable_map: parallel_map + write-ahead journal + resume
+# ----------------------------------------------------------------------
+
+def durable_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    run_id: Optional[str] = None,
+    sweep: str = "sweep",
+    jobs: Optional[int] = None,
+    fingerprint: str = "",
+) -> List[R]:
+    """``parallel_map`` with a write-ahead journal and resume.
+
+    With no ``run_id`` (and none selected via :func:`set_run_id`) or with
+    ``REPRO_DURABLE=0`` this *is* ``parallel_map`` -- zero overhead for
+    ephemeral sweeps.  Otherwise each shard's completion is journaled
+    with a content-addressed result key as it lands; a re-run with the
+    same run id replays completed shards from disk and executes only the
+    pending ones, returning results in input order either way.
+
+    ``fingerprint`` folds the caller's parameters into the shard keys so
+    a resume with *different* parameters never replays stale results.
+    """
+    work = list(items)
+    rid = run_id if run_id is not None else current_run_id()
+    if rid is None or not durability_enabled() or not work:
+        return parallel_map(fn, work, jobs=jobs)
+
+    rid = sanitize_run_id(rid)
+    keys = [
+        digest_of("shard", rid, sweep, fingerprint, index, repr(item))
+        for index, item in enumerate(work)
+    ]
+    journal = Journal(rid)
+    done = journal.completed_keys(sweep)
+    results: List[Optional[R]] = [None] * len(work)
+    filled = [False] * len(work)
+    pending: List[int] = []
+    for index, key in enumerate(keys):
+        if key in done:
+            value = load_result(rid, key)
+            if value is not _MISS:
+                # Journaled AND the stored bytes check out: replay.
+                results[index] = value
+                filled[index] = True
+                metrics().incr("durable.replayed")
+                continue
+            # Journaled but the result file is torn/missing (the crash
+            # landed between the two writes): recompute this shard.
+        pending.append(index)
+
+    metrics().incr("durable.sweeps")
+    with trace_span("durable.sweep", run=rid, sweep=sweep,
+                    total=len(work), replayed=len(work) - len(pending)):
+        journal.append(
+            "sweep_started",
+            sweep=sweep,
+            total=len(work),
+            pending=len(pending),
+            fingerprint=fingerprint,
+        )
+        if pending:
+            for index in pending:
+                journal.append(
+                    "shard_started",
+                    sweep=sweep,
+                    index=index,
+                    key=keys[index],
+                    item=repr(work[index])[:200],
+                )
+
+            def _record(local_index: int, value: R) -> None:
+                # Runs in the parent as each shard result arrives: persist
+                # the bytes first, then journal the completion that points
+                # at them (write-ahead order: never a record without data).
+                index = pending[local_index]
+                stored = store_result(rid, keys[index], value)
+                if stored:
+                    journal.append(
+                        "shard_completed",
+                        sweep=sweep,
+                        index=index,
+                        key=keys[index],
+                    )
+                metrics().incr("durable.executed")
+                faults.fire_kill("kill_point")
+
+            values = parallel_map(
+                fn, [work[index] for index in pending], jobs=jobs,
+                on_result=_record,
+            )
+            for local_index, index in enumerate(pending):
+                results[index] = values[local_index]
+                filled[index] = True
+        journal.append("sweep_completed", sweep=sweep, total=len(work))
+    journal.close()
+    assert all(filled), "durable_map left a shard unfilled"
+    return results  # type: ignore[return-value]
+
+
+def durable_call(
+    fn: Callable[[], R],
+    run_id: Optional[str],
+    sweep: str,
+    fingerprint: str = "",
+) -> R:
+    """One-shot durable computation (a single-shard sweep): figures that
+    are not item sweeps (fig4's sample, fig67's examples) still journal
+    and replay through the same machinery."""
+    return durable_map(
+        lambda _ignored: fn(),
+        [sweep],
+        run_id=run_id,
+        sweep=sweep,
+        fingerprint=fingerprint,
+    )[0]

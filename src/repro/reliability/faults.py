@@ -1,8 +1,10 @@
 """Deterministic fault injection for chaos-testing the execution layer.
 
 A *fault plan* arms named fault points scattered through the cache, the
-process pool, and the pipeline.  Each point is armed either with a count
-(``worker_crash:2`` -- fire on the first two queries) or a probability
+process pool, the journal, and the pipeline.  Each point is armed with a
+count (``worker_crash:2`` -- fire on the first two queries), an *at*
+position (``kill_point:@3`` -- fire on exactly the third query, letting
+chaos tests strike mid-sweep instead of at the start), or a probability
 (``cache_read:0.5`` -- fire on each query with p=0.5 from a seeded PRNG,
 so a given plan misbehaves identically on every run).
 
@@ -21,6 +23,8 @@ Fault points currently wired in:
 ``worker_hang``    a pool worker sleeps past the task timeout
 ``worker_reorder`` items are submitted to the pool in shuffled order
 ``stage_fail``     a pipeline stage raises before running
+``journal_write``  a write-ahead journal append is dropped (lost record)
+``kill_point``     the process SIGKILLs itself (via :func:`fire_kill`)
 =================  ==========================================================
 """
 
@@ -28,6 +32,7 @@ from __future__ import annotations
 
 import os
 import random
+import signal
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
 
@@ -40,6 +45,8 @@ KNOWN_POINTS = frozenset(
         "worker_hang",
         "worker_reorder",
         "stage_fail",
+        "journal_write",
+        "kill_point",
     }
 )
 
@@ -71,8 +78,10 @@ class FaultPlan:
         self.seed = seed
         self.rng = random.Random(seed)
         self.counts: Dict[str, int] = {}
+        self.at: Dict[str, int] = {}
         self.probabilities: Dict[str, float] = {}
         self.fired: Dict[str, int] = {}
+        self.seen: Dict[str, int] = {}
         for clause in spec.split(","):
             clause = clause.strip()
             if not clause:
@@ -86,7 +95,12 @@ class FaultPlan:
                 )
             raw = raw.strip() or "1"
             try:
-                if any(ch in raw for ch in ".eE"):
+                if raw.startswith("@"):
+                    position = int(raw[1:])
+                    if position < 1:
+                        raise ValueError
+                    self.at[name] = position
+                elif any(ch in raw for ch in ".eE"):
                     probability = float(raw)
                     if not 0.0 <= probability <= 1.0:
                         raise ValueError
@@ -95,18 +109,21 @@ class FaultPlan:
                     self.counts[name] = int(raw)
             except ValueError:
                 raise ValueError(
-                    f"fault value {raw!r} for {name!r} is neither a count "
-                    "nor a probability in [0, 1]"
+                    f"fault value {raw!r} for {name!r} is not a count, an "
+                    "@position, or a probability in [0, 1]"
                 ) from None
 
     def query(self, point: str) -> bool:
         """Should this occurrence of ``point`` fail?  Consumes counts and
         advances the PRNG, so identical query sequences fire identically."""
         fire = False
+        self.seen[point] = self.seen.get(point, 0) + 1
         remaining = self.counts.get(point)
         if remaining is not None and remaining > 0:
             self.counts[point] = remaining - 1
             fire = True
+        elif point in self.at:
+            fire = self.seen[point] == self.at[point]
         elif point in self.probabilities:
             fire = self.rng.random() < self.probabilities[point]
         if fire:
@@ -153,6 +170,16 @@ def fire(point: str) -> None:
     """Raise :class:`InjectedFault` when ``point`` is armed and due."""
     if _plan is not None and _plan.query(point):
         raise InjectedFault(point)
+
+
+def fire_kill(point: str) -> None:
+    """SIGKILL this process when ``point`` is armed and due -- the real
+    thing, not an exception: no handler, no cleanup, no atexit, exactly
+    what an OOM kill or a CI timeout does.  Chaos tests arm it (usually
+    ``kill_point:@k``) in a *subprocess* and then prove the resumed run
+    is byte-identical to an uninterrupted one."""
+    if _plan is not None and _plan.query(point):
+        os.kill(os.getpid(), signal.SIGKILL)
 
 
 def plan_rng() -> Optional[random.Random]:

@@ -17,6 +17,10 @@ Runs, in-process and in a couple of minutes of CPU at most:
    totals equal the serial sweep's: worker-side counters must ride the
    ``parallel_map`` result channel back to the parent registry instead
    of dying with the pool.
+6. **durability** -- a journaled sweep replays from its write-ahead
+   journal without recomputing (a poisoned shard function proves no
+   shard re-executes), a torn final journal line is tolerated, and the
+   replayed results equal the originals.
 
 Every check is independent; the command prints one PASS/FAIL line per
 check plus the cache counters and exits non-zero when anything failed.
@@ -45,12 +49,15 @@ def _scratch_env() -> Iterator[str]:
         key: os.environ.get(key)
         for key in ("REPRO_CACHE", "REPRO_CACHE_DIR", "REPRO_CACHE_MAX_MB",
                     "REPRO_FAULTS", "REPRO_FAULTS_SEED",
-                    "REPRO_TRACE", "REPRO_TRACE_FILE")
+                    "REPRO_TRACE", "REPRO_TRACE_FILE",
+                    "REPRO_RUN_DIR", "REPRO_DURABLE",
+                    "REPRO_JOURNAL_FSYNC", "REPRO_LOCK_TIMEOUT")
     }
     with tempfile.TemporaryDirectory(prefix="repro-selfcheck-") as scratch:
         for key in saved:
             os.environ.pop(key, None)
         os.environ["REPRO_CACHE_DIR"] = scratch
+        os.environ["REPRO_RUN_DIR"] = os.path.join(scratch, "runs")
         set_cache_enabled(True)
         try:
             yield scratch
@@ -207,12 +214,68 @@ def _check_metrics_aggregation() -> str:
     return f"serial == pooled (hits,misses,writes) = {serial}"
 
 
+def _poison(order: int) -> Tuple[int, Tuple[str, ...]]:
+    """A shard function that must never run: replay means *no* recompute."""
+    raise AssertionError(f"durable replay recomputed shard {order}")
+
+
+def _check_durability() -> str:
+    from repro.obs.metrics import metrics, reset_metrics
+    from repro.reliability.durability import (
+        derive_run_id,
+        durable_map,
+        journal_path,
+        read_journal,
+    )
+
+    orders = list(SELFCHECK_ORDERS[:4])
+    run_id = derive_run_id("selfcheck", "durability")
+    expected = [_design_summary(order) for order in orders]
+
+    # Cold journaled sweep (pooled, to cross the pickle boundary too).
+    first = durable_map(
+        _design_summary, orders, run_id=run_id, sweep="selfcheck", jobs=2
+    )
+    if first != expected:
+        raise AssertionError("journaled sweep diverged from the plain sweep")
+
+    # Resume: every shard must replay from disk -- the poisoned function
+    # raising anywhere proves a recompute happened.
+    reset_metrics()
+    replayed = durable_map(
+        _poison, orders, run_id=run_id, sweep="selfcheck", jobs=2
+    )
+    if replayed != expected:
+        raise AssertionError("replayed sweep diverged from the original")
+    snapshot = dict(metrics().rows())
+    if snapshot.get("durable.replayed") != len(orders):
+        raise AssertionError(f"expected {len(orders)} replays: {snapshot}")
+
+    # A torn final line (crash mid-append) must be skipped, not fatal.
+    with open(journal_path(run_id), "ab") as handle:
+        handle.write(b'{"schema": "repro.journal/1", "event": "torn')
+    after_tear = durable_map(
+        _poison, orders, run_id=run_id, sweep="selfcheck", jobs=2
+    )
+    if after_tear != expected:
+        raise AssertionError("torn journal line broke replay")
+
+    events = [record.get("event") for record in read_journal(run_id)]
+    if "shard_completed" not in events or "sweep_completed" not in events:
+        raise AssertionError(f"journal missing lifecycle events: {events}")
+    return (
+        f"{len(orders)} shards journaled, replayed twice without recompute "
+        "(torn tail tolerated)"
+    )
+
+
 CHECKS: Tuple[Tuple[str, Callable[[], str]], ...] = (
     ("oracle-equivalence", _check_oracle_equivalence),
     ("cache-round-trip", _check_cache_round_trip),
     ("parallel-determinism", _check_parallel_determinism),
     ("fault-injection-smoke", _check_fault_smoke),
     ("metrics-aggregation", _check_metrics_aggregation),
+    ("durability", _check_durability),
 )
 
 

@@ -6,6 +6,17 @@ target branch under the paper's update-all-on-every-branch policy
 when its own branch executes.  This is exactly the runtime regime of the
 custom architecture, so GA-found and constructed machines are compared on
 identical footing.
+
+**Durability** (:mod:`repro.reliability.durability`): ``evolve(...,
+run_id=...)`` checkpoints after every generation -- population (with
+scores), generation number, and the seeded PRNG's exact state -- to an
+atomic, checksummed blob under the run directory, and journals a
+``ga_generation`` event.  A search killed after generation *k* and
+re-invoked with the same run id resumes from *k* and produces the
+bit-identical best genome an uninterrupted run would have found, because
+the PRNG continues from the captured state.  The checkpoint key covers
+every config knob *except* ``generations``, so "run 3 generations, then
+resume to 50" is the same search as "run 50".
 """
 
 from __future__ import annotations
@@ -15,6 +26,8 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.automata.moore import MooreMachine
+from repro.obs.metrics import metrics
+from repro.reliability import durability, faults
 from repro.search.genome import MachineGenome, random_genome
 from repro.workloads.trace import BranchTrace
 
@@ -63,12 +76,39 @@ def fitness(
     return correct / execs
 
 
+def _checkpoint_key(config: GAConfig, target_pc: int) -> str:
+    """Content key of a checkpoint: every knob that shapes the search
+    *except* ``generations`` (resuming to a larger generation budget is
+    the same search continued, not a different one)."""
+    from repro.perf.cache import digest_of
+
+    return digest_of(
+        "ga-checkpoint",
+        target_pc,
+        config.num_states,
+        config.population,
+        config.tournament,
+        config.mutation_rate,
+        config.crossover_rate,
+        config.elite,
+        config.seed,
+        config.fitness_sample,
+    )
+
+
 def evolve(
     trace: BranchTrace,
     target_pc: int,
     config: GAConfig,
+    run_id: Optional[str] = None,
+    checkpoint_tag: Optional[str] = None,
 ) -> Tuple[MachineGenome, float]:
-    """Run the GA; returns the best genome and its fitness."""
+    """Run the GA; returns the best genome and its fitness.
+
+    With ``run_id`` set (and durability enabled) the search checkpoints
+    after every generation and resumes from the last complete generation
+    on re-invocation -- bit-identical to an uninterrupted run.
+    """
     rng = random.Random(config.seed)
     limit = config.fitness_sample or len(trace)
     pcs = trace.pcs[:limit]
@@ -77,11 +117,36 @@ def evolve(
     def score(genome: MachineGenome) -> float:
         return fitness(genome, pcs, outcomes, target_pc)
 
-    population: List[Tuple[float, MachineGenome]] = []
-    for _ in range(config.population):
-        genome = random_genome(config.num_states, rng)
-        population.append((score(genome), genome))
-    population.sort(key=lambda item: -item[0])
+    ckpt_path = None
+    journal = None
+    tag = checkpoint_tag or f"pc{target_pc:x}"
+    if run_id is not None and durability.durability_enabled():
+        ckpt_path = durability.checkpoint_path(
+            run_id, "ga", tag, _checkpoint_key(config, target_pc)
+        )
+        journal = durability.Journal(run_id)
+
+    population: Optional[List[Tuple[float, MachineGenome]]] = None
+    start_generation = 0
+    if ckpt_path is not None:
+        state = durability.load_blob(ckpt_path)
+        if (
+            isinstance(state, dict)
+            and 0 < state.get("generation", 0) <= config.generations
+        ):
+            population = state["population"]
+            rng.setstate(state["rng_state"])
+            start_generation = state["generation"]
+            metrics().incr("ga.resumed")
+            if journal is not None:
+                journal.append("ga_resumed", tag=tag, generation=start_generation)
+
+    if population is None:
+        population = []
+        for _ in range(config.population):
+            genome = random_genome(config.num_states, rng)
+            population.append((score(genome), genome))
+        population.sort(key=lambda item: -item[0])
 
     def tournament_pick() -> MachineGenome:
         best: Optional[Tuple[float, MachineGenome]] = None
@@ -92,7 +157,7 @@ def evolve(
         assert best is not None
         return best[1]
 
-    for _generation in range(config.generations):
+    for generation in range(start_generation, config.generations):
         next_population: List[Tuple[float, MachineGenome]] = list(
             population[: config.elite]
         )
@@ -106,6 +171,28 @@ def evolve(
             next_population.append((score(child), child))
         next_population.sort(key=lambda item: -item[0])
         population = next_population
+        if ckpt_path is not None:
+            # Checkpoint the *complete* generation: population with its
+            # scores plus the PRNG's exact state, so a resumed run draws
+            # the same random sequence an uninterrupted one would.
+            durability.store_blob(
+                ckpt_path,
+                {
+                    "generation": generation + 1,
+                    "population": population,
+                    "rng_state": rng.getstate(),
+                },
+            )
+            if journal is not None:
+                journal.append(
+                    "ga_generation",
+                    tag=tag,
+                    generation=generation + 1,
+                    best=round(population[0][0], 6),
+                )
+            faults.fire_kill("kill_point")
+    if journal is not None:
+        journal.close()
     best_fitness, best_genome = population[0]
     return best_genome, best_fitness
 
@@ -114,7 +201,11 @@ def search_predictor(
     trace: BranchTrace,
     target_pc: int,
     config: GAConfig,
+    run_id: Optional[str] = None,
+    checkpoint_tag: Optional[str] = None,
 ) -> Tuple[MooreMachine, float]:
     """Convenience wrapper returning the decoded machine and its fitness."""
-    genome, best_fitness = evolve(trace, target_pc, config)
+    genome, best_fitness = evolve(
+        trace, target_pc, config, run_id=run_id, checkpoint_tag=checkpoint_tag
+    )
     return genome.to_machine(), best_fitness

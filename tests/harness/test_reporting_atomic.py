@@ -1,0 +1,48 @@
+"""Crash-safe report writes: ``write_report`` must land either the old
+complete file or the new complete file -- never a torn one, never a
+leftover temp file."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness import reporting
+
+
+@pytest.fixture(autouse=True)
+def results_in_tmp(monkeypatch, tmp_path):
+    monkeypatch.setattr(reporting, "RESULTS_DIR", str(tmp_path / "results"))
+    return tmp_path / "results"
+
+
+def test_write_report_content_and_no_tmp_leftovers(results_in_tmp):
+    path = reporting.write_report("fig.txt", "hello")
+    assert open(path).read() == "hello\n"  # newline normalized
+    assert not list(results_in_tmp.glob("*.tmp"))
+
+
+def test_overwrite_replaces_cleanly(results_in_tmp):
+    reporting.write_report("fig.txt", "old\n")
+    path = reporting.write_report("fig.txt", "new\n")
+    assert open(path).read() == "new\n"
+    assert not list(results_in_tmp.glob("*.tmp"))
+
+
+def test_failed_replace_preserves_previous_report(results_in_tmp, monkeypatch):
+    path = reporting.write_report("fig.txt", "original\n")
+    real_replace = os.replace
+
+    def broken_replace(src, dst, **kwargs):
+        if str(dst) == str(path):
+            raise OSError(28, "No space left on device")
+        return real_replace(src, dst, **kwargs)
+
+    monkeypatch.setattr(os, "replace", broken_replace)
+    with pytest.raises(OSError):
+        reporting.write_report("fig.txt", "half-written garbage\n")
+    monkeypatch.setattr(os, "replace", real_replace)
+    # The crash mid-write lost nothing: old content intact, no temp junk.
+    assert open(path).read() == "original\n"
+    assert not list(results_in_tmp.glob("*.tmp"))

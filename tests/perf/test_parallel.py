@@ -5,6 +5,7 @@ import os
 
 import pytest
 
+from repro.obs.metrics import metrics, reset_metrics
 from repro.perf import parallel as parallel_mod
 from repro.perf.parallel import default_jobs, parallel_map
 
@@ -19,6 +20,10 @@ def _pid_of(_x):
 
 def _explode(x):
     raise ValueError(f"boom {x}")
+
+
+def _interrupt(x):
+    raise KeyboardInterrupt
 
 
 def test_serial_matches_comprehension():
@@ -66,3 +71,61 @@ def test_default_jobs_env(monkeypatch):
 def test_empty_and_single_item():
     assert parallel_map(_square, [], jobs=8) == []
     assert parallel_map(_square, [5], jobs=8) == [25]
+
+
+class TestKeyboardInterrupt:
+    """An interrupt is a shutdown request, not an infrastructure failure:
+    it must propagate immediately -- never retried, never converted into a
+    WorkerError by the serial fallback, never swallowed."""
+
+    def test_serial_interrupt_propagates(self):
+        with pytest.raises(KeyboardInterrupt):
+            parallel_map(_interrupt, [1, 2, 3], jobs=1)
+
+    def test_pooled_interrupt_propagates_without_retries(self):
+        reset_metrics()
+        with pytest.raises(KeyboardInterrupt):
+            parallel_map(_interrupt, [1, 2, 3], jobs=2)
+        assert metrics().get("parallel.interrupts") == 1
+        assert metrics().get("parallel.retries") == 0
+        assert metrics().get("parallel.serial_fallbacks") == 0
+
+    def test_pooled_interrupt_reaps_workers(self):
+        import multiprocessing
+        import time
+
+        with pytest.raises(KeyboardInterrupt):
+            parallel_map(_interrupt, [1, 2, 3, 4], jobs=2)
+        # _reap() terminated the pool on the way out; give the OS a beat
+        # to deliver the signals, then assert no worker survived.
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if not [p for p in multiprocessing.active_children() if p.is_alive()]:
+                return
+            time.sleep(0.05)
+        raise AssertionError("pool workers still alive after interrupt")
+
+
+class TestOnResult:
+    def test_serial_on_result_once_per_item(self):
+        seen = []
+        parallel_map(_square, [3, 4, 5], jobs=1, on_result=lambda i, v: seen.append((i, v)))
+        assert seen == [(0, 9), (1, 16), (2, 25)]
+
+    def test_pooled_on_result_once_per_item(self):
+        seen = {}
+        parallel_map(
+            _square, list(range(8)), jobs=2,
+            on_result=lambda i, v: seen.__setitem__(i, v),
+        )
+        assert seen == {i: i * i for i in range(8)}
+
+    def test_fallback_on_result_once_per_item(self):
+        # Unpicklable fn -> serial path; the hook still fires exactly once.
+        seen = []
+        offset = 1
+        parallel_map(
+            lambda x: x + offset, [1, 2], jobs=2,
+            on_result=lambda i, v: seen.append((i, v)),
+        )
+        assert seen == [(0, 2), (1, 3)]

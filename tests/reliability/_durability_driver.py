@@ -1,0 +1,33 @@
+"""Subprocess driver for the kill/resume chaos tests.
+
+Runs a small journaled sweep and writes the results as canonical JSON.
+The chaos tests launch it with ``REPRO_FAULTS=kill_point:@k`` armed (the
+process SIGKILLs itself right after the k-th shard is journaled), then
+relaunch it clean with the same run id and prove the resumed output is
+byte-identical to an uninterrupted run's.
+
+Usage: python _durability_driver.py <run-id> <output-json>
+Environment: REPRO_RUN_DIR, REPRO_JOBS, REPRO_FAULTS (optional).
+"""
+
+import json
+import sys
+
+
+def shard(x):
+    # Deterministic but non-trivial: the design flow in miniature.
+    return {"x": x, "sq": x * x, "bits": format(x, "04b")}
+
+
+def main() -> int:
+    from repro.reliability.durability import durable_map
+
+    run_id, out_path = sys.argv[1], sys.argv[2]
+    values = durable_map(shard, list(range(6)), run_id=run_id, sweep="chaos")
+    with open(out_path, "w") as handle:
+        json.dump(values, handle, sort_keys=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,217 @@
+"""The durability layer's contract: a journaled sweep resumed after any
+interruption returns exactly what the uninterrupted sweep would have --
+and replayed shards are *never* recomputed."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import metrics, reset_metrics
+from repro.reliability import durability
+from repro.reliability.durability import (
+    Journal,
+    derive_run_id,
+    durable_call,
+    durable_map,
+    journal_path,
+    load_blob,
+    read_journal,
+    run_dir,
+    sanitize_run_id,
+    store_blob,
+)
+
+
+@pytest.fixture(autouse=True)
+def run_env(monkeypatch, tmp_path):
+    """A fresh run root, durability on, no ambient run id, zeroed counters."""
+    monkeypatch.setenv("REPRO_RUN_DIR", str(tmp_path / "runs"))
+    monkeypatch.delenv("REPRO_DURABLE", raising=False)
+    monkeypatch.delenv("REPRO_JOURNAL_FSYNC", raising=False)
+    monkeypatch.setattr(durability, "_current_run_id", None)
+    reset_metrics()
+    return tmp_path / "runs"
+
+
+def _square(x):
+    return x * x
+
+
+def _poison(x):
+    raise AssertionError(f"replay recomputed shard {x!r}")
+
+
+# ----------------------------------------------------------------------
+# Run identity
+# ----------------------------------------------------------------------
+
+def test_derive_run_id_is_deterministic():
+    assert derive_run_id("figures", "fig2", "all") == derive_run_id(
+        "figures", "fig2", "all"
+    )
+    assert derive_run_id("figures", "fig2") != derive_run_id("figures", "fig5")
+    assert derive_run_id("figures", "fig2").startswith("figures-")
+
+
+def test_sanitize_run_id():
+    assert sanitize_run_id("my run/4!") == "my-run-4"
+    assert sanitize_run_id("ok-id_1.2") == "ok-id_1.2"
+    with pytest.raises(ValueError):
+        sanitize_run_id("///")
+
+
+def test_set_run_id_is_the_default(run_env):
+    durability.set_run_id("ambient-run")
+    assert durability.current_run_id() == "ambient-run"
+    values = durable_map(_square, [1, 2], sweep="ambient")
+    assert values == [1, 4]
+    assert journal_path("ambient-run").exists()
+
+
+# ----------------------------------------------------------------------
+# Journal
+# ----------------------------------------------------------------------
+
+def test_journal_roundtrip_schema_and_seq(run_env):
+    with Journal("unit") as journal:
+        journal.append("sweep_started", sweep="s", total=2)
+        journal.append("shard_completed", sweep="s", index=0, key="k0")
+        journal.append("sweep_completed", sweep="s", total=2)
+    records = read_journal("unit")
+    assert [r["event"] for r in records] == [
+        "sweep_started", "shard_completed", "sweep_completed",
+    ]
+    assert [r["seq"] for r in records] == [0, 1, 2]
+    assert all(r["schema"] == "repro.journal/1" for r in records)
+    assert all(r["run"] == "unit" for r in records)
+    # A re-opened journal continues the sequence instead of restarting it.
+    with Journal("unit") as journal:
+        journal.append("sweep_started", sweep="s2", total=1)
+    assert read_journal("unit")[-1]["seq"] == 3
+
+
+def test_journal_torn_final_line_is_skipped(run_env):
+    with Journal("torn") as journal:
+        journal.append("sweep_started", sweep="s", total=1)
+        journal.append("shard_completed", sweep="s", index=0, key="k0")
+    with open(journal_path("torn"), "ab") as handle:
+        handle.write(b'{"schema": "repro.journal/1", "event": "shard_co')
+    reset_metrics()
+    records = read_journal("torn")
+    assert len(records) == 2
+    assert metrics().get("journal.torn_records") == 1
+    assert Journal("torn").completed_keys("s") == {"k0"}
+
+
+def test_journal_missing_file_reads_empty(run_env):
+    assert read_journal("never-ran") == []
+
+
+# ----------------------------------------------------------------------
+# durable_map
+# ----------------------------------------------------------------------
+
+def test_durable_map_matches_plain_map_and_replays(run_env):
+    items = [1, 2, 3, 4]
+    first = durable_map(_square, items, run_id="sweep-a", sweep="sq")
+    assert first == [x * x for x in items]
+    # Resume: the poisoned fn proves no shard re-executes.
+    replayed = durable_map(_poison, items, run_id="sweep-a", sweep="sq")
+    assert replayed == first
+    assert metrics().get("durable.replayed") == len(items)
+
+
+def test_partial_resume_computes_only_missing_shards(run_env):
+    items = [1, 2, 3, 4]
+    durable_map(_square, items, run_id="partial", sweep="sq")
+    # Lose one shard's stored bytes (the crash landed between the store
+    # and nothing -- or the disk ate the file): journaled but unreadable.
+    shards = sorted((run_dir("partial") / "shards").rglob("*.pkl"))
+    shards[0].unlink()
+
+    recomputed = []
+
+    def tracked(x):
+        recomputed.append(x)
+        return x * x
+
+    values = durable_map(tracked, items, run_id="partial", sweep="sq")
+    assert values == [x * x for x in items]
+    assert len(recomputed) == 1  # exactly the shard whose bytes were lost
+
+
+def test_fingerprint_change_forces_recompute(run_env):
+    items = [1, 2]
+    durable_map(_square, items, run_id="fp", sweep="s", fingerprint="v1")
+    with pytest.raises(AssertionError):
+        # Same run id, different parameters: stale results must NOT replay.
+        durable_map(_poison, items, run_id="fp", sweep="s", fingerprint="v2")
+
+
+def test_different_sweeps_do_not_collide(run_env):
+    items = [1, 2]
+    durable_map(_square, items, run_id="multi", sweep="alpha")
+    with pytest.raises(AssertionError):
+        durable_map(_poison, items, run_id="multi", sweep="beta")
+
+
+def test_disabled_durability_is_plain_parallel_map(run_env, monkeypatch):
+    monkeypatch.setenv("REPRO_DURABLE", "0")
+    assert durable_map(_square, [3], run_id="off", sweep="s") == [9]
+    assert not run_dir("off").exists()
+
+
+def test_no_run_id_is_plain_parallel_map(run_env):
+    assert durable_map(_square, [3], sweep="s") == [9]
+    assert not run_env.exists()  # nothing journaled anywhere
+
+
+def test_journal_records_lifecycle_events(run_env):
+    durable_map(_square, [5, 6], run_id="events", sweep="sq")
+    events = [r["event"] for r in read_journal("events")]
+    assert events[0] == "sweep_started"
+    assert events.count("shard_started") == 2
+    assert events.count("shard_completed") == 2
+    assert events[-1] == "sweep_completed"
+
+
+def test_durable_call_replays(run_env):
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return {"answer": 42}
+
+    first = durable_call(compute, "one-shot", "examples")
+    second = durable_call(compute, "one-shot", "examples")
+    assert first == second == {"answer": 42}
+    assert len(calls) == 1
+
+
+# ----------------------------------------------------------------------
+# Checkpoint blobs
+# ----------------------------------------------------------------------
+
+def test_blob_roundtrip_and_corruption_detected(run_env, tmp_path):
+    path = tmp_path / "ckpt" / "state.pkl"
+    assert store_blob(path, {"generation": 3, "rng": (1, 2, 3)})
+    assert load_blob(path) == {"generation": 3, "rng": (1, 2, 3)}
+    payload = bytearray(path.read_bytes())
+    payload[len(payload) // 2] ^= 0x01
+    path.write_bytes(bytes(payload))
+    assert load_blob(path) is None  # checksum catches the rot
+    assert metrics().get("durable.load_failures") == 1
+
+
+def test_unpicklable_blob_degrades_gracefully(run_env, tmp_path):
+    path = tmp_path / "ckpt.pkl"
+    assert store_blob(path, lambda: None) is False
+    assert not path.exists()
+
+
+def test_journal_lines_are_valid_json(run_env):
+    durable_map(_square, [1], run_id="json-check", sweep="s")
+    for line in journal_path("json-check").read_text().splitlines():
+        json.loads(line)  # raises on any torn/invalid line

@@ -1,0 +1,125 @@
+"""Kill/resume chaos: SIGKILL a journaled sweep mid-flight (the armed
+``kill_point`` fault), resume it with the same run id, and prove the
+output is byte-identical to an uninterrupted run's.
+
+These tests run the sweep in a *subprocess* -- ``kill_point`` delivers a
+real ``SIGKILL``, which must never land on the pytest process itself.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+DRIVER = Path(__file__).with_name("_durability_driver.py")
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+class _Run:
+    def __init__(self, returncode, log):
+        self.returncode = returncode
+        self._log = log
+
+    @property
+    def stderr(self):
+        try:
+            return self._log.read_text()
+        except OSError:
+            return "<no output captured>"
+
+
+def _run_driver(tmp_path, run_id, out_name, jobs, faults=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_RUN_DIR"] = str(tmp_path / "runs")
+    env["REPRO_JOBS"] = str(jobs)
+    env.pop("REPRO_FAULTS", None)
+    env.pop("REPRO_FAULTS_SEED", None)
+    if faults:
+        env["REPRO_FAULTS"] = faults
+    out = tmp_path / out_name
+    log = tmp_path / (out_name + ".log")
+    # Output goes to a *file*, not a pipe: after the parent SIGKILLs
+    # itself, orphaned pool workers still hold the pipe's write end, and
+    # waiting on a pipe (capture_output) would hang forever.  Waiting on
+    # the pid returns the instant the parent dies; the process *group*
+    # (its own session) is then killed to reap any orphan workers.
+    with open(log, "w") as handle:
+        proc = subprocess.Popen(
+            [sys.executable, str(DRIVER), run_id, str(out)],
+            env=env,
+            stdout=handle,
+            stderr=subprocess.STDOUT,
+            start_new_session=True,
+        )
+        try:
+            returncode = proc.wait(timeout=120)
+        finally:
+            try:
+                os.killpg(proc.pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError, OSError):
+                pass
+    return _Run(returncode, log), out
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_sigkill_mid_sweep_then_resume_is_byte_identical(tmp_path, jobs):
+    # Uninterrupted reference run (its own run id, same parameters).
+    clean_proc, clean_out = _run_driver(tmp_path, "clean", "clean.json", jobs)
+    assert clean_proc.returncode == 0, clean_proc.stderr
+    reference = clean_out.read_bytes()
+
+    # Chaos run: the process SIGKILLs itself right after the 2nd shard
+    # of 6 is journaled -- no cleanup, no atexit, the real thing.
+    killed_proc, killed_out = _run_driver(
+        tmp_path, "chaos", "chaos.json", jobs, faults="kill_point:@2"
+    )
+    assert killed_proc.returncode == -signal.SIGKILL
+    assert not killed_out.exists()  # died before any output was written
+
+    # Resume with the same run id, faults disarmed: completed shards
+    # replay from the journal, the rest compute, output is identical.
+    resumed_proc, resumed_out = _run_driver(
+        tmp_path, "chaos", "chaos.json", jobs
+    )
+    assert resumed_proc.returncode == 0, resumed_proc.stderr
+    assert resumed_out.read_bytes() == reference
+
+
+def test_resume_replays_instead_of_recomputing(tmp_path, monkeypatch):
+    _run_driver(tmp_path, "replay", "a.json", jobs=1, faults="kill_point:@3")
+    proc, _out = _run_driver(tmp_path, "replay", "a.json", jobs=1)
+    assert proc.returncode == 0, proc.stderr
+
+    monkeypatch.setenv("REPRO_RUN_DIR", str(tmp_path / "runs"))
+    from repro.reliability.durability import Journal, read_journal
+
+    # The kill fired after the 3rd completion was journaled; the resumed
+    # run must have started only the remaining 3 of 6 shards.
+    records = read_journal("replay")
+    sweeps = [r for r in records if r["event"] == "sweep_started"]
+    assert [r["pending"] for r in sweeps] == [6, 3]
+    assert len(Journal("replay").completed_keys("chaos")) == 6
+
+
+def test_dropped_journal_write_costs_one_recompute(tmp_path):
+    # The sweep appends sweep_started (1), six shard_started (2-7), then
+    # six shard_completed (8-13); journal_write:@8 loses the *first
+    # completion* record.  That shard's bytes are stored but unjournaled
+    # -- resume recomputes at most that one shard and the final output is
+    # still identical to a clean run's.
+    clean_proc, clean_out = _run_driver(tmp_path, "clean2", "c.json", jobs=1)
+    assert clean_proc.returncode == 0, clean_proc.stderr
+
+    first, _ = _run_driver(
+        tmp_path, "lossy", "l.json", jobs=1, faults="journal_write:@8"
+    )
+    assert first.returncode == 0, first.stderr
+    second, lossy_out = _run_driver(tmp_path, "lossy", "l.json", jobs=1)
+    assert second.returncode == 0, second.stderr
+    assert lossy_out.read_bytes() == clean_out.read_bytes()

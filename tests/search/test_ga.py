@@ -103,3 +103,73 @@ class TestEvolve:
             GAConfig(population=1)
         with pytest.raises(ValueError):
             GAConfig(population=4, elite=4)
+
+
+class TestCheckpointResume:
+    """The durability contract for the GA: a search killed after
+    generation k and resumed with the same run id must be bit-identical
+    to an uninterrupted run, because each checkpoint captures the
+    population *and* the seeded PRNG's exact state."""
+
+    @pytest.fixture(autouse=True)
+    def run_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RUN_DIR", str(tmp_path / "runs"))
+        monkeypatch.delenv("REPRO_DURABLE", raising=False)
+        from repro.obs.metrics import reset_metrics
+
+        reset_metrics()
+
+    def test_resume_is_bit_identical_to_uninterrupted(self):
+        from repro.obs.metrics import metrics
+
+        trace = copy_trace(100)
+        clean = evolve(
+            trace, 0x104, GAConfig(num_states=3, generations=8, seed=42)
+        )
+        # "Killed after generation 3": run only 3 generations, then
+        # re-invoke with the full budget and the same run id.
+        evolve(
+            trace, 0x104,
+            GAConfig(num_states=3, generations=3, seed=42),
+            run_id="ga-resume",
+        )
+        resumed = evolve(
+            trace, 0x104,
+            GAConfig(num_states=3, generations=8, seed=42),
+            run_id="ga-resume",
+        )
+        assert metrics().get("ga.resumed") == 1
+        assert resumed[1] == clean[1]
+        assert resumed[0].outputs == clean[0].outputs
+        assert resumed[0].transitions == clean[0].transitions
+
+    def test_generations_are_journaled(self):
+        from repro.reliability.durability import read_journal
+
+        trace = copy_trace(100)
+        evolve(
+            trace, 0x104,
+            GAConfig(num_states=2, generations=3, seed=7),
+            run_id="ga-journal",
+        )
+        events = [r for r in read_journal("ga-journal")
+                  if r["event"] == "ga_generation"]
+        assert [r["generation"] for r in events] == [1, 2, 3]
+
+    def test_finished_checkpoint_replays_without_evolving(self, monkeypatch):
+        # A checkpoint at generation == budget means nothing left to do:
+        # the resumed call returns the checkpointed best immediately, and
+        # a poisoned PRNG proves no generation re-ran.
+        trace = copy_trace(100)
+        config = GAConfig(num_states=3, generations=4, seed=11)
+        first = evolve(trace, 0x104, config, run_id="ga-done")
+
+        import repro.search.ga as ga_mod
+
+        def no_random(*a, **k):
+            raise AssertionError("resumed GA re-evolved a finished search")
+
+        monkeypatch.setattr(ga_mod.random.Random, "randrange", no_random)
+        again = evolve(trace, 0x104, config, run_id="ga-done")
+        assert again[1] == first[1]
+        assert again[0].outputs == first[0].outputs

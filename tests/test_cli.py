@@ -59,3 +59,63 @@ class TestCustomize:
         out = capsys.readouterr().out
         assert "xscale-128" in out
         assert "custom-" in out
+
+
+class TestDurabilityFlags:
+    @pytest.fixture(autouse=True)
+    def clean_run_id(self, monkeypatch, tmp_path):
+        from repro.reliability import durability
+
+        monkeypatch.setenv("REPRO_RUN_DIR", str(tmp_path / "runs"))
+        monkeypatch.setattr(durability, "_current_run_id", None)
+
+    def test_run_id_and_resume_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(["--run-id", "abc", "figures", "fig1"])
+        assert args.run_id == "abc"
+        args = parser.parse_args(["--resume", "abc", "figures", "fig1"])
+        assert args.resume == "abc"
+
+    def test_conflicting_ids_rejected(self, capsys):
+        assert main(["--resume", "a", "--run-id", "b", "figures", "fig1"]) == 2
+        assert "different runs" in capsys.readouterr().err
+
+    def test_matching_ids_accepted(self, capsys):
+        from repro.reliability import durability
+
+        assert main(["--resume", "a", "--run-id", "a", "figures", "fig1"]) == 0
+        assert durability.current_run_id() == "a"
+
+    def test_run_id_is_sanitized(self):
+        from repro.reliability import durability
+
+        assert main(["--run-id", "my run!", "figures", "fig1"]) == 0
+        assert durability.current_run_id() == "my-run"
+
+    def test_unusable_run_id_is_an_error(self, capsys):
+        assert main(["--run-id", "///", "figures", "fig1"]) == 2
+        assert "no usable characters" in capsys.readouterr().err
+
+    def test_interrupt_exits_130_with_resume_hint(self, monkeypatch, capsys):
+        import repro.cli as cli_mod
+
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli_mod, "_cmd_figures", interrupted)
+        assert main(["--run-id", "sweep-7", "figures", "fig2"]) == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "--resume sweep-7" in err
+
+    def test_interrupt_without_run_id_has_no_hint(self, monkeypatch, capsys):
+        import repro.cli as cli_mod
+
+        monkeypatch.setattr(
+            cli_mod, "_cmd_figures",
+            lambda args: (_ for _ in ()).throw(KeyboardInterrupt()),
+        )
+        assert main(["figures", "fig2"]) == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "--resume" not in err
