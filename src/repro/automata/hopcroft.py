@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, List, Set, Tuple
 
 from repro.automata.moore import MooreMachine
+from repro.reliability.faults import should_fire
 
 
 def hopcroft_minimize(machine: MooreMachine) -> MooreMachine:
@@ -124,6 +125,15 @@ def hopcroft_minimize(machine: MooreMachine) -> MooreMachine:
                 for a in range(num_symbols)
             )
         )
+    # Chaos hook: an armed ``hopcroft_offby1`` fault redirects one
+    # transition of the finished machine to the next state, modelling a
+    # wrong-but-plausible minimizer.  Because the result is minimal (all
+    # states pairwise inequivalent), the bumped target is never equivalent
+    # to the original, so the conformance oracle is guaranteed to see it.
+    if len(rows) >= 2 and should_fire("hopcroft_offby1"):
+        bumped = (rows[-1][0] + 1) % len(rows)
+        rows[-1] = (bumped,) + rows[-1][1:]
+
     return MooreMachine(
         alphabet=machine.alphabet,
         start=0,

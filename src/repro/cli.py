@@ -17,6 +17,13 @@ Subcommands mirror what a user of the paper's flow would do:
 ``bench``
     Run the benchmark-telemetry pass and write the schema-versioned
     ``BENCH_pipeline.json`` snapshot (see :mod:`repro.obs.bench`).
+``conformance``
+    Differential-oracle conformance (see :mod:`repro.conformance`):
+    ``run`` checks the fixed corpus stage-by-stage against brute-force
+    oracles plus the golden vectors; ``fuzz`` runs a seeded fuzz session
+    with a byte-identical replay file; ``regen`` rewrites
+    ``tests/golden/*.json``; ``minimize`` delta-debugs a replay or
+    counterexample file.
 
 Observability (any command): ``--trace FILE`` appends one JSON line per
 pipeline span to FILE (workers included); ``--profile`` prints a
@@ -39,6 +46,9 @@ Examples::
     python -m repro --profile figures fig2 --benchmark gcc
     python -m repro --trace spans.jsonl figures fig5
     python -m repro bench --out BENCH_pipeline.json
+    python -m repro conformance run
+    python -m repro conformance fuzz --seed 7 --budget 50 --out-dir fuzz_out
+    python -m repro conformance --regen
     python -m repro selfcheck
 
 Failures inside the flow surface as structured ``ReproError`` messages
@@ -217,6 +227,83 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
     return run_selfcheck(verbose=not args.quiet)
 
 
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.conformance import diff as diff_mod
+    from repro.conformance import fuzz as fuzz_mod
+    from repro.conformance import golden as golden_mod
+
+    action = "regen" if args.regen else args.action
+    out_dir = Path(args.out_dir)
+    golden_dir = Path(args.golden_dir) if args.golden_dir else None
+
+    if action == "regen":
+        for path in golden_mod.write_golden_vectors(golden_dir):
+            print(f"wrote {path}")
+        return 0
+
+    if action == "fuzz":
+        report = fuzz_mod.run_fuzz(
+            seed=args.seed, budget=args.budget, out_dir=str(out_dir)
+        )
+        print(report.summary())
+        for divergence, artifact in zip(
+            report.divergences, report.counterexample_files
+        ):
+            print()
+            print(divergence.describe())
+            print(f"counterexample: {artifact}")
+        return 0 if report.ok else 1
+
+    if action == "minimize":
+        if not args.replay:
+            raise SystemExit("conformance minimize needs --replay FILE")
+        cases = fuzz_mod.load_replay(Path(args.replay))
+        failures = 0
+        for case in cases:
+            divergence = case.run()
+            if divergence is None:
+                print(f"case {case.index} ({case.family}): ok")
+                continue
+            failures += 1
+            minimized = diff_mod.minimize_counterexample(divergence)
+            print(minimized.describe())
+        return 1 if failures else 0
+
+    # action == "run": the fixed corpus, every stage against its oracle,
+    # then the golden vectors.
+    failures = 0
+    for case in golden_mod.golden_corpus():
+        divergence = diff_mod.check_conformance(
+            case.trace,
+            order=case.order,
+            bias_threshold=case.bias_threshold,
+            dont_care_fraction=case.dont_care_fraction,
+        )
+        if divergence is None:
+            print(f"conform {case.name:<24s} ok")
+            continue
+        failures += 1
+        minimized = diff_mod.minimize_counterexample(divergence)
+        print(f"conform {case.name:<24s} FAIL ({minimized.stage})")
+        print(minimized.describe())
+        out_dir.mkdir(parents=True, exist_ok=True)
+        artifact = out_dir / f"counterexample_run_{case.name}.json"
+        artifact.write_text(
+            json.dumps(minimized.to_json(), sort_keys=True, indent=2) + "\n"
+        )
+        print(f"counterexample: {artifact}")
+    issues = golden_mod.check_golden_vectors(golden_dir)
+    for issue in issues:
+        failures += 1
+        print(f"golden  {issue}")
+    if not issues:
+        print("golden  vectors ok")
+    return 1 if failures else 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.obs.bench import collect_bench_snapshot, write_bench_snapshot
 
@@ -317,6 +404,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-check output"
     )
     selfcheck.set_defaults(func=_cmd_selfcheck)
+
+    conformance = sub.add_parser(
+        "conformance",
+        help="differential-oracle conformance: run | fuzz | regen | minimize",
+    )
+    conformance.add_argument(
+        "action",
+        nargs="?",
+        default="run",
+        choices=["run", "fuzz", "regen", "minimize"],
+        help="run: fixed corpus + golden vectors; fuzz: seeded fuzz "
+        "session; regen: rewrite tests/golden/*.json; minimize: replay "
+        "and delta-debug a case file",
+    )
+    conformance.add_argument(
+        "--regen",
+        action="store_true",
+        help="alias for the regen action (python -m repro conformance --regen)",
+    )
+    conformance.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="fuzz seed (default: $REPRO_FUZZ_SEED, else 0)",
+    )
+    conformance.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="fuzz case count (default: $REPRO_FUZZ_BUDGET, else 25)",
+    )
+    conformance.add_argument(
+        "--out-dir",
+        default=".",
+        help="where replay files and counterexamples are written (default: .)",
+    )
+    conformance.add_argument(
+        "--replay",
+        metavar="FILE",
+        help="replay/counterexample file for the minimize action",
+    )
+    conformance.add_argument(
+        "--golden-dir",
+        metavar="DIR",
+        default=None,
+        help="golden-vector directory (default: $REPRO_GOLDEN_DIR, "
+        "else tests/golden/)",
+    )
+    conformance.set_defaults(func=_cmd_conformance)
 
     bench = sub.add_parser(
         "bench",

@@ -1,0 +1,65 @@
+"""Differential-oracle conformance testing for the design pipeline.
+
+Four pieces, layered:
+
+- :mod:`repro.conformance.oracles` -- slow, obviously-correct reference
+  implementations of every pipeline stage (brute-force cover checks,
+  language enumeration, table-driven Moore simulation, exhaustive
+  reachability).
+- :mod:`repro.conformance.diff` -- the stage-by-stage differential
+  runner: real pipeline vs. oracle, first diverging stage, delta-debugged
+  minimal counterexample.
+- :mod:`repro.conformance.fuzz` -- seeded structured fuzzing over trace
+  families and design knobs, with byte-identical replay files and
+  persisted counterexample artifacts.
+- :mod:`repro.conformance.golden` -- schema-versioned golden vectors in
+  ``tests/golden/`` regenerated via ``python -m repro conformance regen``.
+"""
+
+from repro.conformance.diff import (
+    Divergence,
+    STAGES,
+    check_conformance,
+    minimize_counterexample,
+    run_stages,
+)
+from repro.conformance.fuzz import (
+    FuzzCase,
+    FuzzReport,
+    fuzz_budget,
+    fuzz_seed,
+    generate_case,
+    load_replay,
+    run_fuzz,
+)
+from repro.conformance.golden import (
+    GOLDEN_SCHEMA,
+    GoldenCase,
+    check_golden_vectors,
+    compute_vector,
+    golden_corpus,
+    golden_dir,
+    write_golden_vectors,
+)
+
+__all__ = [
+    "Divergence",
+    "STAGES",
+    "check_conformance",
+    "minimize_counterexample",
+    "run_stages",
+    "FuzzCase",
+    "FuzzReport",
+    "fuzz_budget",
+    "fuzz_seed",
+    "generate_case",
+    "load_replay",
+    "run_fuzz",
+    "GOLDEN_SCHEMA",
+    "GoldenCase",
+    "check_golden_vectors",
+    "compute_vector",
+    "golden_corpus",
+    "golden_dir",
+    "write_golden_vectors",
+]

@@ -1,0 +1,316 @@
+"""Seeded structured fuzzing of the design pipeline.
+
+The fuzzer draws (trace, design-knob) cases from five structured trace
+families -- the behaviours real workloads throw at a predictor, plus
+adversarial anti-patterns -- and runs each through the differential
+runner (:mod:`repro.conformance.diff`).  Everything is derived from one
+integer seed: case ``i`` of seed ``s`` uses ``random.Random(f"{s}:{i}")``,
+so a run is reproducible bit-for-bit from ``(seed, budget)`` alone.
+
+Reproducibility is also *recorded*: before any case runs, every case of
+the session is written to a replay file (one JSON line per case, schema
+``repro.fuzz/1``, canonical key order) -- the same seed always produces a
+byte-identical replay file, and a single line pasted into
+``python -m repro conformance minimize --replay FILE`` re-runs that case.
+Divergences are delta-debugged and written as counterexample artifacts
+(schema ``repro.counterexample/1``) next to the replay file.
+
+Knobs: ``REPRO_FUZZ_SEED`` (default 0) and ``REPRO_FUZZ_BUDGET`` (number
+of cases, default 25); the CLI's ``--seed``/``--budget`` override both.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.conformance.diff import Divergence, check_conformance, minimize_counterexample
+from repro.obs.metrics import metrics
+from repro.obs.tracing import trace_span
+
+FUZZ_SCHEMA = "repro.fuzz/1"
+COUNTEREXAMPLE_SCHEMA = "repro.counterexample/1"
+DEFAULT_BUDGET = 25
+
+#: Trace families, in the order the generator cycles through them.
+FAMILIES = ("uniform", "periodic", "bursty", "markov", "adversarial")
+
+_ORDERS = (1, 2, 3, 4, 5)
+_THRESHOLDS = (0.5, 0.5, 0.6, 0.75, 0.9)  # 0.5 twice: the common case
+_DC_FRACTIONS = (0.0, 0.0, 0.01, 0.05)
+
+
+def fuzz_seed(default: int = 0) -> int:
+    """``REPRO_FUZZ_SEED`` (the CLI overrides via arguments)."""
+    raw = os.environ.get("REPRO_FUZZ_SEED", "").strip()
+    return int(raw) if raw else default
+
+
+def fuzz_budget(default: int = DEFAULT_BUDGET) -> int:
+    """``REPRO_FUZZ_BUDGET``: how many cases one fuzz session runs."""
+    raw = os.environ.get("REPRO_FUZZ_BUDGET", "").strip()
+    return int(raw) if raw else default
+
+
+# ----------------------------------------------------------------------
+# Trace families
+# ----------------------------------------------------------------------
+
+
+def gen_uniform(rng: random.Random, length: int) -> List[int]:
+    """IID bits with a randomly chosen bias."""
+    bias = rng.choice((0.1, 0.3, 0.5, 0.7, 0.9))
+    return [1 if rng.random() < bias else 0 for _ in range(length)]
+
+
+def gen_periodic(rng: random.Random, length: int) -> List[int]:
+    """A short random pattern tiled to length (loop-branch behaviour)."""
+    period = rng.randint(1, 8)
+    pattern = [rng.randint(0, 1) for _ in range(period)]
+    return [pattern[i % period] for i in range(length)]
+
+
+def gen_bursty(rng: random.Random, length: int) -> List[int]:
+    """Alternating runs of 0s and 1s with geometric run lengths."""
+    bits: List[int] = []
+    value = rng.randint(0, 1)
+    while len(bits) < length:
+        run = 1
+        while run < 32 and rng.random() < 0.7:
+            run += 1
+        bits.extend([value] * run)
+        value ^= 1
+    return bits[:length]
+
+
+def gen_markov(rng: random.Random, length: int) -> List[int]:
+    """Bits from a random order-k Markov source (k independent of the
+    design order, so the model under- or over-fits at random)."""
+    k = rng.randint(1, 3)
+    table = [rng.random() for _ in range(1 << k)]
+    mask = (1 << k) - 1
+    history = rng.randrange(1 << k)
+    bits: List[int] = []
+    for _ in range(length):
+        bit = 1 if rng.random() < table[history] else 0
+        bits.append(bit)
+        history = ((history << 1) | bit) & mask
+    return bits
+
+
+def gen_adversarial(rng: random.Random, length: int) -> List[int]:
+    """Anti-patterns aimed at stage edge cases: strict alternation (every
+    history maximally biased), a 50/50 threshold straddle (P[1|h] exactly
+    at the tie), a long constant run followed by alternation (start-up
+    vs steady state), and a de Bruijn-style walk touching every history."""
+    kind = rng.randrange(4)
+    if kind == 0:
+        first = rng.randint(0, 1)
+        return [(i + first) % 2 for i in range(length)]
+    if kind == 1:
+        # Each 2-bit history is followed by 0 and 1 equally often.
+        block = [0, 0, 1, 1]
+        return [block[i % 4] for i in range(length)]
+    if kind == 2:
+        run = length // 2
+        value = rng.randint(0, 1)
+        tail = [(i + value + 1) % 2 for i in range(length - run)]
+        return [value] * run + tail
+    k = rng.randint(2, 4)
+    history = 0
+    bits = []
+    for _ in range(length):
+        # Greedy de-Bruijn-ish walk: prefer the successor extending the
+        # least-recently emitted history.
+        bit = (history >> (k - 1)) ^ 1
+        bits.append(bit & 1)
+        history = ((history << 1) | (bit & 1)) & ((1 << k) - 1)
+    return bits
+
+
+_GENERATORS = {
+    "uniform": gen_uniform,
+    "periodic": gen_periodic,
+    "bursty": gen_bursty,
+    "markov": gen_markov,
+    "adversarial": gen_adversarial,
+}
+
+
+# ----------------------------------------------------------------------
+# Cases
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One fully specified fuzz input: a trace plus the design knobs."""
+
+    index: int
+    family: str
+    order: int
+    bias_threshold: float
+    dont_care_fraction: float
+    bits: str
+
+    @property
+    def trace(self) -> List[int]:
+        return [int(ch) for ch in self.bits]
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "schema": FUZZ_SCHEMA,
+            "index": self.index,
+            "family": self.family,
+            "order": self.order,
+            "bias_threshold": self.bias_threshold,
+            "dont_care_fraction": self.dont_care_fraction,
+            "bits": self.bits,
+        }
+
+    @classmethod
+    def from_json(cls, record: Dict[str, Any]) -> "FuzzCase":
+        schema = record.get("schema", FUZZ_SCHEMA)
+        if schema not in (FUZZ_SCHEMA, COUNTEREXAMPLE_SCHEMA):
+            raise ValueError(f"unknown fuzz-case schema {schema!r}")
+        return cls(
+            index=int(record.get("index", 0)),
+            family=str(record.get("family", "replay")),
+            order=int(record["order"]),
+            bias_threshold=float(record.get("bias_threshold", 0.5)),
+            dont_care_fraction=float(record.get("dont_care_fraction", 0.0)),
+            bits=str(record["bits"]),
+        )
+
+    def run(self) -> Optional[Divergence]:
+        return check_conformance(
+            self.trace,
+            order=self.order,
+            bias_threshold=self.bias_threshold,
+            dont_care_fraction=self.dont_care_fraction,
+        )
+
+
+def generate_case(seed: int, index: int) -> FuzzCase:
+    """Case ``index`` of fuzz session ``seed`` -- a pure function of both
+    (string-seeded PRNGs hash deterministically across platforms)."""
+    rng = random.Random(f"repro-fuzz:{seed}:{index}")
+    family = FAMILIES[index % len(FAMILIES)]
+    order = rng.choice(_ORDERS)
+    length = max(order + 1, rng.randint(32, 220))
+    bits = _GENERATORS[family](rng, length)
+    return FuzzCase(
+        index=index,
+        family=family,
+        order=order,
+        bias_threshold=rng.choice(_THRESHOLDS),
+        dont_care_fraction=rng.choice(_DC_FRACTIONS),
+        bits="".join(str(b) for b in bits),
+    )
+
+
+def _dumps(record: Dict[str, Any]) -> str:
+    """Canonical JSON: sorted keys, no whitespace -- the byte-identical
+    replay-file contract rides on this."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def replay_path(out_dir: Path, seed: int) -> Path:
+    return Path(out_dir) / f"replay_{seed}.jsonl"
+
+
+def load_replay(path: Path) -> List[FuzzCase]:
+    """Parse a replay file (JSONL, one case per line) or a single
+    counterexample/case JSON document."""
+    text = Path(path).read_text()
+    try:
+        record = json.loads(text)
+    except json.JSONDecodeError:
+        record = None
+    if isinstance(record, dict):
+        return [FuzzCase.from_json(record)]
+    cases = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            cases.append(FuzzCase.from_json(json.loads(line)))
+    return cases
+
+
+# ----------------------------------------------------------------------
+# The fuzz session
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz session."""
+
+    seed: int
+    budget: int
+    replay_file: Path
+    divergences: List[Divergence]
+    counterexample_files: List[Path]
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else f"{len(self.divergences)} DIVERGENT"
+        return (
+            f"fuzz seed={self.seed} budget={self.budget}: {status} "
+            f"(replay: {self.replay_file})"
+        )
+
+
+def run_fuzz(
+    seed: Optional[int] = None,
+    budget: Optional[int] = None,
+    out_dir: str = ".",
+) -> FuzzReport:
+    """Run one fuzz session: write the replay file, run every case, and
+    minimize + persist any divergence as a counterexample artifact."""
+    seed = fuzz_seed() if seed is None else seed
+    budget = fuzz_budget() if budget is None else budget
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+
+    cases = [generate_case(seed, index) for index in range(budget)]
+    replay = replay_path(out, seed)
+    replay.write_text(
+        "".join(_dumps(case.to_json()) + "\n" for case in cases)
+    )
+
+    divergences: List[Divergence] = []
+    artifacts: List[Path] = []
+    with trace_span("conformance.fuzz", seed=seed, budget=budget) as span:
+        for case in cases:
+            metrics().incr("conformance.fuzz.cases")
+            metrics().incr(f"conformance.fuzz.family.{case.family}")
+            divergence = case.run()
+            if divergence is None:
+                continue
+            minimized = minimize_counterexample(divergence)
+            divergences.append(minimized)
+            record = minimized.to_json()
+            record["family"] = case.family
+            record["index"] = case.index
+            record["original_bits"] = case.bits
+            artifact = out / f"counterexample_{seed}_{case.index}.json"
+            artifact.write_text(
+                json.dumps(record, sort_keys=True, indent=2) + "\n"
+            )
+            artifacts.append(artifact)
+        span.set(divergences=len(divergences))
+    return FuzzReport(
+        seed=seed,
+        budget=budget,
+        replay_file=replay,
+        divergences=divergences,
+        counterexample_files=artifacts,
+    )

@@ -25,6 +25,7 @@ Fault points currently wired in:
 ``stage_fail``     a pipeline stage raises before running
 ``journal_write``  a write-ahead journal append is dropped (lost record)
 ``kill_point``     the process SIGKILLs itself (via :func:`fire_kill`)
+``hopcroft_offby1`` Hopcroft output gets one transition bumped off by one
 =================  ==========================================================
 """
 
@@ -47,6 +48,7 @@ KNOWN_POINTS = frozenset(
         "stage_fail",
         "journal_write",
         "kill_point",
+        "hopcroft_offby1",
     }
 )
 

@@ -1,0 +1,105 @@
+"""Fuzzer determinism and artifact contracts: same seed, same bytes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.conformance.fuzz import (
+    FAMILIES,
+    FuzzCase,
+    fuzz_budget,
+    fuzz_seed,
+    generate_case,
+    load_replay,
+    replay_path,
+    run_fuzz,
+)
+from repro.reliability.faults import inject_faults
+
+
+class TestDeterminism:
+    def test_generate_case_is_pure(self):
+        for index in range(10):
+            assert generate_case(5, index) == generate_case(5, index)
+
+    def test_cases_cycle_through_families(self):
+        families = [generate_case(0, i).family for i in range(len(FAMILIES))]
+        assert families == list(FAMILIES)
+
+    def test_traces_are_long_enough_to_design(self):
+        for index in range(30):
+            case = generate_case(1, index)
+            assert len(case.bits) > case.order
+
+    def test_replay_file_is_byte_identical(self, tmp_path):
+        a = run_fuzz(seed=11, budget=6, out_dir=str(tmp_path / "a"))
+        b = run_fuzz(seed=11, budget=6, out_dir=str(tmp_path / "b"))
+        assert a.replay_file.read_bytes() == b.replay_file.read_bytes()
+        assert a.ok and b.ok
+
+    def test_different_seeds_differ(self, tmp_path):
+        a = run_fuzz(seed=1, budget=4, out_dir=str(tmp_path / "a"))
+        b = run_fuzz(seed=2, budget=4, out_dir=str(tmp_path / "b"))
+        assert a.replay_file.read_bytes() != b.replay_file.read_bytes()
+
+
+class TestReplayFiles:
+    def test_round_trip(self, tmp_path):
+        report = run_fuzz(seed=4, budget=5, out_dir=str(tmp_path))
+        cases = load_replay(report.replay_file)
+        assert cases == [generate_case(4, i) for i in range(5)]
+
+    def test_replay_lines_carry_schema(self, tmp_path):
+        report = run_fuzz(seed=4, budget=3, out_dir=str(tmp_path))
+        for line in report.replay_file.read_text().splitlines():
+            assert json.loads(line)["schema"] == "repro.fuzz/1"
+
+    def test_single_document_replay(self, tmp_path):
+        case = generate_case(0, 2)
+        path = tmp_path / "one.json"
+        path.write_text(json.dumps(case.to_json(), indent=2))
+        assert load_replay(path) == [case]
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError):
+            FuzzCase.from_json({"schema": "bogus/9", "order": 2, "bits": "0101"})
+
+    def test_replay_path_embeds_seed(self, tmp_path):
+        assert replay_path(tmp_path, 42).name == "replay_42.jsonl"
+
+
+class TestEnvironmentKnobs:
+    def test_fuzz_seed_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FUZZ_SEED", "99")
+        assert fuzz_seed() == 99
+        monkeypatch.delenv("REPRO_FUZZ_SEED")
+        assert fuzz_seed() == 0
+
+    def test_fuzz_budget_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FUZZ_BUDGET", "7")
+        assert fuzz_budget() == 7
+
+
+class TestCounterexampleArtifacts:
+    def test_injected_fault_produces_artifacts(self, tmp_path):
+        with inject_faults("hopcroft_offby1:1.0", seed=3):
+            report = run_fuzz(seed=0, budget=5, out_dir=str(tmp_path))
+        assert not report.ok
+        assert report.counterexample_files
+        record = json.loads(report.counterexample_files[0].read_text())
+        assert record["schema"] == "repro.counterexample/1"
+        assert record["stage"] == "automata.hopcroft"
+        assert set(record["bits"]) <= {"0", "1"}
+        # The artifact carries enough provenance to re-run the original.
+        assert record["family"] in FAMILIES
+        assert len(record["original_bits"]) >= len(record["bits"])
+
+    def test_counterexample_loads_as_replay_case(self, tmp_path):
+        with inject_faults("hopcroft_offby1:1.0", seed=3):
+            report = run_fuzz(seed=0, budget=5, out_dir=str(tmp_path))
+            (case,) = load_replay(report.counterexample_files[0])
+            divergence = case.run()
+        assert divergence is not None
+        assert divergence.stage == "automata.hopcroft"

@@ -1,0 +1,112 @@
+"""Golden vectors: the checked-in files reproduce byte-for-byte on a
+clean tree, and tampering (or drift) is detected with a named vector."""
+
+from __future__ import annotations
+
+import json
+
+from repro.conformance.golden import (
+    GOLDEN_SCHEMA,
+    check_golden_vectors,
+    compute_vector,
+    golden_corpus,
+    golden_dir,
+    write_golden_vectors,
+)
+from repro.core.pipeline import design_predictor
+
+
+class TestCorpus:
+    def test_corpus_is_deterministic(self):
+        first = golden_corpus()
+        second = golden_corpus()
+        assert first == second
+
+    def test_corpus_covers_every_family_and_degenerates(self):
+        groups = {case.group for case in golden_corpus()}
+        assert groups == {
+            "paper",
+            "uniform",
+            "periodic",
+            "bursty",
+            "markov",
+            "adversarial",
+            "degenerate",
+        }
+
+    def test_names_are_unique(self):
+        names = [case.name for case in golden_corpus()]
+        assert len(names) == len(set(names))
+
+
+class TestCheckedInVectors:
+    def test_clean_tree_round_trips(self):
+        # The acceptance criterion: regen on clean main produces no diff.
+        assert check_golden_vectors() == []
+
+    def test_checked_in_files_carry_schema(self):
+        paths = sorted(golden_dir().glob("golden_*.json"))
+        assert paths, "no golden files checked in"
+        for path in paths:
+            assert json.loads(path.read_text())["schema"] == GOLDEN_SCHEMA
+
+    def test_regen_is_byte_identical(self, tmp_path):
+        written = write_golden_vectors(tmp_path)
+        for fresh in written:
+            checked_in = golden_dir() / fresh.name
+            assert fresh.read_bytes() == checked_in.read_bytes()
+
+
+class TestVectorSemantics:
+    def test_vector_machine_matches_pipeline(self):
+        case = next(c for c in golden_corpus() if c.name == "paper_order2")
+        vector = compute_vector(case)
+        result = design_predictor(
+            case.trace,
+            order=case.order,
+            bias_threshold=case.bias_threshold,
+            dont_care_fraction=case.dont_care_fraction,
+        )
+        machine = result.machine
+        assert vector["machine"]["start"] == machine.start
+        assert tuple(vector["machine"]["outputs"]) == machine.outputs
+        assert (
+            tuple(tuple(row) for row in vector["machine"]["transitions"])
+            == machine.transitions
+        )
+        assert vector["states"]["final"] == machine.num_states
+        assert 0 <= vector["accuracy"]["hits"] <= vector["accuracy"]["lookups"]
+
+
+class TestTamperDetection:
+    def test_missing_file_reported(self, tmp_path):
+        issues = check_golden_vectors(tmp_path)
+        assert issues and all("missing golden file" in issue for issue in issues)
+
+    def test_tampered_vector_reported(self, tmp_path):
+        write_golden_vectors(tmp_path)
+        path = tmp_path / "golden_paper.json"
+        document = json.loads(path.read_text())
+        document["vectors"][0]["accuracy"]["hits"] += 1
+        path.write_text(json.dumps(document, sort_keys=True, indent=2) + "\n")
+        issues = check_golden_vectors(tmp_path)
+        assert any(
+            "differs" in issue and "accuracy" in issue for issue in issues
+        )
+
+    def test_stale_vector_reported(self, tmp_path):
+        write_golden_vectors(tmp_path)
+        path = tmp_path / "golden_paper.json"
+        document = json.loads(path.read_text())
+        document["vectors"].append(dict(document["vectors"][0], name="ghost"))
+        path.write_text(json.dumps(document, sort_keys=True, indent=2) + "\n")
+        issues = check_golden_vectors(tmp_path)
+        assert any("stale vector 'ghost'" in issue for issue in issues)
+
+    def test_wrong_schema_reported(self, tmp_path):
+        write_golden_vectors(tmp_path)
+        path = tmp_path / "golden_paper.json"
+        document = json.loads(path.read_text())
+        document["schema"] = "repro.golden/0"
+        path.write_text(json.dumps(document, sort_keys=True, indent=2) + "\n")
+        assert any("schema" in issue for issue in check_golden_vectors(tmp_path))

@@ -1,0 +1,187 @@
+"""The oracles themselves: each reference implementation must agree with
+the fast path it shadows on well-understood inputs -- and must be able to
+tell a *wrong* artifact from a right one."""
+
+from __future__ import annotations
+
+import random
+
+from repro.automata.moore import MooreMachine
+from repro.conformance.oracles import (
+    cover_violations,
+    expected_history_language,
+    is_minimal,
+    machine_language,
+    machines_agree_from,
+    moore_language,
+    oracle_markov_counts,
+    oracle_minimal_moore,
+    oracle_moore_outputs,
+    oracle_pattern_sets,
+    oracle_prediction_counts,
+    oracle_steady_states,
+    regex_language,
+)
+from repro.core.markov import MarkovModel
+from repro.core.patterns import define_patterns
+from repro.core.regex_build import history_language_regex
+from repro.logic.cube import Cube
+
+
+def _random_trace(n: int, seed: int, bias: float = 0.6) -> list:
+    rng = random.Random(seed)
+    return [1 if rng.random() < bias else 0 for _ in range(n)]
+
+
+class TestMarkovOracle:
+    def test_matches_fast_trainer(self, paper_trace):
+        for order in (1, 2, 3, 4):
+            for trace in (paper_trace * 3, _random_trace(300, order)):
+                totals, ones = oracle_markov_counts(trace, order)
+                model = MarkovModel.from_trace(trace, order)
+                assert dict(model.totals) == totals
+                assert dict(model.ones) == ones
+
+    def test_history_bit_order(self):
+        # After ...0,1 (1 most recent), the next outcome is counted under
+        # history 0b01 = 1: bit 0 is the most recent outcome.
+        totals, ones = oracle_markov_counts([0, 1, 1], 2)
+        assert totals == {0b01: 1}
+        assert ones == {0b01: 1}
+
+
+class TestPatternOracle:
+    def test_matches_define_patterns(self, paper_trace):
+        for order in (2, 3):
+            for dc in (0.0, 0.05, 0.3):
+                model = MarkovModel.from_trace(paper_trace * 4, order)
+                patterns = define_patterns(
+                    model, bias_threshold=0.5, dont_care_fraction=dc
+                )
+                one, zero = oracle_pattern_sets(
+                    dict(model.totals), dict(model.ones), 0.5, dc
+                )
+                assert patterns.predict_one == one
+                assert patterns.predict_zero == zero
+
+    def test_threshold_is_inclusive(self):
+        # P[1|h] == threshold lands on the predict-1 side.
+        one, zero = oracle_pattern_sets({0b0: 2}, {0b0: 1}, 0.5, 0.0)
+        assert one == {0}
+        assert zero == set()
+
+
+class TestCoverOracle:
+    def test_valid_cover_passes(self):
+        cover = [Cube.from_minterm(0b01, 2)]
+        assert cover_violations(cover, 2, frozenset({0b01}), frozenset({0b10})) == []
+
+    def test_uncovered_on_minterm_flagged(self):
+        issues = cover_violations([], 2, frozenset({0b01}), frozenset())
+        assert any("not covered" in issue for issue in issues)
+
+    def test_covered_off_minterm_flagged(self):
+        cover = [Cube.universe(2)]
+        issues = cover_violations(cover, 2, frozenset({0b01}), frozenset({0b10}))
+        assert any("wrongly covered" in issue for issue in issues)
+
+    def test_wrong_width_flagged(self):
+        issues = cover_violations([Cube.universe(3)], 2, frozenset(), frozenset())
+        assert any("width" in issue for issue in issues)
+
+
+class TestLanguageOracles:
+    def test_regex_language_matches_specification(self):
+        # (0|1)* (terms): the emitted regex must denote exactly "strings
+        # whose last N bits match some cube", straight off the AST.
+        cover = [Cube.from_minterm(0b11, 2), Cube.from_minterm(0b00, 2)]
+        regex = history_language_regex(cover)
+        assert regex_language(regex, 4) == expected_history_language(cover, 2, 4)
+
+    def test_machine_and_moore_language_agree_with_regex(self, paper_trace):
+        from repro.conformance.diff import run_stages
+
+        art = run_stages(paper_trace * 4, 2)
+        want = regex_language(art.regex, 4)
+        assert machine_language(art.nfa, 4) == want
+        assert machine_language(art.dfa, 4) == want
+        assert moore_language(MooreMachine.from_dfa(art.dfa), 4) == want
+
+
+class TestSimulationOracles:
+    def _machine(self):
+        return MooreMachine(
+            alphabet=("0", "1"),
+            start=0,
+            outputs=(0, 1, 1),
+            transitions=((0, 1), (0, 2), (0, 2)),
+        )
+
+    def test_outputs_match_trace_outputs(self):
+        machine = self._machine()
+        bits = _random_trace(100, 42)
+        text = "".join(str(b) for b in bits)
+        assert oracle_moore_outputs(machine, bits) == machine.trace_outputs(text)
+
+    def test_prediction_counts(self):
+        machine = self._machine()
+        # From state 0 (predict 0): 1 is a miss -> state 1 (predict 1);
+        # 1 is a hit -> state 2 (predict 1); 0 is a miss -> state 0.
+        assert oracle_prediction_counts(machine, [1, 1, 0]) == (1, 3)
+
+
+class TestMinimizationOracle:
+    def test_collapses_duplicate_states(self):
+        # States 1 and 2 are identical twins; the oracle must merge them.
+        machine = MooreMachine(
+            alphabet=("0", "1"),
+            start=0,
+            outputs=(0, 1, 1),
+            transitions=((1, 2), (1, 2), (1, 2)),
+        )
+        minimal = oracle_minimal_moore(machine)
+        assert minimal.num_states == 2
+        assert is_minimal(minimal)
+        assert machines_agree_from(machine, 0, minimal, minimal.start)
+
+    def test_is_minimal_rejects_twins(self):
+        machine = MooreMachine(
+            alphabet=("0", "1"),
+            start=0,
+            outputs=(0, 1, 1),
+            transitions=((1, 2), (1, 2), (1, 2)),
+        )
+        assert not is_minimal(machine)
+
+    def test_matches_hopcroft_on_pipeline_machines(self, paper_trace):
+        from repro.conformance.diff import run_stages
+
+        for order in (1, 2, 3):
+            art = run_stages(paper_trace * 4, order)
+            moore = MooreMachine.from_dfa(art.dfa)
+            assert oracle_minimal_moore(moore) == art.minimized
+
+
+class TestSteadyStateOracle:
+    def test_transient_start_state_excluded(self):
+        # State 0 is never re-entered: after >= 1 input the machine lives
+        # in {1, 2}.
+        machine = MooreMachine(
+            alphabet=("0", "1"),
+            start=0,
+            outputs=(0, 0, 1),
+            transitions=((1, 2), (1, 2), (2, 1)),
+        )
+        assert oracle_steady_states(machine, 1) == {1, 2}
+        assert oracle_steady_states(machine, 0) == {0, 1, 2}
+
+    def test_matches_startup_module(self, paper_trace):
+        from repro.automata.startup import steady_state_core
+        from repro.conformance.diff import run_stages
+
+        for order in (2, 3):
+            art = run_stages(paper_trace * 4, order)
+            if art.minimized.num_states > 1:
+                assert oracle_steady_states(
+                    art.minimized, order
+                ) == steady_state_core(art.minimized, order)

@@ -1,0 +1,110 @@
+"""Property tests for the two-level minimizers (hypothesis).
+
+Correctness is unconditional for both minimizers -- every cover must
+contain the on-set and avoid the off-set regardless of don't-cares -- and
+the cost ordering must hold: the exact branch-and-bound can never lose to
+the EXPAND/IRREDUNDANT heuristic, and the ``espresso.minimize`` dispatcher
+(the pipeline's entry point) can never lose to raw Quine-McCluskey.
+
+Cost comparisons stay at width <= 4: beyond that ``select_cover`` starts
+falling back to greedy covering for large prime sets, where the exact-beats
+-heuristic guarantee no longer holds by construction.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.logic.cube import Cube
+from repro.logic.espresso import minimize, minimize_heuristic
+from repro.logic.quine_mccluskey import minimize_exact, prime_implicants
+from repro.logic.truth_table import TruthTable
+
+
+def truth_tables(min_width: int = 1, max_width: int = 5):
+    """Random incompletely-specified functions: every minterm drawn from
+    {on, off, dc} independently."""
+
+    @st.composite
+    def build(draw):
+        width = draw(st.integers(min_width, max_width))
+        symbols = draw(
+            st.lists(
+                st.sampled_from("10-"),
+                min_size=1 << width,
+                max_size=1 << width,
+            )
+        )
+        on = frozenset(m for m, s in enumerate(symbols) if s == "1")
+        off = frozenset(m for m, s in enumerate(symbols) if s == "0")
+        return TruthTable(width=width, on_set=on, off_set=off)
+
+    return build()
+
+
+def cover_cost(cover) -> tuple:
+    return (sum(cube.pattern_cost for cube in cover), len(cover))
+
+
+@given(truth_tables())
+def test_exact_cover_is_valid(table):
+    assert table.is_cover_valid(minimize_exact(table))
+
+
+@given(truth_tables())
+def test_heuristic_cover_is_valid(table):
+    assert table.is_cover_valid(minimize_heuristic(table))
+
+
+@given(truth_tables())
+def test_dispatcher_cover_is_valid(table):
+    assert table.is_cover_valid(minimize(table))
+
+
+@given(truth_tables())
+def test_primes_avoid_off_set(table):
+    """Every prime implicant is an implicant: disjoint from the off-set."""
+    for prime in prime_implicants(table):
+        assert not any(
+            prime.contains_minterm(m) for m in table.off_set
+        ), f"prime {prime} intersects the off-set"
+
+
+@given(truth_tables(max_width=4))
+def test_primes_are_maximal(table):
+    """No prime can raise a care position and stay an implicant."""
+    for prime in prime_implicants(table):
+        for position in prime.cofactor_positions():
+            grown = prime.expand_position(position)
+            assert any(
+                grown.contains_minterm(m) for m in table.off_set
+            ), f"{prime} is not maximal: {grown} is still an implicant"
+
+
+@given(truth_tables(max_width=4))
+def test_exact_cost_beats_heuristic(table):
+    """The branch-and-bound optimum over all primes can never cost more
+    than the heuristic's expand-and-prune answer (the heuristic's expanded
+    cubes are themselves primes, so its cover is in the exact search
+    space)."""
+    assert cover_cost(minimize_exact(table)) <= cover_cost(
+        minimize_heuristic(table)
+    )
+
+
+@given(truth_tables(max_width=4))
+def test_espresso_cost_beats_quine_mccluskey(table):
+    """The pipeline's `espresso.minimize` entry point never produces a
+    costlier cover than raw Quine-McCluskey."""
+    assert cover_cost(minimize(table)) <= cover_cost(minimize_exact(table))
+
+
+@given(truth_tables(max_width=4))
+def test_heuristic_expanded_cubes_are_primes(table):
+    """EXPAND's output cubes are maximal implicants, i.e. actual primes --
+    the fact the exact-vs-heuristic cost ordering rides on."""
+    primes = set(prime_implicants(table))
+    for cube in minimize_heuristic(table):
+        if cube == Cube.universe(table.width) and not table.off_set:
+            continue
+        assert cube in primes, f"heuristic kept non-prime cube {cube}"

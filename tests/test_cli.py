@@ -119,3 +119,53 @@ class TestDurabilityFlags:
         err = capsys.readouterr().err
         assert "interrupted" in err
         assert "--resume" not in err
+
+
+class TestConformance:
+    def test_fuzz_writes_replay_and_exits_zero(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "conformance", "fuzz", "--seed", "5", "--budget", "3",
+                    "--out-dir", str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        assert (tmp_path / "replay_5.jsonl").exists()
+        assert "seed=5 budget=3: ok" in capsys.readouterr().out
+
+    def test_regen_writes_golden_files(self, tmp_path, capsys):
+        assert main(["conformance", "regen", "--golden-dir", str(tmp_path)]) == 0
+        assert sorted(tmp_path.glob("golden_*.json"))
+        assert "wrote" in capsys.readouterr().out
+
+    def test_regen_flag_is_an_alias(self, tmp_path):
+        assert main(["conformance", "--regen", "--golden-dir", str(tmp_path)]) == 0
+        assert sorted(tmp_path.glob("golden_*.json"))
+
+    def test_minimize_requires_replay_file(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["conformance", "minimize"])
+
+    def test_minimize_replays_cases(self, tmp_path, capsys):
+        main(
+            [
+                "conformance", "fuzz", "--seed", "5", "--budget", "2",
+                "--out-dir", str(tmp_path),
+            ]
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "conformance", "minimize",
+                    "--replay", str(tmp_path / "replay_5.jsonl"),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "case 0" in out and "ok" in out
