@@ -156,16 +156,30 @@ def fsm_correct_counts(
     if _np is not None and machines and len(trace.pcs) >= _BATCH_THRESHOLD:
         outcomes = _as_bit_array(trace.outcomes)
         if outcomes is not None:
+            from repro.perf.batched import BatchedMoore, batch_enabled
+
             pcs = _np.asarray(trace.pcs, dtype=_np.int64)
+            items = list(machines.items())
             result: Dict[int, Tuple[int, int]] = {}
-            for pc, machine in machines.items():
+            # One stacked pass covers every machine (they all consume the
+            # same global outcome stream), replacing a compile + run per
+            # machine with a single BatchedMoore run.
+            states_all = None
+            if batch_enabled() and len(items) > 1:
+                states_all = BatchedMoore(
+                    [machine for _pc, machine in items]
+                ).run_states(outcomes)
+            for m, (pc, machine) in enumerate(items):
                 idx = _np.flatnonzero(pcs == pc)
                 execs = int(idx.size)
                 correct = 0
                 if execs and machine.num_states == 1:
                     correct = int((outcomes[idx] == machine.outputs[0]).sum())
                 elif execs:
-                    states_after = machine.compile().run_states(outcomes)
+                    if states_all is not None:
+                        states_after = states_all[m]
+                    else:
+                        states_after = machine.compile().run_states(outcomes)
                     outputs = _np.asarray(machine.outputs, dtype=_np.int64)
                     # The machine predicts from the state *before* each
                     # record: after[i-1], or the start state at i == 0.

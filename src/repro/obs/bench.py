@@ -10,7 +10,10 @@ one schema-versioned JSON snapshot:
 * ``stages``    -- per-pipeline-stage call counts and total seconds,
   aggregated from the span sink (the same data ``--profile`` prints);
 * ``metrics``   -- the unified counter registry (cache hits/misses, pool
-  tasks, ...) after the pass.
+  tasks, ...) after the pass;
+* ``backend``   -- the active simulation backend (numpy version or
+  ``"pure-python"``) and batching knobs, so deltas across machines are
+  interpretable.
 
 CI regenerates the snapshot on every push, validates it against
 :func:`validate_bench_snapshot`, and uploads it as an artifact, so the
@@ -155,11 +158,16 @@ def collect_bench_snapshot(
             os.environ.pop("REPRO_JOBS", None)
         else:
             os.environ["REPRO_JOBS"] = saved_jobs
+    from repro.perf.batched import BATCH_THRESHOLD, backend_info
+
+    backend = dict(backend_info())
+    backend["batch_threshold"] = BATCH_THRESHOLD
     return {
         "schema": BENCH_SCHEMA,
         "generated_by": "python -m repro bench",
         "python": sys.version.split()[0],
         "platform": platform.platform(),
+        "backend": backend,
         "scale": knobs,
         "timings": timings,
         "stages": stages,
@@ -216,6 +224,15 @@ def validate_bench_snapshot(snapshot: Any) -> None:
         isinstance(k, str) and isinstance(v, int) for k, v in counters.items()
     ):
         fail("'metrics' must map counter names to integers")
+    # 'backend' is newer than the first repro.bench/1 snapshots; absent is
+    # fine (old snapshots stay valid) but a present section must at least
+    # name the simulation backend so cross-machine deltas are interpretable.
+    backend = snapshot.get("backend")
+    if backend is not None:
+        if not isinstance(backend, dict) or not isinstance(
+            backend.get("backend"), str
+        ):
+            fail("'backend', when present, needs a string 'backend' name")
 
 
 def write_bench_snapshot(

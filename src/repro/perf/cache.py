@@ -72,7 +72,11 @@ T = TypeVar("T")
 TRACE_VERSION = 1
 # 2: config cache keys switched to explicit semantic field tuples so that
 # non-semantic knobs (DesignConfig.verify) do not split the key space.
-DESIGN_FLOW_VERSION = 2
+# 3: designs may now be produced by the batched kernels (entry-space
+# subset construction, machine-batched simulation); results are
+# bit-identical by construction, but the salt guarantees no pre-batch
+# cache entry can ever be served for a batched-era key or vice versa.
+DESIGN_FLOW_VERSION = 3
 
 _runtime_enabled = True
 

@@ -101,23 +101,46 @@ def simulate_predictor(
     pcs = getattr(trace, "pcs", None)
     outcomes = getattr(trace, "outcomes", None)
     if pcs is not None and outcomes is not None:
+        # Predictors exposing ``_batch_simulate`` replay the whole column
+        # trace through the vectorized kernels in repro.perf.batched.  The
+        # fast path returns (lookups, hits) -- or None to decline, in which
+        # case the per-branch loop below runs.  Either way the predictor's
+        # post-simulation state and the stats are bit-identical.
+        batch = getattr(predictor, "_batch_simulate", None)
+        if batch is not None:
+            from repro.perf.batched import (
+                BATCH_THRESHOLD,
+                batch_enabled,
+                numpy_available,
+            )
+
+            if (
+                len(pcs) < BATCH_THRESHOLD
+                or not numpy_available()
+                or not batch_enabled()
+            ):
+                batch = None
         with trace_span(
             "sim.predictor",
             predictor=getattr(predictor, "name", type(predictor).__name__),
             records=len(pcs),
         ) as span:
-            predict = predictor.predict
-            update = predictor.update
-            lookups = 0
-            hits = 0
-            for index, (pc, outcome) in enumerate(zip(pcs, outcomes)):
-                taken = outcome == 1
-                prediction = predict(pc)
-                if index >= warmup:
-                    lookups += 1
-                    if prediction == taken:
-                        hits += 1
-                update(pc, taken)
+            counts = batch(pcs, outcomes, max(0, warmup)) if batch else None
+            if counts is not None:
+                lookups, hits = counts
+            else:
+                predict = predictor.predict
+                update = predictor.update
+                lookups = 0
+                hits = 0
+                for index, (pc, outcome) in enumerate(zip(pcs, outcomes)):
+                    taken = outcome == 1
+                    prediction = predict(pc)
+                    if index >= warmup:
+                        lookups += 1
+                        if prediction == taken:
+                            hits += 1
+                    update(pc, taken)
             span.set(lookups=lookups, hits=hits)
         return PredictionStats(lookups=lookups, hits=hits)
     with trace_span(

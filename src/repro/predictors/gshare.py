@@ -44,6 +44,65 @@ class GSharePredictor(BranchPredictor):
     def area(self) -> float:
         return table_bits_area(2 * self.num_entries)
 
+    def _batch_simulate(self, pcs, outcomes, warmup):
+        """Vectorized replay used by :func:`simulate_predictor`.
+
+        The global history column is closed-form (shifted-initial plus one
+        OR pass per history bit), which turns every counter access into an
+        index stream for :func:`repro.perf.batched.banked_replay`.  Returns
+        ``(lookups, hits)`` with the predictor left exactly as the
+        per-branch loop would leave it, or ``None`` to decline.
+        """
+        import numpy as np
+
+        from repro.perf.batched import banked_replay
+
+        try:
+            pc_arr = np.asarray(pcs, dtype=np.int64)
+            bits = np.asarray(outcomes, dtype=np.int64)
+        except (TypeError, ValueError, OverflowError):
+            return None
+        if pc_arr.ndim != 1 or bits.ndim != 1 or pc_arr.shape != bits.shape:
+            return None
+        if not (((bits == 0) | (bits == 1)).all() and (pc_arr >= 0).all()):
+            return None
+        N = int(bits.shape[0])
+        mask = self._mask
+        # History before event i: the initial register shifted left i times
+        # (bits beyond index_bits fall off the mask), ORed with outcome
+        # ``j`` steps back at bit ``j - 1``.
+        shifts = np.minimum(
+            np.arange(N, dtype=np.int64), self.index_bits
+        )
+        hist = (self._history << shifts) & mask
+        for j in range(1, min(self.index_bits, N) + 1):
+            hist[j:] |= bits[: N - j] << (j - 1)
+        idx = ((pc_arr >> self.pc_shift) ^ hist) & mask
+
+        counters = self._counters
+        machine = counters[0].as_moore()
+        result = banked_replay(
+            machine.transitions,
+            machine.start,
+            idx,
+            bits,
+            entry_initial=lambda entries: [
+                counters[e].value for e in entries.tolist()
+            ],
+        )
+        outputs = np.asarray(machine.outputs, dtype=np.int64)
+        agree = outputs[result.pre_states] == bits
+        lookups = max(0, N - warmup)
+        hits = int(agree[warmup:].sum()) if lookups else 0
+
+        for entry, value in zip(
+            result.entries.tolist(), result.final_states.tolist()
+        ):
+            counters[entry].value = value
+        if N:
+            self._history = ((int(hist[-1]) << 1) | int(bits[-1])) & mask
+        return lookups, hits
+
     def reset(self) -> None:
         self._history = 0
         for counter in self._counters:

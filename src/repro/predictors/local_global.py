@@ -89,6 +89,134 @@ class LocalGlobalChooser(BranchPredictor):
             (self._global_history << 1) | int(taken)
         ) & self._mask
 
+    def _batch_simulate(self, pcs, outcomes, warmup):
+        """Vectorized replay used by :func:`simulate_predictor`.
+
+        The tournament decomposes into three :func:`banked_replay` calls
+        once the history columns are known: the global/chooser banks index
+        by the closed-form global history, and each PC group's local
+        history column is its initial register shifted plus one OR pass
+        per history bit over the group's own outcome subsequence.  The
+        chooser replay uses ``update_mask`` (train only on disagreement)
+        with the winner bit ``global == taken``.  Returns
+        ``(lookups, hits)`` with all four tables and both history kinds
+        left exactly as the per-branch loop would, or ``None`` to decline.
+        """
+        import numpy as np
+
+        from repro.perf.batched import banked_replay
+
+        try:
+            pc_arr = np.asarray(pcs, dtype=np.int64)
+            bits = np.asarray(outcomes, dtype=np.int64)
+        except (TypeError, ValueError, OverflowError):
+            return None
+        if pc_arr.ndim != 1 or bits.ndim != 1 or pc_arr.shape != bits.shape:
+            return None
+        if not (((bits == 0) | (bits == 1)).all() and (pc_arr >= 0).all()):
+            return None
+        N = int(bits.shape[0])
+        if N == 0:
+            return 0, 0
+        b = self.scale_bits
+        mask = self._mask
+
+        # Global history column, exactly as in GSharePredictor.
+        shifts = np.minimum(np.arange(N, dtype=np.int64), b)
+        ghist = (self._global_history << shifts) & mask
+        for j in range(1, min(b, N) + 1):
+            ghist[j:] |= bits[: N - j] << (j - 1)
+
+        # Local history column: group events by PC index (stable, so each
+        # group is the original subsequence), then shift-and-OR within the
+        # group using in-group offsets.
+        pc_idx = pc_arr >> self.pc_shift & mask
+        order = np.argsort(pc_idx, kind="stable")
+        sp = pc_idx[order]
+        souts = bits[order]
+        new_g = np.empty(N, dtype=bool)
+        new_g[0] = True
+        np.not_equal(sp[1:], sp[:-1], out=new_g[1:])
+        gstart = np.flatnonzero(new_g)
+        gids = np.cumsum(new_g) - 1
+        group_pcs = sp[gstart]
+        histories = self._local_histories
+        h0g = np.asarray(
+            [histories[p] for p in group_pcs.tolist()], dtype=np.int64
+        )
+        t = np.arange(N, dtype=np.int64) - gstart[gids]
+        lh_sorted = (h0g[gids] << np.minimum(t, b)) & mask
+        for j in range(1, b + 1):
+            vidx = np.flatnonzero(t >= j)
+            if vidx.size == 0:
+                break
+            lh_sorted[vidx] |= souts[vidx - j] << (j - 1)
+        lh = np.empty(N, dtype=np.int64)
+        lh[order] = lh_sorted
+
+        # The three banks.  Local counters are indexed by history *value*
+        # (the pattern table is shared across PCs), global and chooser by
+        # the global history.
+        local_counters = self._local_counters
+        local_bank = banked_replay(
+            local_counters[0].as_moore().transitions,
+            0,
+            lh,
+            bits,
+            entry_initial=lambda entries: [
+                local_counters[e].value for e in entries.tolist()
+            ],
+        )
+        local_pred = local_bank.pre_states >= local_counters[0].threshold
+
+        global_counters = self._global_counters
+        global_bank = banked_replay(
+            global_counters[0].as_moore().transitions,
+            0,
+            ghist,
+            bits,
+            entry_initial=lambda entries: [
+                global_counters[e].value for e in entries.tolist()
+            ],
+        )
+        global_pred = global_bank.pre_states >= global_counters[0].threshold
+
+        chooser = self._chooser
+        taken = bits == 1
+        chooser_bank = banked_replay(
+            chooser[0].as_moore().transitions,
+            0,
+            ghist,
+            (global_pred == taken).astype(np.int64),
+            update_mask=local_pred != global_pred,
+            entry_initial=lambda entries: [
+                chooser[e].value for e in entries.tolist()
+            ],
+        )
+        use_global = chooser_bank.pre_states >= chooser[0].threshold
+
+        prediction = np.where(use_global, global_pred, local_pred)
+        agree = prediction == taken
+        lookups = max(0, N - warmup)
+        hits = int(agree[warmup:].sum()) if lookups else 0
+
+        for bank, result in (
+            (local_counters, local_bank),
+            (global_counters, global_bank),
+            (chooser, chooser_bank),
+        ):
+            for entry, value in zip(
+                result.entries.tolist(), result.final_states.tolist()
+            ):
+                bank[entry].value = value
+        gend = np.append(gstart[1:], N) - 1
+        last_lh = lh_sorted[gend]
+        last_out = souts[gend]
+        for g, p in enumerate(group_pcs.tolist()):
+            histories[p] = ((int(last_lh[g]) << 1) | int(last_out[g])) & mask
+        self._global_history = ((int(ghist[-1]) << 1) | int(bits[-1])) & mask
+        return lookups, hits
+
     def area(self) -> float:
         local_history_bits = self.scale_bits * self.num_entries
         local_pattern_bits = 3 * self.num_entries

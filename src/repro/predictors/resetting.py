@@ -47,3 +47,19 @@ class ResettingCounter:
     @property
     def storage_bits(self) -> int:
         return max(1, self.max_value.bit_length())
+
+    def as_moore(self):
+        """The equivalent Moore machine (state = count, down edge clears),
+        so resetting-counter sweeps ride the same batched bank kernel as
+        SUD counters."""
+        from repro.automata.moore import BINARY_ALPHABET, MooreMachine
+
+        values = range(self.max_value + 1)
+        return MooreMachine(
+            alphabet=BINARY_ALPHABET,
+            start=self.initial,
+            outputs=tuple(int(v >= self.threshold) for v in values),
+            transitions=tuple(
+                (0, min(self.max_value, v + 1)) for v in values
+            ),
+        )

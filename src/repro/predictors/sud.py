@@ -81,6 +81,30 @@ class SaturatingUpDownCounter:
         """Bits needed to hold the counter value."""
         return max(1, self.max_value.bit_length())
 
+    def as_moore(self):
+        """The equivalent Moore machine: state = counter value, output =
+        ``value >= threshold``, edges follow :meth:`update` exactly.
+
+        This is what lets the batched bank kernels replay SUD sweeps: a
+        counter is just a small FSM whose event bit picks the edge.
+        """
+        from repro.automata.moore import BINARY_ALPHABET, MooreMachine
+
+        values = range(self.max_value + 1)
+        if self.decrement == FULL_DECREMENT:
+            down = {v: 0 for v in values}
+        else:
+            down = {v: max(0, v - self.decrement) for v in values}
+        return MooreMachine(
+            alphabet=BINARY_ALPHABET,
+            start=self.initial,
+            outputs=tuple(int(v >= self.threshold) for v in values),
+            transitions=tuple(
+                (down[v], min(self.max_value, v + self.increment))
+                for v in values
+            ),
+        )
+
 
 def TwoBitCounter(initial: int = 0) -> SaturatingUpDownCounter:
     """The classic 2-bit counter: saturate at 3, predict taken at >= 2.

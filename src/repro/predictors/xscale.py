@@ -70,6 +70,69 @@ class XScalePredictor(BranchPredictor):
             # start at weakly-taken as the branch just went that way.
             self._entries[index] = _BTBEntry(tag=tag, counter=TwoBitCounter(initial=2))
 
+    def _batch_simulate(self, pcs, outcomes, warmup):
+        """Column-replay fast path used by :func:`simulate_predictor`.
+
+        A tagged BTB's next state depends on which tag is resident, so it
+        does not decompose into the FSM-bank kernels; instead the whole
+        trace runs through one tight loop over plain int tag/value lists
+        (no per-branch attribute chasing or method calls).  Returns
+        ``(lookups, hits)`` with ``_entries`` rebuilt exactly as the
+        per-branch loop would leave them, or ``None`` to decline.
+        """
+        try:
+            pc_list = [int(pc) for pc in pcs]
+            bit_list = [int(o) for o in outcomes]
+        except (TypeError, ValueError):
+            return None
+        if any(b not in (0, 1) for b in bit_list) or any(
+            pc < 0 for pc in pc_list
+        ):
+            return None
+        entries = self._entries
+        tags = [None if e is None else e.tag for e in entries]
+        vals = [0 if e is None else e.counter.value for e in entries]
+        shift = self.pc_shift
+        num_entries = self.num_entries
+        mask = num_entries - 1
+        lookups = 0
+        hits = 0
+        for i, pc in enumerate(pc_list):
+            word = pc >> shift
+            index = word & mask
+            tag = word // num_entries
+            taken = bit_list[i]
+            if tags[index] == tag:
+                value = vals[index]
+                if i >= warmup:
+                    lookups += 1
+                    if (1 if value >= 2 else 0) == taken:
+                        hits += 1
+                if taken:
+                    if value < 3:
+                        vals[index] = value + 1
+                elif value > 0:
+                    vals[index] = value - 1
+            else:
+                if i >= warmup:
+                    lookups += 1
+                    if not taken:
+                        hits += 1
+                if taken:
+                    tags[index] = tag
+                    vals[index] = 2
+        for index, tag in enumerate(tags):
+            if tag is None:
+                continue
+            entry = entries[index]
+            if entry is not None and entry.tag == tag:
+                entry.counter.value = vals[index]
+            else:
+                counter = TwoBitCounter(initial=2)  # as update() allocates
+                counter.value = vals[index]
+                entries[index] = _BTBEntry(tag=tag, counter=counter)
+        return lookups, hits
+
     def area(self) -> float:
         bits_per_entry = TAG_BITS + TARGET_BITS + COUNTER_BITS
         return table_bits_area(bits_per_entry * self.num_entries)

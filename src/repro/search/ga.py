@@ -76,6 +76,65 @@ def fitness(
     return correct / execs
 
 
+def batch_fitness(
+    genomes: Sequence[MachineGenome],
+    pcs: Sequence[int],
+    outcomes: Sequence[int],
+    target_pc: int,
+) -> List[float]:
+    """Fitness of many genomes in one stacked pass.
+
+    Under update-all every genome consumes the same outcome stream, so a
+    whole population (or brood of children) advances through a single
+    :class:`~repro.perf.batched.BatchedMoore` run; per-genome accuracy is
+    a gather at the target branch's positions.  Bit-identical to mapping
+    :func:`fitness` (same integer division), which it falls back to
+    without numpy or for small inputs.
+    """
+    if not genomes:
+        return []
+    from repro.perf import batched
+
+    if (
+        batched._np is None
+        or not batched.batch_enabled()
+        or len(genomes) < 2
+        or len(pcs) < batched.BATCH_THRESHOLD
+    ):
+        return [fitness(g, pcs, outcomes, target_pc) for g in genomes]
+    np = batched._np
+    try:
+        pc_arr = np.asarray(pcs, dtype=np.int64)
+        bits = np.asarray(outcomes, dtype=np.int64)
+    except (TypeError, ValueError, OverflowError):
+        return [fitness(g, pcs, outcomes, target_pc) for g in genomes]
+    if (
+        pc_arr.ndim != 1
+        or bits.ndim != 1
+        or pc_arr.shape != bits.shape
+        or not ((bits == 0) | (bits == 1)).all()
+    ):
+        return [fitness(g, pcs, outcomes, target_pc) for g in genomes]
+    idx = np.flatnonzero(pc_arr == target_pc)
+    execs = int(idx.size)
+    if execs == 0:
+        return [0.0] * len(genomes)
+    stack = batched.BatchedMoore([g.to_machine() for g in genomes])
+    states = stack.run_states(bits)  # (M, N) states after each outcome
+    M = len(genomes)
+    before = np.empty((M, execs), dtype=np.int64)
+    nonzero = idx > 0
+    before[:, nonzero] = states[:, idx[nonzero] - 1]
+    before[:, ~nonzero] = 0  # genomes always start in state 0
+    outs = np.zeros((M, stack.max_states), dtype=np.int64)
+    for m, genome in enumerate(genomes):
+        outs[m, : genome.num_states] = genome.outputs
+    correct = (
+        np.take_along_axis(outs, before, axis=1) == bits[idx][None, :]
+    ).sum(axis=1)
+    return [int(c) / execs for c in correct]
+
+
 def _checkpoint_key(config: GAConfig, target_pc: int) -> str:
     """Content key of a checkpoint: every knob that shapes the search
     *except* ``generations`` (resuming to a larger generation budget is
@@ -114,9 +173,6 @@ def evolve(
     pcs = trace.pcs[:limit]
     outcomes = trace.outcomes[:limit]
 
-    def score(genome: MachineGenome) -> float:
-        return fitness(genome, pcs, outcomes, target_pc)
-
     ckpt_path = None
     journal = None
     tag = checkpoint_tag or f"pc{target_pc:x}"
@@ -142,10 +198,14 @@ def evolve(
                 journal.append("ga_resumed", tag=tag, generation=start_generation)
 
     if population is None:
-        population = []
-        for _ in range(config.population):
-            genome = random_genome(config.num_states, rng)
-            population.append((score(genome), genome))
+        # Creation draws from the RNG; scoring is pure, so the whole
+        # brood can be scored in one batched pass afterwards.
+        genomes = [
+            random_genome(config.num_states, rng)
+            for _ in range(config.population)
+        ]
+        scores = batch_fitness(genomes, pcs, outcomes, target_pc)
+        population = list(zip(scores, genomes))
         population.sort(key=lambda item: -item[0])
 
     def tournament_pick() -> MachineGenome:
@@ -161,14 +221,22 @@ def evolve(
         next_population: List[Tuple[float, MachineGenome]] = list(
             population[: config.elite]
         )
-        while len(next_population) < config.population:
+        # Tournament picks read the *previous* generation's scores, so
+        # children can be created first (consuming the RNG in the same
+        # order as scoring them one by one would) and scored as one
+        # batched brood.
+        children: List[MachineGenome] = []
+        while len(next_population) + len(children) < config.population:
             parent = tournament_pick()
             if rng.random() < config.crossover_rate:
                 child = parent.crossover(tournament_pick(), rng)
             else:
                 child = parent.copy()
             child.mutate(rng, config.mutation_rate)
-            next_population.append((score(child), child))
+            children.append(child)
+        next_population.extend(
+            zip(batch_fitness(children, pcs, outcomes, target_pc), children)
+        )
         next_population.sort(key=lambda item: -item[0])
         population = next_population
         if ckpt_path is not None:

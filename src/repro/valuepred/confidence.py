@@ -22,7 +22,7 @@ value predictions that were allowed through by the confidence predictor".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.automata.moore import MooreMachine
 from repro.predictors.resetting import ResettingCounter
@@ -101,6 +101,49 @@ def correctness_trace(
     return indices, bits
 
 
+def _banked_confidence(
+    indices: Sequence[int],
+    bits: Sequence[int],
+    machine: MooreMachine,
+    label: str,
+) -> Optional[ConfidenceStats]:
+    """Replay an entry-banked confidence sweep through
+    :func:`repro.perf.batched.banked_replay`, or return ``None`` when the
+    batched path is unavailable or the inputs are not clean 0/1 columns.
+    """
+    from repro.perf import batched
+
+    if (
+        batched._np is None
+        or not batched.batch_enabled()
+        or len(indices) < batched.BATCH_THRESHOLD
+    ):
+        return None
+    np = batched._np
+    try:
+        idx = np.asarray(indices, dtype=np.int64)
+        ev = np.asarray(bits, dtype=np.int64)
+    except (TypeError, ValueError, OverflowError):
+        return None
+    if idx.ndim != 1 or ev.ndim != 1 or idx.shape != ev.shape:
+        return None
+    if not ((ev == 0) | (ev == 1)).all():
+        return None
+    result = batched.banked_replay(
+        machine.transitions, machine.start, idx, ev
+    )
+    outputs = np.asarray(machine.outputs, dtype=np.int64)
+    confident = outputs[result.pre_states] == 1
+    n = int(ev.shape[0])
+    return ConfidenceStats(
+        label=label,
+        total=n,
+        correct_total=int(ev.sum()),
+        confident=int(confident.sum()),
+        confident_correct=int((ev[confident] == 1).sum()),
+    )
+
+
 def evaluate_counter_confidence(
     indices: Sequence[int],
     bits: Sequence[int],
@@ -111,8 +154,17 @@ def evaluate_counter_confidence(
 
     ``counter_factory`` builds anything with ``predict() -> bool`` and
     ``update(event: bool)`` (SUD counters, resetting counters, or an
-    :class:`~repro.predictors.fsm.FSMPredictor`).
+    :class:`~repro.predictors.fsm.FSMPredictor`).  Factories whose units
+    expose ``as_moore()`` (SUD and resetting counters) take the banked
+    fast path: the whole entry table advances through one
+    :func:`~repro.perf.batched.banked_replay` call.
     """
+    probe = counter_factory()
+    as_moore = getattr(probe, "as_moore", None)
+    if callable(as_moore):
+        stats = _banked_confidence(indices, bits, as_moore(), label)
+        if stats is not None:
+            return stats
     stats = ConfidenceStats(label=label)
     units: Dict[int, object] = {}
     for index, bit in zip(indices, bits):
@@ -135,8 +187,12 @@ def evaluate_fsm_confidence(
 
     Functionally ``evaluate_counter_confidence`` with an FSM unit, but
     implemented on the raw transition table because this inner loop runs
-    millions of times in the Figure 2 sweep.
+    millions of times in the Figure 2 sweep; with numpy present the whole
+    bank advances through one :func:`~repro.perf.batched.banked_replay`.
     """
+    batched_stats = _banked_confidence(indices, bits, machine, label)
+    if batched_stats is not None:
+        return batched_stats
     stats = ConfidenceStats(label=label)
     outputs = machine.outputs
     transitions = machine.transitions
