@@ -17,6 +17,17 @@ Subcommands mirror what a user of the paper's flow would do:
 ``bench``
     Run the benchmark-telemetry pass and write the schema-versioned
     ``BENCH_pipeline.json`` snapshot (see :mod:`repro.obs.bench`).
+``serve``
+    Serve the design flow over newline-delimited JSON/TCP on a
+    supervised worker pool (see :mod:`repro.serve`): admission control
+    with load shedding, circuit breakers, per-request deadlines, and
+    graceful SIGTERM drain.  ``--oneshot FILE`` is the batch reference
+    path: execute request lines in-process and print each canonical
+    design payload.
+``loadgen``
+    Replay seeded concurrent synthetic clients against a running server
+    and assert zero lost / zero incorrect responses (byte-compared
+    against the batch reference).
 ``conformance``
     Differential-oracle conformance (see :mod:`repro.conformance`):
     ``run`` checks the fixed corpus stage-by-stage against brute-force
@@ -46,6 +57,10 @@ Examples::
     python -m repro --profile figures fig2 --benchmark gcc
     python -m repro --trace spans.jsonl figures fig5
     python -m repro bench --out BENCH_pipeline.json
+    python -m repro serve --port 7477 --workers 4
+    python -m repro loadgen --port 7477 --clients 64 --requests 2 --wait 30
+    echo '{"trace":"000010001011110111101111","order":2}' | \\
+        python -m repro serve --oneshot -
     python -m repro conformance run
     python -m repro conformance fuzz --seed 7 --budget 50 --out-dir fuzz_out
     python -m repro conformance --regen
@@ -320,6 +335,138 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+    import os
+    import signal
+
+    from repro.serve.config import ServeConfig
+
+    if args.oneshot is not None:
+        # The batch reference path: execute request lines in-process and
+        # print the canonical design payload, one line per request --
+        # exactly the bytes a served `ok` response carries in `payload`.
+        from repro.serve.jobs import DesignRequest, execute_request
+        from repro.serve.protocol import canonical_json
+
+        if args.oneshot == "-":
+            text = sys.stdin.read()
+        else:
+            with open(args.oneshot, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            request = DesignRequest.from_payload(json.loads(line))
+            payload = execute_request(request)
+            sys.stdout.write(canonical_json(payload).decode("utf-8") + "\n")
+        return 0
+
+    config = ServeConfig.from_env(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue,
+        deadline_s=args.deadline,
+    )
+
+    async def _serve() -> int:
+        from repro.obs.metrics import metrics
+        from repro.serve.server import DesignServer
+
+        server = DesignServer(config)
+        await server.start()
+        loop = asyncio.get_running_loop()
+
+        def _begin_drain() -> None:
+            # Replaces the CLI's raise-KeyboardInterrupt handler while
+            # the loop runs: a polite kill drains instead of aborting.
+            asyncio.ensure_future(server.shutdown())
+
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, _begin_drain)
+            except (NotImplementedError, ValueError, OSError):
+                pass
+        print(
+            json.dumps(
+                {
+                    "event": "listening",
+                    "host": config.host,
+                    "port": server.port,
+                    "pid": os.getpid(),
+                    "workers": config.workers,
+                    "queue_limit": config.queue_limit,
+                },
+                sort_keys=True,
+            ),
+            flush=True,
+        )
+        await server.serve_until_shutdown()
+        # Final metrics flush: one machine-readable line for the log.
+        print(
+            json.dumps(
+                {"event": "drained", "counters": metrics().snapshot()},
+                sort_keys=True,
+            ),
+            flush=True,
+        )
+        return 0
+
+    return asyncio.run(_serve())
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.serve.loadgen import run_loadgen, wait_until_ready
+
+    async def _run() -> int:
+        server = None
+        host, port = args.host, args.port
+        if args.selfhost:
+            from repro.serve.config import ServeConfig
+            from repro.serve.server import DesignServer
+
+            server = DesignServer(
+                ServeConfig.from_env(host="127.0.0.1", port=0)
+            )
+            await server.start()
+            host, port = "127.0.0.1", server.port
+        try:
+            if args.wait and not await wait_until_ready(
+                host, port, timeout_s=args.wait
+            ):
+                print(
+                    f"repro: error: server at {host}:{port} never became "
+                    "ready",
+                    file=sys.stderr,
+                )
+                return 2
+            summary = await run_loadgen(
+                host,
+                port,
+                clients=args.clients,
+                requests=args.requests,
+                seed=args.seed,
+                check=not args.no_check,
+            )
+        finally:
+            if server is not None:
+                await server.shutdown()
+        text = json.dumps(summary, indent=2, sort_keys=True)
+        print(text)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+        return 0 if summary["passed"] else 1
+
+    return asyncio.run(_run())
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -453,6 +600,80 @@ def build_parser() -> argparse.ArgumentParser:
         "else tests/golden/)",
     )
     conformance.set_defaults(func=_cmd_conformance)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve the design flow over JSON/TCP (supervised worker pool)",
+    )
+    serve.add_argument("--host", default=None, help="listen address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="listen port (0 = ephemeral; default $REPRO_SERVE_PORT or 7477)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="pool worker processes (default $REPRO_SERVE_WORKERS or 2)",
+    )
+    serve.add_argument(
+        "--queue",
+        type=int,
+        default=None,
+        help="admission queue depth before load shedding "
+        "(default $REPRO_SERVE_QUEUE or 64)",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="default per-request deadline in seconds "
+        "(default $REPRO_SERVE_DEADLINE or 30)",
+    )
+    serve.add_argument(
+        "--oneshot",
+        metavar="FILE",
+        default=None,
+        help="batch mode: execute request JSON lines from FILE (or '-' "
+        "for stdin) in-process and print each canonical design payload",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="replay seeded concurrent clients against a running server",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=7477)
+    loadgen.add_argument("--clients", type=int, default=64)
+    loadgen.add_argument(
+        "--requests", type=int, default=2, help="requests per client"
+    )
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--no-check",
+        action="store_true",
+        help="skip byte-comparing responses against the in-process "
+        "batch reference",
+    )
+    loadgen.add_argument(
+        "--out", metavar="FILE", help="write the summary JSON to FILE"
+    )
+    loadgen.add_argument(
+        "--wait",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="poll healthz for up to S seconds before starting",
+    )
+    loadgen.add_argument(
+        "--selfhost",
+        action="store_true",
+        help="boot an in-process server on an ephemeral port and load it",
+    )
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     bench = sub.add_parser(
         "bench",

@@ -25,6 +25,7 @@ from repro.automata.hopcroft import hopcroft_minimize
 from repro.automata.moore import BINARY_ALPHABET, MooreMachine
 from repro.automata.nfa import NFA, thompson_construct
 from repro.automata.startup import startup_state_count, steady_state_reduce
+from repro.core import cancel
 from repro.core.markov import MarkovModel
 from repro.core.patterns import PatternSets, define_patterns
 from repro.core.regex_build import history_language_regex
@@ -210,6 +211,7 @@ class FSMDesigner:
         )
 
         def compute() -> DesignResult:
+            cancel.checkpoint("markov")
             with trace_span(
                 "design.markov",
                 trace_len=len(trace),
@@ -286,6 +288,7 @@ class FSMDesigner:
         if self.config.verify:
             from repro.reliability.verify import verify_design
 
+            cancel.checkpoint("verify")
             verify_design(result)
         return result
 
@@ -328,6 +331,7 @@ class FSMDesigner:
         self._stage("compile")
         machine, nfa_states, dfa_states, minimized_states = self._compile(regex)
         removed = 0
+        cancel.checkpoint("startup_reduce")
         if self.config.reduce_startup and machine.num_states > 1:
             with trace_span(
                 "design.startup",
@@ -365,10 +369,13 @@ class FSMDesigner:
     # Internals
     # ------------------------------------------------------------------
     def _stage(self, name: str) -> None:
-        """Stage boundary: hosts the ``stage_fail`` fault point.  An
-        injected stage failure surfaces as a structured
+        """Stage boundary: the cooperative cancellation checkpoint (a
+        served request whose deadline has passed stops *between* stages,
+        see :mod:`repro.core.cancel`) and host of the ``stage_fail``
+        fault point.  An injected stage failure surfaces as a structured
         :class:`DesignError` naming the stage -- the contract every sweep
         relies on (fail loudly, never return a wrong machine)."""
+        cancel.checkpoint(name)
         try:
             faults.fire("stage_fail")
         except InjectedFault as exc:

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import signal
 import time
 from typing import Callable, Dict, Iterable, List, Optional, TypeVar
 
@@ -63,9 +64,22 @@ _BACKOFF_MAX = 0.5
 
 def _mark_worker() -> None:
     """Pool initializer: flags the process so nested ``parallel_map`` calls
-    inside shard functions run serially instead of forking pools of pools."""
+    inside shard functions run serially instead of forking pools of pools.
+
+    Also resets SIGTERM to the default action.  Forked workers inherit the
+    CLI's handler, which raises ``KeyboardInterrupt`` -- correct for the
+    *parent* (drain, journal, resume hint), but poison in a worker: the
+    pool ships the ``KeyboardInterrupt`` back as the task's result and the
+    whole sweep aborts because one worker was politely killed.  With the
+    default action the SIGTERMed worker simply dies, the parent sees a
+    ``BrokenProcessPool``, re-dispatches the item, and the sweep result
+    stays byte-identical."""
     global _IN_WORKER
     _IN_WORKER = True
+    try:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
 
 
 def default_jobs() -> int:

@@ -78,3 +78,16 @@ class CacheError(ReproError, RuntimeError):
 class WorkerError(ReproError, RuntimeError):
     """A parallel_map work item could not be completed even after retries
     and a serial recompute; names the item index."""
+
+
+class DeadlineError(ReproError, TimeoutError):
+    """A cooperative deadline expired mid-flow.  Raised by the stage
+    checkpoints in :mod:`repro.core.cancel` when the caller's deadline
+    (propagated by the serving layer into each worker) has passed; the
+    server maps it to a 504-style timeout response."""
+
+
+class ServeError(ReproError, RuntimeError):
+    """The serving layer itself failed: malformed wire requests, a pool
+    that cannot be started, or a request that exhausted its re-dispatch
+    budget."""

@@ -8,10 +8,15 @@ chaos tests strike mid-sweep instead of at the start), or a probability
 (``cache_read:0.5`` -- fire on each query with p=0.5 from a seeded PRNG,
 so a given plan misbehaves identically on every run).
 
-Activation is environment-driven (``REPRO_FAULTS`` + ``REPRO_FAULTS_SEED``,
-read at import so pool workers inherit the plan) or scoped with the
-:func:`inject_faults` context manager in tests.  With no plan armed every
-hook is a single ``is None`` check -- zero overhead in production.
+Activation is environment-driven (``REPRO_FAULTS`` + ``REPRO_FAULTS_SEED``)
+or scoped with the :func:`inject_faults` context manager in tests.  The
+environment is re-read **at call time**: the plan is re-parsed only when
+the ``(spec, seed)`` pair actually changes, so query/PRNG state is stable
+while a plan is armed, yet flipping ``REPRO_FAULTS`` after import (tests,
+serve workers, subprocess drivers) takes effect immediately -- the same
+fix the PR 2 ``REPRO_CACHE`` import-freeze bug got, applied to the last
+offender of that class.  With no plan armed every hook costs one environ
+lookup and an ``is None`` check.
 
 Fault points currently wired in:
 
@@ -26,6 +31,8 @@ Fault points currently wired in:
 ``journal_write``  a write-ahead journal append is dropped (lost record)
 ``kill_point``     the process SIGKILLs itself (via :func:`fire_kill`)
 ``hopcroft_offby1`` Hopcroft output gets one transition bumped off by one
+``serve_worker_crash`` a serve pool worker SIGKILLs itself before a job
+``serve_worker_hang``  a serve pool worker stalls past the stall timeout
 =================  ==========================================================
 """
 
@@ -49,6 +56,8 @@ KNOWN_POINTS = frozenset(
         "journal_write",
         "kill_point",
         "hopcroft_offby1",
+        "serve_worker_crash",
+        "serve_worker_hang",
     }
 )
 
@@ -142,35 +151,60 @@ def _plan_from_env() -> Optional[FaultPlan]:
     spec = os.environ.get("REPRO_FAULTS", "").strip()
     if not spec:
         return None
-    seed = int(os.environ.get("REPRO_FAULTS_SEED", "0") or 0)
+    try:
+        seed = int(os.environ.get("REPRO_FAULTS_SEED", "0") or 0)
+    except ValueError:
+        seed = 0
     return FaultPlan(spec, seed=seed)
 
 
-# Read once at import: pool workers are fresh processes, so they pick up
-# the inherited environment here; the parent pays one getenv at startup
-# and a single `is None` test per hook afterwards.
-_plan: Optional[FaultPlan] = _plan_from_env()
+# The active plan.  ``_override`` is set while :func:`inject_faults` /
+# :func:`no_faults` scope a plan explicitly (the environment is ignored
+# for the duration); otherwise the plan tracks the environment lazily:
+# ``_env_sig`` remembers the (spec, seed) pair the current plan was
+# parsed from, and the plan is re-parsed only when that pair changes --
+# query counts and the seeded PRNG stay stable while a plan is armed,
+# but REPRO_FAULTS set *after* import is honoured (no import freezing).
+_plan: Optional[FaultPlan] = None
+_override = False
+_env_sig: Optional[tuple] = None
 
 
-def active_plan() -> Optional[FaultPlan]:
+def _current_plan() -> Optional[FaultPlan]:
+    global _plan, _env_sig
+    if _override:
+        return _plan
+    sig = (
+        os.environ.get("REPRO_FAULTS", ""),
+        os.environ.get("REPRO_FAULTS_SEED", ""),
+    )
+    if sig != _env_sig:
+        _env_sig = sig
+        _plan = _plan_from_env()
     return _plan
 
 
+def active_plan() -> Optional[FaultPlan]:
+    return _current_plan()
+
+
 def faults_enabled() -> bool:
-    return _plan is not None
+    return _current_plan() is not None
 
 
 def should_fire(point: str) -> bool:
-    """True when ``point`` should fail now.  The disabled path is one
-    global load and an ``is None`` test."""
-    if _plan is None:
+    """True when ``point`` should fail now.  The disabled path is two
+    environ lookups and an ``is None`` test."""
+    plan = _current_plan()
+    if plan is None:
         return False
-    return _plan.query(point)
+    return plan.query(point)
 
 
 def fire(point: str) -> None:
     """Raise :class:`InjectedFault` when ``point`` is armed and due."""
-    if _plan is not None and _plan.query(point):
+    plan = _current_plan()
+    if plan is not None and plan.query(point):
         raise InjectedFault(point)
 
 
@@ -180,14 +214,16 @@ def fire_kill(point: str) -> None:
     what an OOM kill or a CI timeout does.  Chaos tests arm it (usually
     ``kill_point:@k``) in a *subprocess* and then prove the resumed run
     is byte-identical to an uninterrupted one."""
-    if _plan is not None and _plan.query(point):
+    plan = _current_plan()
+    if plan is not None and plan.query(point):
         os.kill(os.getpid(), signal.SIGKILL)
 
 
 def plan_rng() -> Optional[random.Random]:
     """The active plan's PRNG (for order-shuffling faults); None when
     faults are disabled."""
-    return _plan.rng if _plan is not None else None
+    plan = _current_plan()
+    return plan.rng if plan is not None else None
 
 
 @contextmanager
@@ -200,20 +236,21 @@ def inject_faults(
     ``REPRO_FAULTS_SEED`` so freshly spawned pool workers inherit the
     plan; counts are per-process either way.
     """
-    global _plan
-    previous = _plan
+    global _plan, _override
+    previous = (_plan, _override)
     previous_env = (
         os.environ.get("REPRO_FAULTS"),
         os.environ.get("REPRO_FAULTS_SEED"),
     )
-    _plan = FaultPlan(spec, seed=seed)
+    plan = FaultPlan(spec, seed=seed)
+    _plan, _override = plan, True
     if propagate_env:
         os.environ["REPRO_FAULTS"] = spec
         os.environ["REPRO_FAULTS_SEED"] = str(seed)
     try:
-        yield _plan
+        yield plan
     finally:
-        _plan = previous
+        _plan, _override = previous
         if propagate_env:
             for key, value in zip(
                 ("REPRO_FAULTS", "REPRO_FAULTS_SEED"), previous_env
@@ -228,10 +265,10 @@ def inject_faults(
 def no_faults() -> Iterator[None]:
     """Disarm every fault point for the block (lets targeted tests assert
     clean-path behaviour even under a chaos CI environment)."""
-    global _plan
-    previous = _plan
-    _plan = None
+    global _plan, _override
+    previous = (_plan, _override)
+    _plan, _override = None, True
     try:
         yield
     finally:
-        _plan = previous
+        _plan, _override = previous

@@ -25,6 +25,11 @@ Runs, in-process and in a couple of minutes of CPU at most:
    corpus sample, and an injected ``hopcroft_offby1`` fault is caught at
    exactly the ``automata.hopcroft`` stage with a delta-debugged
    counterexample (the watcher is proven able to see, not just quiet).
+8. **serving** -- an in-process :class:`~repro.serve.server.DesignServer`
+   (one supervised worker, ephemeral port) answers a verified design
+   request byte-identically to the batch path, the design passes an
+   independent ``verify_design`` pass, and graceful drain leaves no
+   worker processes behind.
 
 Every check is independent; the command prints one PASS/FAIL line per
 check plus the cache counters and exits non-zero when anything failed.
@@ -313,6 +318,77 @@ def _check_conformance() -> str:
     )
 
 
+def _check_serving() -> str:
+    import asyncio
+    import json
+
+    from repro.core.pipeline import DesignConfig, FSMDesigner
+    from repro.reliability.verify import verify_design
+    from repro.serve import protocol
+    from repro.serve.config import ServeConfig
+    from repro.serve.jobs import DesignRequest, execute_request
+    from repro.serve.server import DesignServer
+
+    payload = {
+        "trace": "".join(str(bit) for bit in PAPER_TRACE * 4),
+        "order": 2,
+        "verify": True,
+        "emit": ["verilog"],
+        "id": "selfcheck-serving",
+    }
+
+    async def scenario():
+        server = DesignServer(
+            ServeConfig.from_env(
+                host="127.0.0.1", port=0, workers=1, queue_limit=8
+            )
+        )
+        await server.start()
+        try:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            try:
+                writer.write(protocol.canonical_json(payload) + b"\n")
+                await writer.drain()
+                line = await asyncio.wait_for(reader.readline(), timeout=120)
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (OSError, ConnectionResetError):
+                    pass
+        finally:
+            await server.shutdown()
+        if not line:
+            raise AssertionError("server closed the connection mid-request")
+        return json.loads(line), server
+
+    envelope, server = asyncio.run(scenario())
+    if envelope.get("status") != "ok":
+        raise AssertionError(f"serving round-trip failed: {envelope}")
+    want = protocol.canonical_json(
+        execute_request(DesignRequest.from_payload(payload))
+    )
+    got = protocol.canonical_json(envelope["payload"])
+    if got != want:
+        raise AssertionError(
+            "served payload is not byte-identical to the batch reference"
+        )
+    # Independent oracle pass over the same design, outside the server.
+    result = FSMDesigner(DesignConfig(order=2, verify=False)).design_from_trace(
+        PAPER_TRACE * 4
+    )
+    verify_design(result)
+    if server.pool.workers_alive() != 0:
+        raise AssertionError("drain left worker processes running")
+    states = envelope["payload"]["state_counts"]["startup_removed"]
+    return (
+        f"round-trip ok ({states} states, verified), payload byte-identical "
+        "to batch, drained cleanly"
+    )
+
+
 CHECKS: Tuple[Tuple[str, Callable[[], str]], ...] = (
     ("oracle-equivalence", _check_oracle_equivalence),
     ("cache-round-trip", _check_cache_round_trip),
@@ -321,6 +397,7 @@ CHECKS: Tuple[Tuple[str, Callable[[], str]], ...] = (
     ("metrics-aggregation", _check_metrics_aggregation),
     ("durability", _check_durability),
     ("conformance", _check_conformance),
+    ("serving", _check_serving),
 )
 
 

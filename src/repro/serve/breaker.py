@@ -1,0 +1,149 @@
+"""Circuit breakers: stop hammering a failing dependency, degrade instead.
+
+A :class:`CircuitBreaker` is the classic three-state machine:
+
+* **closed** -- requests flow; consecutive failures are counted.
+* **open** -- after ``threshold`` consecutive failures the breaker trips;
+  ``allow()`` answers False until ``reset_after`` seconds have passed.
+* **half-open** -- after the cooldown one trial request is let through;
+  success closes the breaker, failure re-opens it (and restarts the
+  cooldown clock).
+
+The server keeps one breaker per protected scope in a
+:class:`BreakerBoard`:
+
+* ``cache`` -- repeated cache-layer failures open the breaker and further
+  requests run with the ``no-cache`` degrade flag (recompute instead of
+  touching the sick cache; payload bytes unchanged).
+* ``verify`` -- repeated oracle failures shed verification (``no-verify``)
+  rather than rejecting the design work itself.
+* any design stage (``patterns``, ``logic_minimize``, ...) -- repeated
+  structured failures in one stage fast-fail new requests with a 503 +
+  retry hint instead of burning a worker on each doomed attempt.
+
+Time is injected (``clock=``) so tests never sleep.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with timed half-open recovery."""
+
+    def __init__(
+        self,
+        name: str,
+        threshold: int = 5,
+        reset_after: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.name = name
+        self.threshold = threshold
+        self.reset_after = max(0.0, reset_after)
+        self._clock = clock
+        self._state = STATE_CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._trips = 0
+
+    @property
+    def state(self) -> str:
+        # Promote open -> half-open lazily: state is only observable
+        # through calls, so the transition happens on read.
+        if (
+            self._state == STATE_OPEN
+            and self._clock() - self._opened_at >= self.reset_after
+        ):
+            self._state = STATE_HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """May a request pass?  In half-open, the first caller gets the
+        trial slot and subsequent callers are refused until it reports."""
+        state = self.state
+        if state == STATE_CLOSED:
+            return True
+        if state == STATE_HALF_OPEN:
+            # Hand out one trial and re-open provisionally (fresh
+            # cooldown) so concurrent callers don't stampede the
+            # recovering dependency.  The trial's record_success()/
+            # record_failure() settles the state before that matters.
+            self._state = STATE_OPEN
+            self._opened_at = self._clock()
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self._failures = 0
+        self._state = STATE_CLOSED
+
+    def record_failure(self) -> None:
+        self._failures += 1
+        if self._failures >= self.threshold or self._state != STATE_CLOSED:
+            if self._state == STATE_CLOSED:
+                self._trips += 1
+            self._state = STATE_OPEN
+            self._opened_at = self._clock()
+
+    def retry_after_s(self) -> float:
+        """Seconds until the breaker half-opens (0 when not open)."""
+        if self.state != STATE_OPEN:
+            return 0.0
+        return max(0.0, self.reset_after - (self._clock() - self._opened_at))
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "state": self.state,
+            "consecutive_failures": self._failures,
+            "threshold": self.threshold,
+            "trips": self._trips,
+        }
+
+
+class BreakerBoard:
+    """The server's named breakers, created on first touch."""
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        reset_after: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.threshold = threshold
+        self.reset_after = reset_after
+        self._clock = clock
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def get(self, name: str) -> CircuitBreaker:
+        breaker = self._breakers.get(name)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                name,
+                threshold=self.threshold,
+                reset_after=self.reset_after,
+                clock=self._clock,
+            )
+            self._breakers[name] = breaker
+        return breaker
+
+    def record(self, name: str, ok: bool) -> None:
+        breaker = self.get(name)
+        if ok:
+            breaker.record_success()
+        else:
+            breaker.record_failure()
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        return {
+            name: breaker.snapshot()
+            for name, breaker in sorted(self._breakers.items())
+        }

@@ -1,0 +1,298 @@
+"""Seeded concurrent load generator + correctness checker for the server.
+
+``run_loadgen`` replays hundreds of concurrent synthetic clients against
+a running :class:`~repro.serve.server.DesignServer` and *proves* the
+serving guarantees instead of eyeballing them:
+
+* **zero lost** -- every request eventually receives exactly one
+  envelope; a connection cut mid-request is retried on a fresh
+  connection (the design flow is idempotent, so retries are safe).
+* **zero incorrect** -- with ``check=True`` every ``ok`` payload is
+  byte-compared (canonical JSON) against :func:`execute_request` run
+  in-process, i.e. against exactly what the batch CLI would print.  A
+  single differing byte is a failure.
+* **explicit shed handling** -- a 503 is not a failure; the client backs
+  off by the server's ``retry_after_s`` hint and retries, and the
+  summary reports how often that happened.
+
+The workload is a pure function of ``seed``: client ``c``'s request
+``i`` is case ``c * requests + i`` of a bounded mix drawn from the
+conformance fuzz trace families (uniform/periodic/bursty/markov/
+adversarial; orders 1-4, lengths 48-128 -- small enough that a 64-client
+run finishes on a one-core CI box without manufacturing deadline
+blowups), so a failing run is replayable bit-for-bit.  Latency quantiles
+and a queue-depth sample (polled via the ``metrics`` op) land in the
+summary dict that the CI job uploads as an artifact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.conformance import fuzz
+from repro.serve import protocol
+from repro.serve.jobs import DesignRequest, execute_request
+
+#: Reconnect attempts per request after a dropped connection.
+MAX_RECONNECTS = 8
+#: Retries per request after an explicit 503 shed.
+MAX_SHED_RETRIES = 32
+#: Per-request deadline sent on every synthetic request.  Generous on
+#: purpose: the loadgen proves zero-lost/zero-incorrect under crash
+#: chaos; deadline behaviour has its own targeted tests.
+REQUEST_DEADLINE_S = 240.0
+
+_GENERATORS = dict(
+    zip(
+        fuzz.FAMILIES,
+        (
+            fuzz.gen_uniform,
+            fuzz.gen_periodic,
+            fuzz.gen_bursty,
+            fuzz.gen_markov,
+            fuzz.gen_adversarial,
+        ),
+    )
+)
+#: Low orders weighted up: order-4+ designs cost seconds each through
+#: the hit-validation oracle, and the loadgen needs volume, not depth.
+_ORDER_MIX = (1, 1, 2, 2, 3, 3, 4)
+
+
+def build_request_payload(seed: int, case_index: int) -> Dict[str, Any]:
+    """Wire payload for one synthetic request (pure function of inputs)."""
+    rng = random.Random(f"repro-loadgen:{seed}:{case_index}")
+    family = fuzz.FAMILIES[case_index % len(fuzz.FAMILIES)]
+    order = rng.choice(_ORDER_MIX)
+    length = max(order + 1, rng.randint(48, 128))
+    bits = "".join(str(b) for b in _GENERATORS[family](rng, length))
+    return {
+        "op": "design",
+        "id": f"lg-{seed}-{case_index}",
+        "trace": bits,
+        "order": order,
+        "bias_threshold": rng.choice((0.5, 0.6)),
+        "dont_care_fraction": rng.choice((0.0, 0.01)),
+        "verify": case_index % 4 == 0,
+        "emit": ["verilog"] if case_index % 2 == 0 else [],
+        "deadline_s": REQUEST_DEADLINE_S,
+    }
+
+
+def reference_payload_bytes(payload: Dict[str, Any]) -> bytes:
+    """What the batch path (``serve --oneshot``) would print for this
+    request -- the byte-identity oracle."""
+    request = DesignRequest.from_payload(payload)
+    return protocol.canonical_json(execute_request(request))
+
+
+async def _roundtrip(
+    host: str, port: int, line: bytes, timeout_s: float
+) -> Optional[Dict[str, Any]]:
+    """One request on a fresh connection; None when the connection died."""
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+    except OSError:
+        return None
+    try:
+        writer.write(line + b"\n")
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.readline(), timeout=timeout_s)
+    except (OSError, asyncio.TimeoutError, asyncio.IncompleteReadError):
+        return None
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (OSError, ConnectionResetError):
+            pass
+    if not raw:
+        return None
+    try:
+        return json.loads(raw)
+    except json.JSONDecodeError:
+        return {"status": "error", "code": 500, "error": "unparsable response"}
+
+
+async def _client(
+    client_id: int,
+    host: str,
+    port: int,
+    seed: int,
+    requests: int,
+    check: bool,
+    timeout_s: float,
+    stats: Dict[str, Any],
+) -> None:
+    for i in range(requests):
+        case_index = client_id * requests + i
+        payload = build_request_payload(seed, case_index)
+        line = protocol.canonical_json(payload)
+        envelope: Optional[Dict[str, Any]] = None
+        reconnects = 0
+        sheds = 0
+        started = time.monotonic()
+        while True:
+            envelope = await _roundtrip(host, port, line, timeout_s)
+            if envelope is None:
+                reconnects += 1
+                stats["reconnects"] += 1
+                if reconnects > MAX_RECONNECTS:
+                    break
+                await asyncio.sleep(min(0.05 * reconnects, 0.5))
+                continue
+            if envelope.get("status") == "rejected":
+                sheds += 1
+                stats["shed"] += 1
+                if sheds > MAX_SHED_RETRIES:
+                    break
+                await asyncio.sleep(
+                    min(float(envelope.get("retry_after_s", 0.1)), 2.0)
+                )
+                continue
+            break
+        latency = time.monotonic() - started
+        if envelope is None or envelope.get("status") == "rejected":
+            stats["lost"].append(payload["id"])
+            continue
+        stats["latencies"].append(latency)
+        status = envelope.get("status")
+        if status != "ok":
+            stats["failed"].append(
+                {
+                    "id": payload["id"],
+                    "code": envelope.get("code"),
+                    "error": envelope.get("error"),
+                }
+            )
+            continue
+        stats["ok"] += 1
+        if envelope.get("degraded"):
+            stats["degraded"] += 1
+        if check:
+            got = protocol.canonical_json(envelope.get("payload"))
+            want = await asyncio.get_running_loop().run_in_executor(
+                None, reference_payload_bytes, payload
+            )
+            if got != want:
+                stats["incorrect"].append(payload["id"])
+
+
+async def _sample_queue_depth(
+    host: str, port: int, stop: asyncio.Event, samples: List[int]
+) -> None:
+    while not stop.is_set():
+        envelope = await _roundtrip(
+            host, port, protocol.canonical_json({"op": "metrics"}), 5.0
+        )
+        if envelope and "queue_depth" in envelope:
+            samples.append(int(envelope["queue_depth"]))
+        try:
+            await asyncio.wait_for(stop.wait(), timeout=0.2)
+        except asyncio.TimeoutError:
+            pass
+
+
+def _quantile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * (len(sorted_values) - 1)))
+    return sorted_values[index]
+
+
+async def run_loadgen(
+    host: str,
+    port: int,
+    clients: int = 64,
+    requests: int = 2,
+    seed: int = 0,
+    check: bool = True,
+    timeout_s: float = 120.0,
+) -> Dict[str, Any]:
+    """Run the full load profile; returns the summary dict.  The run
+    *passed* iff ``summary['passed']`` -- zero lost, zero incorrect,
+    zero unexpected failures."""
+    stats: Dict[str, Any] = {
+        "ok": 0,
+        "shed": 0,
+        "reconnects": 0,
+        "degraded": 0,
+        "lost": [],
+        "failed": [],
+        "incorrect": [],
+        "latencies": [],
+    }
+    depth_samples: List[int] = []
+    stop = asyncio.Event()
+    sampler = asyncio.ensure_future(
+        _sample_queue_depth(host, port, stop, depth_samples)
+    )
+    started = time.monotonic()
+    await asyncio.gather(
+        *(
+            _client(c, host, port, seed, requests, check, timeout_s, stats)
+            for c in range(clients)
+        )
+    )
+    wall_s = time.monotonic() - started
+    stop.set()
+    await sampler
+    latencies = sorted(stats["latencies"])
+    total = clients * requests
+    summary = {
+        "schema": "repro.loadgen-summary/1",
+        "seed": seed,
+        "clients": clients,
+        "requests_per_client": requests,
+        "total_requests": total,
+        "ok": stats["ok"],
+        "failed": stats["failed"],
+        "lost": stats["lost"],
+        "incorrect": stats["incorrect"],
+        "shed_retries": stats["shed"],
+        "reconnects": stats["reconnects"],
+        "degraded_responses": stats["degraded"],
+        "checked": bool(check),
+        "wall_s": round(wall_s, 3),
+        "throughput_rps": round(stats["ok"] / wall_s, 2) if wall_s else 0.0,
+        "latency_s": {
+            "p50": round(_quantile(latencies, 0.50), 4),
+            "p90": round(_quantile(latencies, 0.90), 4),
+            "p99": round(_quantile(latencies, 0.99), 4),
+            "max": round(latencies[-1], 4) if latencies else 0.0,
+        },
+        "queue_depth": {
+            "samples": len(depth_samples),
+            "max": max(depth_samples, default=0),
+            "mean": (
+                round(sum(depth_samples) / len(depth_samples), 2)
+                if depth_samples
+                else 0.0
+            ),
+        },
+        "passed": (
+            stats["ok"] == total
+            and not stats["lost"]
+            and not stats["failed"]
+            and not stats["incorrect"]
+        ),
+    }
+    return summary
+
+
+async def wait_until_ready(
+    host: str, port: int, timeout_s: float = 30.0
+) -> bool:
+    """Poll ``healthz`` until the server reports ready (CI startup gate)."""
+    deadline = time.monotonic() + timeout_s
+    probe = protocol.canonical_json({"op": "healthz"})
+    while time.monotonic() < deadline:
+        envelope = await _roundtrip(host, port, probe, 5.0)
+        if envelope and envelope.get("ready"):
+            return True
+        await asyncio.sleep(0.2)
+    return False

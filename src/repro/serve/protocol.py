@@ -1,0 +1,113 @@
+"""The wire protocol: newline-delimited JSON over TCP.
+
+One request per line, one response per line, canonical encoding (sorted
+keys, no whitespace) so responses are byte-comparable across the server,
+the batch ``--oneshot`` path, and the loadgen checker.  No HTTP framing
+-- stdlib-only, trivially scriptable (``nc``/``socat`` work) -- but the
+status codes borrow HTTP semantics so the failure taxonomy is familiar:
+
+===========  ==========  =================================================
+``ok``       200         ``payload`` holds the designed machine
+``rejected`` 503         load shed / draining; ``retry_after_s`` hints when
+``error``    400 / 500   client error (bad request) / server-side failure
+``timeout``  504         the request's deadline expired
+===========  ==========  =================================================
+
+Operations (the ``op`` field): ``design`` (the workload), ``healthz``
+(readiness; ``"deep": true`` round-trips a verified probe design through
+the pool), ``metrics`` (live counters/queue/breaker/worker snapshot), and
+``ping``.
+
+``degraded`` on a response lists the features the server shed to keep
+answering (``no-verify``, ``no-cache``); the design payload itself is
+unaffected -- both knobs change what is *checked or memoized*, never what
+is produced.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+SERVE_SCHEMA = "repro.serve/1"
+METRICS_SCHEMA = "repro.serve-metrics/1"
+
+#: Max request-line length accepted by the stream reader (a 1M-bit trace
+#: as a JSON string fits comfortably).
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+OPS = ("design", "healthz", "metrics", "ping")
+
+
+class ProtocolError(ValueError):
+    """A wire request that cannot be parsed or names an unknown op."""
+
+
+def canonical_json(obj: Any) -> bytes:
+    """Canonical encoding: sorted keys, compact separators, UTF-8.  Equal
+    objects always serialize to equal bytes -- the byte-identity contract
+    between served and batch responses rests on this."""
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    ).encode("utf-8")
+
+
+def parse_request(line: bytes) -> Dict[str, Any]:
+    """Decode one request line into a dict; raises :class:`ProtocolError`
+    on garbage, a non-object, or an unknown ``op``."""
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError("request must be a JSON object")
+    op = obj.get("op", "design")
+    if op not in OPS:
+        raise ProtocolError(
+            f"unknown op {op!r} (known: {', '.join(OPS)})"
+        )
+    obj["op"] = op
+    return obj
+
+
+def response(
+    status: str,
+    code: int,
+    request_id: Optional[Any] = None,
+    **fields: Any,
+) -> Dict[str, Any]:
+    """Assemble one response envelope."""
+    envelope: Dict[str, Any] = {
+        "schema": SERVE_SCHEMA,
+        "status": status,
+        "code": code,
+    }
+    if request_id is not None:
+        envelope["id"] = request_id
+    envelope.update(fields)
+    return envelope
+
+
+def ok_response(payload: Dict[str, Any], request_id=None, degraded=()):
+    extra: Dict[str, Any] = {"payload": payload}
+    if degraded:
+        extra["degraded"] = sorted(degraded)
+    return response("ok", 200, request_id, **extra)
+
+
+def rejected_response(reason: str, retry_after_s: float, request_id=None):
+    return response(
+        "rejected",
+        503,
+        request_id,
+        reason=reason,
+        retry_after_s=round(retry_after_s, 3),
+    )
+
+
+def error_response(code: int, error: str, request_id=None, **fields):
+    return response("error", code, request_id, error=error, **fields)
+
+
+def timeout_response(error: str, request_id=None, **fields):
+    return response("timeout", 504, request_id, error=error, **fields)

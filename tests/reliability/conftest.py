@@ -18,6 +18,8 @@ from repro.reliability import faults as faults_mod
 def disarm_ambient_faults(monkeypatch):
     """Each test controls its own fault plan via inject_faults()."""
     monkeypatch.setattr(faults_mod, "_plan", None)
+    monkeypatch.setattr(faults_mod, "_override", False)
+    monkeypatch.setattr(faults_mod, "_env_sig", None)
     monkeypatch.delenv("REPRO_FAULTS", raising=False)
     monkeypatch.delenv("REPRO_FAULTS_SEED", raising=False)
 

@@ -1,0 +1,95 @@
+"""Circuit-breaker state machine, on an injected clock (no sleeping)."""
+
+from __future__ import annotations
+
+from repro.serve.breaker import BreakerBoard, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make(threshold=3, reset_after=5.0):
+    clock = FakeClock()
+    return CircuitBreaker(
+        "test", threshold=threshold, reset_after=reset_after, clock=clock
+    ), clock
+
+
+class TestCircuitBreaker:
+    def test_stays_closed_below_threshold(self):
+        breaker, _ = make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_success_resets_the_streak(self):
+        breaker, _ = make(threshold=3)
+        for _ in range(10):
+            breaker.record_failure()
+            breaker.record_failure()
+            breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_trips_at_threshold_and_blocks(self):
+        breaker, _ = make(threshold=3)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.retry_after_s() > 0
+
+    def test_half_open_after_cooldown_then_close_on_success(self):
+        breaker, clock = make(threshold=1, reset_after=5.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(5.1)
+        assert breaker.state == "half-open"
+        assert breaker.allow()  # the single trial slot
+        assert not breaker.allow()  # concurrent caller refused
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_half_open_reopens_on_failure(self):
+        breaker, clock = make(threshold=1, reset_after=5.0)
+        breaker.record_failure()
+        clock.advance(5.1)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        # Must wait out a fresh cooldown before the next trial.
+        assert breaker.retry_after_s() > 4.9
+
+    def test_trip_count_in_snapshot(self):
+        breaker, clock = make(threshold=1, reset_after=1.0)
+        breaker.record_failure()
+        clock.advance(1.1)
+        breaker.allow()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.snapshot()["trips"] == 2
+
+
+class TestBreakerBoard:
+    def test_get_creates_once(self):
+        board = BreakerBoard(threshold=2, reset_after=1.0)
+        assert board.get("cache") is board.get("cache")
+
+    def test_record_routes_and_snapshot(self):
+        board = BreakerBoard(threshold=2, reset_after=1.0)
+        board.record("cache", ok=False)
+        board.record("cache", ok=False)
+        board.record("verify", ok=True)
+        snap = board.snapshot()
+        assert snap["cache"]["state"] == "open"
+        assert snap["verify"]["state"] == "closed"

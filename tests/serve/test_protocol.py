@@ -1,0 +1,76 @@
+"""Wire-protocol unit tests: parsing, canonical bytes, envelopes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve import protocol
+
+
+class TestParseRequest:
+    def test_minimal_design_request_defaults_op(self):
+        obj = protocol.parse_request(b'{"trace": "0101", "order": 1}')
+        assert obj["op"] == "design"
+
+    def test_explicit_ops_accepted(self):
+        for op in protocol.OPS:
+            obj = protocol.parse_request(
+                json.dumps({"op": op}).encode("utf-8")
+            )
+            assert obj["op"] == op
+
+    def test_garbage_rejected(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.parse_request(b"not json {{{")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.parse_request(b"[1, 2, 3]")
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(protocol.ProtocolError, match="unknown op"):
+            protocol.parse_request(b'{"op": "frobnicate"}')
+
+
+class TestCanonicalJson:
+    def test_key_order_invariant(self):
+        a = protocol.canonical_json({"b": 1, "a": {"y": 2, "x": 3}})
+        b = protocol.canonical_json({"a": {"x": 3, "y": 2}, "b": 1})
+        assert a == b
+
+    def test_compact_no_whitespace(self):
+        blob = protocol.canonical_json({"a": [1, 2], "b": "c"})
+        assert b" " not in blob and b"\n" not in blob
+
+
+class TestEnvelopes:
+    def test_ok_response_shape(self):
+        env = protocol.ok_response({"x": 1}, request_id="r1")
+        assert env["status"] == "ok"
+        assert env["code"] == 200
+        assert env["id"] == "r1"
+        assert env["payload"] == {"x": 1}
+        assert "degraded" not in env
+
+    def test_ok_response_degraded_sorted(self):
+        env = protocol.ok_response({}, degraded={"no-verify", "no-cache"})
+        assert env["degraded"] == ["no-cache", "no-verify"]
+
+    def test_rejected_carries_retry_hint(self):
+        env = protocol.rejected_response("queue full", 1.23456)
+        assert env["status"] == "rejected"
+        assert env["code"] == 503
+        assert env["retry_after_s"] == pytest.approx(1.235)
+
+    def test_error_and_timeout_codes(self):
+        assert protocol.error_response(400, "bad")["code"] == 400
+        assert protocol.error_response(500, "boom")["code"] == 500
+        timeout = protocol.timeout_response("late")
+        assert (timeout["status"], timeout["code"]) == ("timeout", 504)
+
+    def test_envelope_roundtrips_through_canonical_json(self):
+        env = protocol.ok_response({"machine": {"start": 0}}, request_id=7)
+        again = json.loads(protocol.canonical_json(env))
+        assert again == env
