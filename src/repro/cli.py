@@ -141,7 +141,7 @@ def _cmd_customize(args: argparse.Namespace) -> int:
         rank_branches_by_misses,
         rank_by_improvement,
     )
-    from repro.predictors.base import simulate_predictor
+    from repro.predictors.base import format_rate, simulate_predictor
     from repro.predictors.custom import CustomBranchPredictor
     from repro.predictors.gshare import GSharePredictor
     from repro.predictors.local_global import LocalGlobalChooser
@@ -168,7 +168,7 @@ def _cmd_customize(args: argparse.Namespace) -> int:
     ):
         stats = simulate_predictor(predictor, evaluation)
         print(
-            f"{predictor.name:<14s} {stats.miss_rate:>10.4f} "
+            f"{predictor.name:<14s} {format_rate(stats.miss_rate):>10s} "
             f"{predictor.area():>10.0f}"
         )
     return 0
@@ -205,10 +205,15 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         if args.all:
             from repro.harness.reporting import write_report
 
-            for benchmark, result in run_fig2(run_id=_figures_run_id(args)).items():
+            panels = run_fig2(
+                gap_kmax=args.gap_k, run_id=_figures_run_id(args)
+            )
+            for benchmark, result in panels.items():
                 print(write_report(f"fig2_{benchmark}.txt", result.render()))
         else:
-            result = run_fig2_benchmark(args.benchmark or "gcc")
+            result = run_fig2_benchmark(
+                args.benchmark or "gcc", gap_kmax=args.gap_k
+            )
             print(result.render())
     elif args.figure == "fig4":
         from repro.harness.fig4 import run_fig4
@@ -217,13 +222,15 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     elif args.figure == "fig5":
         from repro.harness.fig5 import run_fig5, run_fig5_benchmark
 
+        modern = False if args.no_modern else None
         if args.all:
             from repro.harness.reporting import write_report
 
-            for benchmark, result in run_fig5(run_id=_figures_run_id(args)).items():
+            panels = run_fig5(modern=modern, run_id=_figures_run_id(args))
+            for benchmark, result in panels.items():
                 print(write_report(f"fig5_{benchmark}.txt", result.render()))
         else:
-            result = run_fig5_benchmark(args.benchmark or "gsm")
+            result = run_fig5_benchmark(args.benchmark or "gsm", modern=modern)
             print(result.render())
     elif args.figure == "fig67":
         from repro.harness.fig67 import run_fig67
@@ -316,6 +323,12 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
         print(f"golden  {issue}")
     if not issues:
         print("golden  vectors ok")
+    oracle_issues = golden_mod.check_oracle_corpus()
+    for issue in oracle_issues:
+        failures += 1
+        print(f"optimal {issue}")
+    if not oracle_issues:
+        print("optimal oracle bound ok")
     return 1 if failures else 0
 
 
@@ -540,6 +553,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--all",
         action="store_true",
         help="run every benchmark of the figure and write results/*.txt",
+    )
+    figures.add_argument(
+        "--gap-k",
+        type=int,
+        default=None,
+        metavar="K",
+        help=(
+            "fig2: gap-to-optimal column vs the exact optimal K-state "
+            "predictor (0 disables; default REPRO_OPT_KMAX or 4)"
+        ),
+    )
+    figures.add_argument(
+        "--no-modern",
+        action="store_true",
+        help="fig5: omit the modern-regime tage/perceptron series",
     )
     figures.set_defaults(func=_cmd_figures)
 

@@ -36,6 +36,7 @@ from repro.conformance.golden import (
     GOLDEN_SCHEMA,
     GoldenCase,
     check_golden_vectors,
+    check_oracle_corpus,
     compute_vector,
     golden_corpus,
     golden_dir,
@@ -58,6 +59,7 @@ __all__ = [
     "GOLDEN_SCHEMA",
     "GoldenCase",
     "check_golden_vectors",
+    "check_oracle_corpus",
     "compute_vector",
     "golden_corpus",
     "golden_dir",

@@ -49,7 +49,12 @@ STAGES = (
     "automata.hopcroft",
     "automata.startup",
     "sim.outputs",
+    "sim.optimal",
 )
+
+#: Stage 10 searches every <=k-state machine; past this trace length the
+#: exhaustive sweep is not worth paying per conformance probe.
+OPTIMAL_CHECK_MAX_BITS = 4096
 
 
 @dataclass
@@ -321,6 +326,36 @@ def check_conformance(
                 "compiled run_bits disagrees with the table-driven "
                 f"simulation at index {_first_mismatch(compiled, want_outputs)}",
             )
+
+        # Stage 10: the designed machine can never beat the exact optimal
+        # k-state predictor oracle at its own size.  A violation means
+        # either the pipeline miscounted its machine's predictions or the
+        # oracle's exhaustive search is wrong -- both are bugs worth a
+        # divergence.  Skipped for machines larger than the searchable
+        # ``REPRO_OPT_KMAX`` (the bound only applies at sizes the oracle
+        # actually searched) and for very long traces.
+        from repro.predictors.optimal import opt_kmax, optimal_predictors
+
+        kmax = opt_kmax()
+        num_states = art.final.num_states
+        if (
+            trace
+            and num_states <= kmax
+            and len(trace) <= OPTIMAL_CHECK_MAX_BITS
+        ):
+            hits, lookups = oracles.oracle_prediction_counts(art.final, trace)
+            misses = lookups - hits
+            bound = optimal_predictors(trace, kmax=num_states)[
+                num_states
+            ].mispredicts
+            if misses < bound:
+                return diverge(
+                    "sim.optimal",
+                    f"designed {num_states}-state machine mispredicts "
+                    f"{misses} times, beating the exhaustive optimum "
+                    f"{bound} for {num_states} states -- impossible unless "
+                    "a simulation or search stage is wrong",
+                )
         span.set(stages=len(STAGES), final_states=art.final.num_states)
     return None
 

@@ -179,6 +179,54 @@ def write_golden_vectors(directory: Optional[Path] = None) -> List[Path]:
     return written
 
 
+def check_oracle_corpus(kmax: Optional[int] = None) -> List[str]:
+    """Cross-check every corpus design against the exact optimal k-state
+    predictor oracle (:mod:`repro.predictors.optimal`).
+
+    Two obligations:
+
+    * every designed machine whose size the oracle can search must
+      mispredict at least ``opt(num_states)`` times on its own trace;
+    * order-1 cases with at most two states must attain the bound
+      *exactly* -- an order-1 design is the last-outcome partition, which
+      is optimal at that size on every corpus trace, so any slack is a
+      design-pipeline regression.
+
+    Returns human-readable violations; empty means the corpus conforms.
+    """
+    from repro.predictors.optimal import opt_kmax, optimal_predictors
+
+    if kmax is None:
+        kmax = opt_kmax()
+    issues: List[str] = []
+    for case in golden_corpus():
+        art = run_stages(
+            case.trace,
+            case.order,
+            bias_threshold=case.bias_threshold,
+            dont_care_fraction=case.dont_care_fraction,
+        )
+        num_states = art.final.num_states
+        if num_states > kmax:
+            continue
+        hits, lookups = oracle_prediction_counts(art.final, case.trace)
+        misses = lookups - hits
+        bound = optimal_predictors(case.trace, kmax=num_states)[
+            num_states
+        ].mispredicts
+        if misses < bound:
+            issues.append(
+                f"{case.name}: designed {num_states}-state machine beats "
+                f"the exhaustive optimum ({misses} < {bound} mispredicts)"
+            )
+        elif case.order == 1 and num_states <= 2 and misses != bound:
+            issues.append(
+                f"{case.name}: order-1 design must attain the optimal "
+                f"{num_states}-state bound exactly ({misses} != {bound})"
+            )
+    return issues
+
+
 def check_golden_vectors(directory: Optional[Path] = None) -> List[str]:
     """Recompute every vector and diff against the stored files.  Returns
     human-readable mismatches; empty means the tree still reproduces its

@@ -48,6 +48,13 @@ class ConfidencePoint:
     label: str
     accuracy: float
     coverage: float
+    # Gap-to-optimal annotations (None when the oracle column is off):
+    # the config's machine deployed as a plain next-bit predictor over
+    # the benchmark's correctness stream, vs the exact optimal machine
+    # of comparable size (repro.predictors.optimal).
+    num_states: Optional[int] = None
+    machine_miss_rate: Optional[float] = None
+    gap_to_optimal: Optional[float] = None
 
 
 @dataclass
@@ -57,6 +64,9 @@ class FigureTwoResult:
     benchmark: str
     sud_points: List[ConfidencePoint]
     fsm_curves: Dict[int, List[ConfidencePoint]]  # history length -> curve
+    #: k -> exact optimal miss rate on this panel's correctness stream
+    #: (empty when the gap column is disabled).
+    optimal_rates: Dict[int, float] = field(default_factory=dict)
 
     def fsm_pareto(self, history: int) -> List[Tuple[float, float]]:
         return pareto_front(
@@ -67,22 +77,39 @@ class FigureTwoResult:
         return pareto_front([(p.accuracy, p.coverage) for p in self.sud_points])
 
     def render(self) -> str:
-        rows: List[Tuple[str, str, float, float]] = []
-        for point in self.sud_points:
-            rows.append(("up/down", point.label, point.accuracy, point.coverage))
+        with_gap = bool(self.optimal_rates)
+
+        def row(series: str, point: ConfidencePoint):
+            base = (series, point.label, point.accuracy, point.coverage)
+            if not with_gap:
+                return base
+            if point.gap_to_optimal is None:
+                return base + ("", "")
+            return base + (
+                f"{point.machine_miss_rate:.4f}",
+                f"{point.gap_to_optimal:+.4f}",
+            )
+
+        rows = [row("up/down", p) for p in self.sud_points]
         for history in sorted(self.fsm_curves):
-            for point in self.fsm_curves[history]:
-                rows.append(
-                    (f"custom h={history}", point.label, point.accuracy, point.coverage)
-                )
-        return format_table(
-            ["series", "config", "accuracy", "coverage"],
-            rows,
-            title=(
-                f"Figure 2 ({self.benchmark}): value prediction confidence, "
-                "accuracy vs coverage"
-            ),
+            rows.extend(
+                row(f"custom h={history}", p) for p in self.fsm_curves[history]
+            )
+        headers = ["series", "config", "accuracy", "coverage"]
+        title = (
+            f"Figure 2 ({self.benchmark}): value prediction confidence, "
+            "accuracy vs coverage"
         )
+        if with_gap:
+            headers += ["pred miss", "gap to opt"]
+            kmax = max(self.optimal_rates)
+            opt = self.optimal_rates[kmax]
+            title += (
+                f"\n  optimal {kmax}-state predictor miss rate on this "
+                f"stream: {opt:.4f} (gap = machine miss - optimal miss "
+                "at min(states, kmax))"
+            )
+        return format_table(headers, rows, title=title)
 
 
 def _correctness_shard(
@@ -123,18 +150,47 @@ def _cross_trained_model(
     return model
 
 
+def _resolve_gap_kmax(gap_kmax: Optional[int]) -> int:
+    """``None`` -> the environment default (``REPRO_OPT_KMAX``), ``0`` or
+    negative -> disabled, otherwise clamped to the oracle's hard cap."""
+    from repro.predictors.optimal import MAX_KMAX, opt_kmax
+
+    if gap_kmax is None:
+        return opt_kmax()
+    if gap_kmax <= 0:
+        return 0
+    return min(gap_kmax, MAX_KMAX)
+
+
 def run_fig2_benchmark(
     benchmark: str,
     traces: Optional[Dict[str, Tuple[List[int], List[int]]]] = None,
     num_loads: int = 80_000,
     history_lengths: Sequence[int] = DEFAULT_HISTORY_LENGTHS,
     bias_thresholds: Sequence[float] = DEFAULT_BIAS_THRESHOLDS,
+    gap_kmax: Optional[int] = None,
+    run_id: Optional[str] = None,
 ) -> FigureTwoResult:
     """One benchmark's panel.  Pass pre-computed ``traces`` when sweeping
-    all benchmarks so the load streams are generated only once."""
+    all benchmarks so the load streams are generated only once.
+
+    ``gap_kmax`` controls the gap-to-optimal column: every designed FSM is
+    also deployed as a plain next-bit predictor over the benchmark's own
+    correctness stream and compared against the exhaustive optimal k-state
+    predictor (k = min(machine states, gap_kmax)).  ``0`` disables the
+    column; ``None`` uses the ``REPRO_OPT_KMAX`` default.
+    """
     if traces is None:
         traces = _correctness_traces(VALUE_BENCHMARKS, "train", num_loads)
     indices, bits = traces[benchmark]
+
+    gap_kmax = _resolve_gap_kmax(gap_kmax)
+    optimal_rates: Dict[int, float] = {}
+    if gap_kmax:
+        from repro.predictors.optimal import optimal_predictors
+
+        optima = optimal_predictors(bits, kmax=gap_kmax, run_id=run_id)
+        optimal_rates = {k: r.miss_rate for k, r in optima.items()}
 
     sud_points: List[ConfidencePoint] = []
     for label, factory in sud_configurations():
@@ -160,14 +216,27 @@ def run_fig2_benchmark(
             stats = evaluate_fsm_confidence(
                 indices, bits, result.machine, label=label
             )
-            curve.append(
-                ConfidencePoint(
-                    label=label, accuracy=stats.accuracy, coverage=stats.coverage
-                )
+            point = ConfidencePoint(
+                label=label, accuracy=stats.accuracy, coverage=stats.coverage
             )
+            if gap_kmax and bits:
+                from repro.predictors.optimal import machine_mispredicts
+
+                num_states = result.machine.num_states
+                misses = machine_mispredicts(result.machine, bits)
+                point.num_states = num_states
+                point.machine_miss_rate = misses / len(bits)
+                point.gap_to_optimal = (
+                    point.machine_miss_rate
+                    - optimal_rates[min(num_states, gap_kmax)]
+                )
+            curve.append(point)
         fsm_curves[history] = curve
     return FigureTwoResult(
-        benchmark=benchmark, sud_points=sud_points, fsm_curves=fsm_curves
+        benchmark=benchmark,
+        sud_points=sud_points,
+        fsm_curves=fsm_curves,
+        optimal_rates=optimal_rates,
     )
 
 
@@ -176,6 +245,7 @@ def run_fig2(
     num_loads: int = 80_000,
     history_lengths: Sequence[int] = DEFAULT_HISTORY_LENGTHS,
     bias_thresholds: Sequence[float] = DEFAULT_BIAS_THRESHOLDS,
+    gap_kmax: Optional[int] = None,
     run_id: Optional[str] = None,
 ) -> Dict[str, FigureTwoResult]:
     """The full figure.  With ``run_id`` both sweeps (trace generation,
@@ -185,6 +255,9 @@ def run_fig2(
         VALUE_BENCHMARKS, "train", num_loads, run_id=run_id
     )
     names = list(benchmarks)
+    # Resolve the gap column once so the sweep fingerprint is stable even
+    # when the default comes from the environment.
+    gap_kmax = _resolve_gap_kmax(gap_kmax)
     # One process-pool shard per benchmark; durable_map returns results in
     # input order, so the figure output is identical to a serial run.
     results = durable_map(
@@ -193,12 +266,13 @@ def run_fig2(
             traces=traces,
             history_lengths=tuple(history_lengths),
             bias_thresholds=tuple(bias_thresholds),
+            gap_kmax=gap_kmax,
         ),
         names,
         run_id=run_id,
         sweep="fig2.panels",
         fingerprint=digest_of(
-            num_loads, tuple(history_lengths), tuple(bias_thresholds)
+            num_loads, tuple(history_lengths), tuple(bias_thresholds), gap_kmax
         ),
     )
     return dict(zip(names, results))

@@ -11,6 +11,13 @@ five series:
   (the limit case the paper uses to bound custom performance);
 * ``custom-diff`` -- trained on a different input (the honest result).
 
+Beyond the paper, two *modern-regime* series situate the 2001 frontier
+against later predictor families (gate with ``modern=False`` or
+``REPRO_MODERN=0``, or ``--no-modern`` on the CLI):
+
+* ``tage``       -- a small TAGE over a range of table index widths;
+* ``perceptron`` -- a hashed perceptron over a range of table sizes.
+
 Custom-curve areas use the fitted linear states->area model, exactly as
 the paper does ("we use this approximation to quantify area rather than
 performing synthesis on each") -- the model is fitted on the machines
@@ -45,6 +52,17 @@ from repro.workloads.trace import BranchTrace
 DEFAULT_GSHARE_BITS: Tuple[int, ...] = (8, 10, 12, 14, 16)
 DEFAULT_LGC_BITS: Tuple[int, ...] = (6, 8, 10, 12, 14)
 DEFAULT_CUSTOM_COUNTS: Tuple[int, ...] = (1, 2, 3, 4, 6, 8, 10, 12, 16, 20)
+DEFAULT_TAGE_BITS: Tuple[int, ...] = (8, 10, 12)
+DEFAULT_PERCEPTRON_ROWS: Tuple[int, ...] = (128, 256, 512)
+
+
+def modern_default() -> bool:
+    """Modern-regime series default: on unless ``REPRO_MODERN`` is a
+    falsy value (``0``, ``false``, ``no``, ``off``)."""
+    import os
+
+    raw = os.environ.get("REPRO_MODERN", "").strip().lower()
+    return raw not in ("0", "false", "no", "off")
 
 # Every predictor needs a BTB for branch targets; the paper's Figure 5
 # x-axis is "the total area of the predictor, including the BTB structure",
@@ -65,10 +83,17 @@ class Series:
     points: List[SeriesPoint] = field(default_factory=list)
 
     def best_miss_rate(self) -> float:
-        return min(p.miss_rate for p in self.points)
+        # Degenerate points (0 lookups) carry the NaN sentinel; they must
+        # not poison the minimum.
+        rates = [p.miss_rate for p in self.points if p.miss_rate == p.miss_rate]
+        return min(rates) if rates else float("nan")
 
     def miss_rate_at_or_below_area(self, area: float) -> Optional[float]:
-        eligible = [p.miss_rate for p in self.points if p.area <= area]
+        eligible = [
+            p.miss_rate
+            for p in self.points
+            if p.area <= area and p.miss_rate == p.miss_rate
+        ]
         return min(eligible) if eligible else None
 
 
@@ -167,8 +192,14 @@ def run_fig5_benchmark(
     lgc_bits: Sequence[int] = DEFAULT_LGC_BITS,
     custom_counts: Sequence[int] = DEFAULT_CUSTOM_COUNTS,
     history_length: int = CUSTOM_HISTORY_LENGTH,
+    modern: Optional[bool] = None,
+    tage_bits: Sequence[int] = DEFAULT_TAGE_BITS,
+    perceptron_rows: Sequence[int] = DEFAULT_PERCEPTRON_ROWS,
 ) -> FigureFiveResult:
-    """All five series of one Figure 5 panel."""
+    """All five paper series of one Figure 5 panel, plus the modern-regime
+    ``tage``/``perceptron`` series unless disabled."""
+    if modern is None:
+        modern = modern_default()
     eval_trace = branch_trace(benchmark, "eval", max_branches)
     series: Dict[str, Series] = {}
 
@@ -206,6 +237,36 @@ def run_fig5_benchmark(
             )
         )
     series["lgc"] = lgc_series
+
+    if modern:
+        from repro.predictors.perceptron import PerceptronPredictor
+        from repro.predictors.tage import TagePredictor
+
+        tage_series = Series(name="tage")
+        for bits in tage_bits:
+            predictor = TagePredictor(index_bits=bits)
+            stats = simulate_predictor(predictor, eval_trace)
+            tage_series.points.append(
+                SeriesPoint(
+                    predictor.name.replace("tage-", ""),
+                    predictor.area() + BTB_STORAGE_AREA,
+                    stats.miss_rate,
+                )
+            )
+        series["tage"] = tage_series
+
+        perceptron_series = Series(name="perceptron")
+        for rows in perceptron_rows:
+            predictor = PerceptronPredictor(num_perceptrons=rows)
+            stats = simulate_predictor(predictor, eval_trace)
+            perceptron_series.points.append(
+                SeriesPoint(
+                    predictor.name.replace("perceptron-", ""),
+                    predictor.area() + BTB_STORAGE_AREA,
+                    stats.miss_rate,
+                )
+            )
+        series["perceptron"] = perceptron_series
 
     max_count = max(custom_counts)
     for variant_name, train_variant in (
@@ -248,6 +309,10 @@ def run_fig5(
     from repro.reliability.durability import durable_map
 
     names = list(benchmarks)
+    # Resolve the modern-series gate before fingerprinting so a cached
+    # sweep is never replayed under a different REPRO_MODERN setting.
+    if kwargs.get("modern") is None:
+        kwargs["modern"] = modern_default()
     # One shard per benchmark panel; ordering (and therefore output) is
     # identical to the serial comprehension this replaces.  With run_id
     # each completed panel is journaled, so a killed sweep resumes with

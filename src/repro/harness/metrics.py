@@ -41,9 +41,12 @@ def interpolate_coverage_at(
     ``mode="linear"`` (the default) linearly interpolates between the two
     Pareto points bracketing the target accuracy -- the operating point a
     predictor sweeping its threshold between the two configurations would
-    reach.  A target below the curve's accuracy range returns the best
-    coverage on the curve; a target above it returns 0.0 (the curve never
-    reaches that accuracy).
+    reach.  A target at or below the curve's lowest measured accuracy
+    returns the coverage of that lowest-accuracy point (no extrapolation:
+    on a Pareto curve that *is* the best coverage, and on non-Pareto input
+    it avoids crediting coverage from higher-accuracy configurations that
+    the target never asked for).  A target above the range returns 0.0
+    (the curve never reaches that accuracy).
 
     ``mode="step"`` keeps the conservative read-off used for the paper's
     gcc example ("coverage at 80% accuracy"): the best coverage among
@@ -69,9 +72,10 @@ def interpolate_coverage_at(
     if accuracy > points[-1][0]:
         return 0.0
     if accuracy <= points[0][0]:
-        # Below the measured range: the easiest configuration's coverage
-        # (on a Pareto curve, the maximum coverage) already qualifies.
-        return max(cov for _acc, cov in points)
+        # At or below the measured range: the lowest-accuracy point's own
+        # coverage.  (Returning the global max here over-credited
+        # non-Pareto curves whose max coverage sat at a *higher* accuracy.)
+        return points[0][1]
     for (a0, c0), (a1, c1) in zip(points, points[1:]):
         if accuracy == a1:
             return c1

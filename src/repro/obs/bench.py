@@ -43,6 +43,8 @@ DEFAULT_SCALE: Dict[str, int] = {
     "fig5_branches": 20_000,
     "design_orders_max": 8,
     "kernel_bits": 120_000,
+    "optimal_bits": 4_096,
+    "optimal_kmax": 4,
 }
 
 
@@ -138,6 +140,31 @@ def collect_bench_snapshot(
                 lambda d=designer: d.design_from_trace(bits),
                 timings,
             )
+        # Exhaustive-oracle runtime, with the content-addressed cache off
+        # so the timing measures the search itself on every run (a warm
+        # cache would report ~0 and hide regressions in the kernel).
+        import random
+
+        from repro.predictors.optimal import optimal_predictors
+
+        oracle_trace = random.Random(2001).choices(
+            (0, 1), k=knobs["optimal_bits"]
+        )
+        saved_cache = os.environ.get("REPRO_CACHE")
+        os.environ["REPRO_CACHE"] = "0"
+        try:
+            _timed(
+                f"optimal.k{knobs['optimal_kmax']}",
+                lambda: optimal_predictors(
+                    oracle_trace, kmax=knobs["optimal_kmax"]
+                ),
+                timings,
+            )
+        finally:
+            if saved_cache is None:
+                os.environ.pop("REPRO_CACHE", None)
+            else:
+                os.environ["REPRO_CACHE"] = saved_cache
         speedup = _kernel_speedup(knobs["kernel_bits"])
         if speedup is not None:
             timings.append({"name": "kernel.speedup_x", "seconds": speedup})

@@ -8,9 +8,18 @@ gshare (McFarling), a local/global-chooser in the style of the Alpha 21264
 per-branch custom FSM predictors with the update-all-on-every-branch
 policy), and -- as a prior-work extension -- the PPM predictor of Chen et
 al.
+
+Modern-regime extensions: TAGE and hashed-perceptron baselines (arxiv
+2411.13900) and the exact optimal k-state predictor oracle
+(:mod:`repro.predictors.optimal`, arxiv 0812.1949) that bounds them all.
 """
 
-from repro.predictors.base import BranchPredictor, PredictionStats, simulate_predictor
+from repro.predictors.base import (
+    BranchPredictor,
+    PredictionStats,
+    format_rate,
+    simulate_predictor,
+)
 from repro.predictors.sud import SaturatingUpDownCounter, TwoBitCounter, FULL_DECREMENT
 from repro.predictors.resetting import ResettingCounter
 from repro.predictors.fsm import FSMPredictor
@@ -20,10 +29,19 @@ from repro.predictors.gshare import GSharePredictor
 from repro.predictors.local_global import LocalGlobalChooser
 from repro.predictors.custom import CustomBranchPredictor, CustomEntry
 from repro.predictors.ppm import PPMPredictor
+from repro.predictors.tage import TagePredictor
+from repro.predictors.perceptron import PerceptronPredictor
+from repro.predictors.optimal import (
+    OptimalResult,
+    machine_mispredicts,
+    optimal_mispredicts,
+    optimal_predictors,
+)
 
 __all__ = [
     "BranchPredictor",
     "PredictionStats",
+    "format_rate",
     "simulate_predictor",
     "SaturatingUpDownCounter",
     "TwoBitCounter",
@@ -37,4 +55,10 @@ __all__ = [
     "CustomBranchPredictor",
     "CustomEntry",
     "PPMPredictor",
+    "TagePredictor",
+    "PerceptronPredictor",
+    "OptimalResult",
+    "machine_mispredicts",
+    "optimal_mispredicts",
+    "optimal_predictors",
 ]

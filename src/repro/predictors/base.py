@@ -53,15 +53,25 @@ class PredictionStats:
 
     @property
     def miss_rate(self) -> float:
-        """Fraction of mispredicted branches (0.0 when no lookups)."""
+        """Fraction of mispredicted branches.
+
+        ``nan`` when ``lookups == 0``: a run that counted nothing (e.g.
+        ``warmup >= len(trace)``) has *no* miss rate, and the old ``0.0``
+        made it indistinguishable from a perfect predictor in fig2/fig5
+        tables.  Callers that render rates should go through
+        :func:`format_rate`, which prints the sentinel as ``n/a``; callers
+        that aggregate should skip degenerate stats (``lookups == 0``).
+        """
         if self.lookups == 0:
-            return 0.0
+            return float("nan")
         return self.misses / self.lookups
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of correctly predicted branches; ``nan`` when
+        ``lookups == 0`` (see :attr:`miss_rate`)."""
         if self.lookups == 0:
-            return 0.0
+            return float("nan")
         return self.hits / self.lookups
 
     def record(self, correct: bool) -> None:
@@ -77,8 +87,16 @@ class PredictionStats:
     def __str__(self) -> str:
         return (
             f"PredictionStats(lookups={self.lookups}, "
-            f"miss_rate={self.miss_rate:.4f})"
+            f"miss_rate={format_rate(self.miss_rate)})"
         )
+
+
+def format_rate(rate: float, precision: int = 4) -> str:
+    """Render a hit/miss rate for reports; the ``nan`` degenerate sentinel
+    (no counted lookups) prints as ``n/a`` instead of a number."""
+    if rate != rate:  # NaN
+        return "n/a"
+    return f"{rate:.{precision}f}"
 
 
 def simulate_predictor(

@@ -1,0 +1,88 @@
+"""Hashed perceptron branch predictor (Jimenez & Lin).
+
+The other modern baseline from the Firestorm/Oryon dissection regime
+(arxiv 2411.13900): a table of perceptrons indexed by PC hash, each
+holding a bias plus one signed weight per global-history bit.  The
+prediction is the sign of ``bias + sum(w_i * h_i)``; training bumps
+every weight toward agreement with the outcome whenever the prediction
+was wrong *or* the output magnitude fell below the threshold
+``floor(1.93 * h + 14)`` (the paper's empirically optimal margin).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.predictors.base import BranchPredictor
+from repro.synth.area import table_bits_area
+
+
+class PerceptronPredictor(BranchPredictor):
+    """Global-history perceptron with ``num_perceptrons`` rows."""
+
+    def __init__(
+        self,
+        num_perceptrons: int = 256,
+        history_length: int = 16,
+        weight_bits: int = 8,
+        pc_shift: int = 2,
+    ):
+        if num_perceptrons < 1 or num_perceptrons & (num_perceptrons - 1):
+            raise ValueError("num_perceptrons must be a power of two")
+        if not 1 <= history_length <= 64:
+            raise ValueError("history_length must be in [1, 64]")
+        if not 2 <= weight_bits <= 16:
+            raise ValueError("weight_bits must be in [2, 16]")
+        self.name = f"perceptron-{num_perceptrons}x{history_length}"
+        self.num_perceptrons = num_perceptrons
+        self.history_length = history_length
+        self.weight_bits = weight_bits
+        self.pc_shift = pc_shift
+        self.threshold = int(1.93 * history_length + 14)
+        self._mask = num_perceptrons - 1
+        self._w_min = -(1 << (weight_bits - 1))
+        self._w_max = (1 << (weight_bits - 1)) - 1
+        # weights[row][0] is the bias; [1..h] pair with history bits,
+        # newest outcome first.
+        self._weights: List[List[int]] = [
+            [0] * (history_length + 1) for _ in range(num_perceptrons)
+        ]
+        self._history: List[int] = [0] * history_length  # +1/-1... as 0/1
+
+    def _row(self, pc: int) -> int:
+        shifted = pc >> self.pc_shift
+        return (shifted ^ (shifted >> self.history_length)) & self._mask
+
+    def _output(self, pc: int) -> int:
+        weights = self._weights[self._row(pc)]
+        y = weights[0]
+        for i, bit in enumerate(self._history):
+            y += weights[i + 1] if bit else -weights[i + 1]
+        return y
+
+    def predict(self, pc: int) -> bool:
+        return self._output(pc) >= 0
+
+    def update(self, pc: int, taken: bool) -> None:
+        y = self._output(pc)
+        prediction = y >= 0
+        if prediction != taken or abs(y) <= self.threshold:
+            weights = self._weights[self._row(pc)]
+            step = 1 if taken else -1
+            weights[0] = max(self._w_min, min(self._w_max, weights[0] + step))
+            for i, bit in enumerate(self._history):
+                delta = step if bit else -step
+                weights[i + 1] = max(
+                    self._w_min, min(self._w_max, weights[i + 1] + delta)
+                )
+        self._history = [int(taken)] + self._history[:-1]
+
+    def area(self) -> float:
+        table_bits = self.num_perceptrons * (self.history_length + 1) * self.weight_bits
+        return table_bits_area(table_bits + self.history_length)
+
+    def reset(self) -> None:
+        for row in self._weights:
+            for i in range(len(row)):
+                row[i] = 0
+        self._history = [0] * self.history_length

@@ -1,0 +1,210 @@
+"""TAGE: tagged geometric-history-length branch predictor (Seznec).
+
+The modern-baseline regime of the Firestorm/Oryon predictor dissection
+(arxiv 2411.13900): a bimodal base table backed by several tagged tables
+indexed by the PC hashed with geometrically growing slices of global
+history.  The longest-history table whose entry's partial tag matches
+provides the prediction; mispredictions allocate into a longer table,
+and per-entry "useful" counters arbitrate replacement.
+
+This implementation is deliberately compact and fully deterministic (no
+randomized allocation: the first longer table with a dead entry wins,
+and on allocation failure every candidate's useful counter decays), so
+simulations are reproducible bit-for-bit across runs and platforms.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.predictors.base import BranchPredictor
+from repro.predictors.sud import SaturatingUpDownCounter, TwoBitCounter
+from repro.synth.area import table_bits_area
+
+#: Updates between useful-counter decays (a cheap stand-in for TAGE's
+#: periodic u-bit reset; keeps stale entries from pinning their slots).
+U_DECAY_PERIOD = 1 << 16
+
+
+def geometric_history_lengths(
+    num_tables: int, min_history: int, max_history: int
+) -> Tuple[int, ...]:
+    """The classic TAGE geometric series, shortest table first."""
+    if num_tables == 1:
+        return (min_history,)
+    ratio = (max_history / min_history) ** (1.0 / (num_tables - 1))
+    lengths = []
+    for i in range(num_tables):
+        length = int(round(min_history * ratio**i))
+        if lengths and length <= lengths[-1]:
+            length = lengths[-1] + 1  # keep strictly increasing
+        lengths.append(length)
+    return tuple(lengths)
+
+
+class _TaggedEntry:
+    __slots__ = ("tag", "ctr", "useful")
+
+    def __init__(self) -> None:
+        self.tag = -1  # -1: never allocated
+        self.ctr = 0  # signed saturating in [-4, 3]; >= 0 predicts taken
+        self.useful = 0  # [0, 3]
+
+
+class TagePredictor(BranchPredictor):
+    """TAGE with ``num_tables`` tagged tables over a bimodal base."""
+
+    def __init__(
+        self,
+        index_bits: int = 10,
+        num_tables: int = 4,
+        tag_bits: int = 8,
+        min_history: int = 4,
+        max_history: int = 64,
+        pc_shift: int = 2,
+    ):
+        if not 1 <= index_bits <= 20:
+            raise ValueError("index_bits must be in [1, 20]")
+        if not 1 <= num_tables <= 8:
+            raise ValueError("num_tables must be in [1, 8]")
+        if not 0 < min_history <= max_history:
+            raise ValueError("need 0 < min_history <= max_history")
+        self.name = f"tage-{index_bits}x{num_tables}"
+        self.index_bits = index_bits
+        self.num_tables = num_tables
+        self.tag_bits = tag_bits
+        self.pc_shift = pc_shift
+        self.history_lengths = geometric_history_lengths(
+            num_tables, min_history, max_history
+        )
+        self.num_entries = 1 << index_bits
+        self._index_mask = self.num_entries - 1
+        self._tag_mask = (1 << tag_bits) - 1
+        self._max_history = self.history_lengths[-1]
+        self._history = 0  # newest outcome in bit 0
+        self._base: List[SaturatingUpDownCounter] = [
+            TwoBitCounter() for _ in range(self.num_entries)
+        ]
+        self._tables: List[List[_TaggedEntry]] = [
+            [_TaggedEntry() for _ in range(self.num_entries)]
+            for _ in range(num_tables)
+        ]
+        self._updates = 0
+        self._alloc_rotor = 0
+
+    # ------------------------------------------------------------------
+    # Hashing
+    # ------------------------------------------------------------------
+    def _fold(self, value: int, length: int, width: int) -> int:
+        """XOR-fold the low ``length`` bits of ``value`` into ``width``."""
+        value &= (1 << length) - 1
+        folded = 0
+        while value:
+            folded ^= value & ((1 << width) - 1)
+            value >>= width
+        return folded
+
+    def _index(self, pc: int, table: int) -> int:
+        hist = self._fold(
+            self._history, self.history_lengths[table], self.index_bits
+        )
+        return ((pc >> self.pc_shift) ^ hist ^ (table << 1)) & self._index_mask
+
+    def _tag(self, pc: int, table: int) -> int:
+        hist = self._fold(
+            self._history, self.history_lengths[table], self.tag_bits
+        )
+        return ((pc >> self.pc_shift) ^ (hist << 1) ^ table) & self._tag_mask
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def _lookup(self, pc: int) -> Tuple[Optional[int], bool, bool]:
+        """(provider table or None, prediction, alternate prediction)."""
+        provider: Optional[int] = None
+        altpred = self._base[(pc >> self.pc_shift) & self._index_mask].predict()
+        prediction = altpred
+        for table in range(self.num_tables - 1, -1, -1):
+            entry = self._tables[table][self._index(pc, table)]
+            if entry.tag == self._tag(pc, table):
+                provider = table
+                prediction = entry.ctr >= 0
+                altpred = self._alt_prediction(pc, provider)
+                break
+        return provider, prediction, altpred
+
+    def _alt_prediction(self, pc: int, provider: int) -> bool:
+        for table in range(provider - 1, -1, -1):
+            entry = self._tables[table][self._index(pc, table)]
+            if entry.tag == self._tag(pc, table):
+                return entry.ctr >= 0
+        return self._base[(pc >> self.pc_shift) & self._index_mask].predict()
+
+    def predict(self, pc: int) -> bool:
+        _provider, prediction, _alt = self._lookup(pc)
+        return prediction
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def update(self, pc: int, taken: bool) -> None:
+        provider, prediction, altpred = self._lookup(pc)
+        correct = prediction == taken
+        if provider is not None:
+            entry = self._tables[provider][self._index(pc, provider)]
+            entry.ctr = max(-4, min(3, entry.ctr + (1 if taken else -1)))
+            if prediction != altpred:
+                entry.useful = max(0, min(3, entry.useful + (1 if correct else -1)))
+        else:
+            self._base[(pc >> self.pc_shift) & self._index_mask].update(taken)
+        if not correct:
+            self._allocate(pc, provider, taken)
+        self._history = ((self._history << 1) | int(taken)) & (
+            (1 << self._max_history) - 1
+        )
+        self._updates += 1
+        if self._updates % U_DECAY_PERIOD == 0:
+            for table in self._tables:
+                for entry in table:
+                    entry.useful >>= 1
+
+    def _allocate(self, pc: int, provider: Optional[int], taken: bool) -> None:
+        first = 0 if provider is None else provider + 1
+        candidates = list(range(first, self.num_tables))
+        if not candidates:
+            return
+        # Rotate the starting table per allocation (a deterministic
+        # stand-in for Seznec's randomized table choice): two patterns
+        # contending for one slot land in *different* tables instead of
+        # ping-ponging over the same entry forever.
+        offset = self._alloc_rotor % len(candidates)
+        self._alloc_rotor += 1
+        for table in candidates[offset:] + candidates[:offset]:
+            entry = self._tables[table][self._index(pc, table)]
+            if entry.useful == 0:
+                entry.tag = self._tag(pc, table)
+                entry.ctr = 0 if taken else -1  # weak in the right direction
+                entry.useful = 0
+                return
+        for table in candidates:  # all useful: decay so someone frees up
+            entry = self._tables[table][self._index(pc, table)]
+            entry.useful = max(0, entry.useful - 1)
+
+    # ------------------------------------------------------------------
+    def area(self) -> float:
+        base_bits = 2 * self.num_entries
+        entry_bits = self.tag_bits + 3 + 2  # tag + signed ctr + useful
+        tagged_bits = self.num_tables * entry_bits * self.num_entries
+        return table_bits_area(base_bits + tagged_bits + self._max_history)
+
+    def reset(self) -> None:
+        self._history = 0
+        self._updates = 0
+        self._alloc_rotor = 0
+        for counter in self._base:
+            counter.reset()
+        for table in self._tables:
+            for entry in table:
+                entry.tag = -1
+                entry.ctr = 0
+                entry.useful = 0

@@ -198,10 +198,21 @@ async def _sample_queue_depth(
 
 
 def _quantile(sorted_values: List[float], q: float) -> float:
+    """Linear-interpolated quantile (numpy's default convention).
+
+    The old rank math floored ``q * (n - 1)``, so at small sample counts
+    high quantiles collapsed downward: p90 of two samples returned the
+    *minimum*, and p90 of n=3 returned the median.  The CI serve job runs
+    closed-loop with only a handful of samples per client, so those tails
+    were systematically under-reported.
+    """
     if not sorted_values:
         return 0.0
-    index = min(len(sorted_values) - 1, int(q * (len(sorted_values) - 1)))
-    return sorted_values[index]
+    position = q * (len(sorted_values) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(sorted_values) - 1)
+    fraction = position - lower
+    return sorted_values[lower] + (sorted_values[upper] - sorted_values[lower]) * fraction
 
 
 async def run_loadgen(

@@ -52,6 +52,26 @@ class TestFig2Shape:
         assert "up/down" in text
         assert "custom h=8" in text
 
+    def test_gap_to_optimal_column_present_and_sound(self, result):
+        assert result.optimal_rates, "gap column should be on by default"
+        rates = [result.optimal_rates[k] for k in sorted(result.optimal_rates)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))  # monotone in k
+        kmax = max(result.optimal_rates)
+        for curve in result.fsm_curves.values():
+            for point in curve:
+                assert point.gap_to_optimal is not None
+                # At sizes the oracle searched, nothing beats the optimum.
+                if point.num_states <= kmax:
+                    assert point.gap_to_optimal >= -1e-12
+
+    def test_gap_column_can_be_disabled(self):
+        result = run_fig2_benchmark(
+            "gcc", num_loads=5_000, history_lengths=(2,),
+            bias_thresholds=(0.5,), gap_kmax=0,
+        )
+        assert result.optimal_rates == {}
+        assert result.fsm_curves[2][0].gap_to_optimal is None
+
 
 class TestFig4Shape:
     @pytest.fixture(scope="class")
@@ -111,8 +131,23 @@ class TestFig5Shape:
 
     def test_all_series_present(self, fig5_gsm):
         assert set(fig5_gsm.series) == {
-            "xscale", "gshare", "lgc", "custom-same", "custom-diff"
+            "xscale", "gshare", "lgc", "custom-same", "custom-diff",
+            "tage", "perceptron",
         }
+
+    def test_modern_series_are_competitive(self, fig5_gsm):
+        # TAGE and the hashed perceptron postdate the paper by years; at
+        # comparable storage they must land at or below the gshare curve.
+        gshare_best = fig5_gsm.series["gshare"].best_miss_rate()
+        assert fig5_gsm.series["tage"].best_miss_rate() < gshare_best * 1.25
+        assert fig5_gsm.series["perceptron"].best_miss_rate() < gshare_best
+
+    def test_modern_series_can_be_disabled(self):
+        result = run_fig5_benchmark(
+            "gsm", max_branches=5_000, custom_counts=(1,), modern=False
+        )
+        assert "tage" not in result.series
+        assert "perceptron" not in result.series
 
     def test_render(self, fig5_gsm):
         assert "Figure 5 (gsm)" in fig5_gsm.render()

@@ -103,6 +103,23 @@ class TestInterpolation:
         curve = [(0.8, 0.2), (0.8, 0.9), (0.9, 0.5)]
         assert interpolate_coverage_at(curve, 0.85) == pytest.approx(0.7)
 
+    def test_linear_target_exactly_at_lowest_point(self):
+        # Target == lowest measured accuracy: that point's own coverage,
+        # not the global max over the whole curve.
+        assert interpolate_coverage_at(self.CURVE, 0.8) == pytest.approx(0.9)
+        non_pareto = [(0.8, 0.3), (0.9, 0.8), (0.99, 0.1)]
+        assert interpolate_coverage_at(non_pareto, 0.8) == pytest.approx(0.3)
+
+    def test_linear_below_range_does_not_overcredit_non_pareto(self):
+        # Regression: a non-Pareto curve whose max coverage sits at a
+        # HIGHER accuracy used to leak that max into below-range targets.
+        non_pareto = [(0.8, 0.3), (0.9, 0.8), (0.99, 0.1)]
+        assert interpolate_coverage_at(non_pareto, 0.5) == pytest.approx(0.3)
+        # Unsorted input behaves the same after internal sorting.
+        shuffled = [(0.99, 0.1), (0.8, 0.3), (0.9, 0.8)]
+        assert interpolate_coverage_at(shuffled, 0.5) == pytest.approx(0.3)
+        assert interpolate_coverage_at(shuffled, 0.85) == pytest.approx(0.55)
+
     def test_linear_empty_curve(self):
         assert interpolate_coverage_at([], 0.8) == 0.0
 

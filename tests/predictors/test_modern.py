@@ -1,0 +1,128 @@
+"""TAGE and hashed-perceptron baselines (the fig5 modern-regime series).
+
+The bar: learn easy patterns to zero steady-state misses, behave like a
+fresh predictor after ``reset()``, report a positive area, and reject
+nonsense construction parameters.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.predictors.base import simulate_predictor
+from repro.predictors.perceptron import PerceptronPredictor
+from repro.predictors.tage import TagePredictor, geometric_history_lengths
+from repro.workloads.trace import BranchTrace
+
+
+def _trace(pcs_outcomes):
+    pcs = [pc for pc, _ in pcs_outcomes]
+    outcomes = [out for _, out in pcs_outcomes]
+    return BranchTrace(pcs=pcs, outcomes=outcomes)
+
+
+def _biased_trace(seed=3, length=6000, num_pcs=12):
+    rng = random.Random(seed)
+    pool = [(0x4000 + 8 * i, rng.random() < 0.5) for i in range(num_pcs)]
+    events = []
+    for _ in range(length):
+        pc, mostly_taken = pool[rng.randrange(num_pcs)]
+        taken = rng.random() < (0.9 if mostly_taken else 0.1)
+        events.append((pc, int(taken)))
+    return _trace(events)
+
+
+def _periodic_trace(length=4500, num_pcs=5):
+    events = []
+    pattern = (1, 1, 0)
+    for i in range(length):
+        pc = 0x8000 + 4 * (i % num_pcs)
+        events.append((pc, pattern[(i // num_pcs) % len(pattern)]))
+    return _trace(events)
+
+
+PREDICTORS = [
+    ("tage", lambda: TagePredictor(index_bits=8)),
+    ("perceptron", lambda: PerceptronPredictor(num_perceptrons=128)),
+]
+
+
+@pytest.mark.parametrize("name,factory", PREDICTORS)
+class TestModernPredictors:
+    def test_learns_biased_branches(self, name, factory):
+        predictor = factory()
+        stats = simulate_predictor(predictor, _biased_trace(), warmup=1000)
+        # A static 90/10 bias floors at ~0.10; the learned tables must at
+        # least reach the bias floor with margin for table interference.
+        assert stats.miss_rate < 0.2
+
+    def test_learns_periodic_pattern(self, name, factory):
+        predictor = factory()
+        stats = simulate_predictor(predictor, _periodic_trace(), warmup=1500)
+        assert stats.miss_rate < 0.05
+
+    def test_reset_restores_fresh_behaviour(self, name, factory):
+        trace = _biased_trace(seed=9, length=1500)
+        fresh = simulate_predictor(factory(), trace)
+        predictor = factory()
+        simulate_predictor(predictor, _periodic_trace(length=900))
+        predictor.reset()
+        again = simulate_predictor(predictor, trace)
+        assert (again.hits, again.lookups) == (fresh.hits, fresh.lookups)
+
+    def test_area_is_positive_and_stable(self, name, factory):
+        predictor = factory()
+        before = predictor.area()
+        assert before > 0
+        simulate_predictor(predictor, _biased_trace(length=500))
+        assert predictor.area() == before
+
+
+class TestTageSpecifics:
+    def test_geometric_history_lengths(self):
+        lengths = geometric_history_lengths(4, 4, 64)
+        assert lengths[0] == 4 and lengths[-1] == 64
+        assert list(lengths) == sorted(set(lengths))
+
+    def test_bigger_tables_cost_more_area(self):
+        assert TagePredictor(index_bits=12).area() > TagePredictor(
+            index_bits=8
+        ).area()
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TagePredictor(index_bits=0)
+        with pytest.raises(ValueError):
+            TagePredictor(num_tables=0)
+        with pytest.raises(ValueError):
+            TagePredictor(min_history=32, max_history=16)
+
+    def test_name_encodes_geometry(self):
+        assert TagePredictor(index_bits=9, num_tables=3).name == "tage-9x3"
+
+
+class TestPerceptronSpecifics:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            PerceptronPredictor(num_perceptrons=100)  # not a power of two
+        with pytest.raises(ValueError):
+            PerceptronPredictor(history_length=0)
+        with pytest.raises(ValueError):
+            PerceptronPredictor(weight_bits=1)
+
+    def test_weights_saturate(self):
+        predictor = PerceptronPredictor(
+            num_perceptrons=2, history_length=2, weight_bits=4
+        )
+        for _ in range(500):
+            predictor.predict(0)
+            predictor.update(0, True)
+        flat = [w for row in predictor._weights for w in row]
+        assert max(flat) <= 7 and min(flat) >= -8
+
+    def test_longer_history_raises_threshold(self):
+        short = PerceptronPredictor(history_length=8)
+        long = PerceptronPredictor(history_length=32)
+        assert long.threshold > short.threshold

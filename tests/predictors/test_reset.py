@@ -18,7 +18,9 @@ from repro.predictors.custom import CustomBranchPredictor
 from repro.predictors.gshare import GSharePredictor
 from repro.predictors.local_global import LocalGlobalChooser
 from repro.predictors.loop import LoopTerminationPredictor
+from repro.predictors.perceptron import PerceptronPredictor
 from repro.predictors.ppm import PPMPredictor
+from repro.predictors.tage import TagePredictor
 from repro.predictors.xscale import XScalePredictor
 from repro.workloads.trace import BranchTrace
 
@@ -41,7 +43,9 @@ FACTORIES = {
     "gshare": lambda: GSharePredictor(8),
     "lgc": lambda: LocalGlobalChooser(6),
     "loop": lambda: LoopTerminationPredictor(num_entries=32),
+    "perceptron": lambda: PerceptronPredictor(num_perceptrons=64),
     "ppm": lambda: PPMPredictor(4),
+    "tage": lambda: TagePredictor(index_bits=6),
     "xscale": lambda: XScalePredictor(num_entries=32),
 }
 

@@ -1,9 +1,11 @@
 """Tests for the table-based branch predictors: bimodal, XScale, gshare,
 LGC, PPM -- plus the shared simulation loop."""
 
+import math
+
 import pytest
 
-from repro.predictors.base import PredictionStats, simulate_predictor
+from repro.predictors.base import PredictionStats, format_rate, simulate_predictor
 from repro.predictors.bimodal import BimodalPredictor
 from repro.predictors.gshare import GSharePredictor
 from repro.predictors.local_global import LocalGlobalChooser
@@ -32,10 +34,28 @@ class TestPredictionStats:
         assert stats.miss_rate == pytest.approx(1 / 3)
         assert stats.hit_rate == pytest.approx(2 / 3)
 
-    def test_empty_rates(self):
+    def test_empty_rates_are_nan_sentinel(self):
+        # lookups == 0 must NOT read as a perfect predictor (miss_rate 0.0
+        # with hit_rate also 0.0 -- rates that don't even sum to 1).  The
+        # degenerate case is an explicit NaN sentinel.
         stats = PredictionStats()
-        assert stats.miss_rate == 0.0
-        assert stats.hit_rate == 0.0
+        assert math.isnan(stats.miss_rate)
+        assert math.isnan(stats.hit_rate)
+        assert format_rate(stats.miss_rate) == "n/a"
+
+    def test_fully_warmed_up_run_is_degenerate(self):
+        # warmup >= len(trace) counts nothing; the resulting stats must
+        # carry the degenerate sentinel, not a fake 0.0 miss rate.
+        predictor = BimodalPredictor(64)
+        trace = repeated([(0x100, True)], 10)
+        stats = simulate_predictor(predictor, trace, warmup=len(trace))
+        assert stats.lookups == 0
+        assert math.isnan(stats.miss_rate)
+        assert math.isnan(stats.hit_rate)
+
+    def test_format_rate_renders_numbers(self):
+        assert format_rate(0.25) == "0.2500"
+        assert format_rate(1 / 3, precision=2) == "0.33"
 
     def test_merged(self):
         a = PredictionStats(lookups=10, hits=8)

@@ -1,0 +1,57 @@
+"""Regression tests for the loadgen latency quantile math.
+
+The CI serve job runs closed-loop with only a handful of latency samples
+per client, so small-n quantiles matter: the old floor-rank math made
+p90 of two samples return the *minimum* and p90 of three return the
+median.  The fixed ``_quantile`` matches numpy's default linear
+interpolation; values below are pinned by hand.
+"""
+
+import pytest
+
+from repro.serve.loadgen import _quantile
+
+
+class TestQuantileSmallN:
+    def test_empty(self):
+        assert _quantile([], 0.5) == 0.0
+        assert _quantile([], 0.99) == 0.0
+
+    def test_n1_all_quantiles_are_the_sample(self):
+        assert _quantile([5.0], 0.50) == pytest.approx(5.0)
+        assert _quantile([5.0], 0.90) == pytest.approx(5.0)
+        assert _quantile([5.0], 0.99) == pytest.approx(5.0)
+
+    def test_n2_interpolates_toward_max(self):
+        values = [1.0, 3.0]
+        assert _quantile(values, 0.50) == pytest.approx(2.0)
+        # Pre-fix: int(0.9 * 1) == 0 returned 1.0 -- the MINIMUM.
+        assert _quantile(values, 0.90) == pytest.approx(2.8)
+        assert _quantile(values, 0.99) == pytest.approx(2.98)
+
+    def test_n3_tail_quantiles_reach_past_median(self):
+        values = [1.0, 2.0, 10.0]
+        assert _quantile(values, 0.50) == pytest.approx(2.0)
+        # Pre-fix: int(0.9 * 2) == 1 returned the median 2.0.
+        assert _quantile(values, 0.90) == pytest.approx(8.4)
+        assert _quantile(values, 0.99) == pytest.approx(9.84)
+
+    def test_endpoints(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert _quantile(values, 0.0) == pytest.approx(1.0)
+        assert _quantile(values, 1.0) == pytest.approx(4.0)
+
+    def test_matches_linear_interpolation_convention(self):
+        # Same convention as numpy.quantile's default for a larger sample.
+        values = [float(v) for v in range(10)]  # 0..9
+        assert _quantile(values, 0.90) == pytest.approx(8.1)
+        assert _quantile(values, 0.25) == pytest.approx(2.25)
+
+    def test_monotone_in_q(self):
+        values = [0.3, 0.1, 4.0, 2.5, 0.9]
+        values.sort()
+        qs = [i / 20 for i in range(21)]
+        results = [_quantile(values, q) for q in qs]
+        assert results == sorted(results)
+        assert results[0] == pytest.approx(values[0])
+        assert results[-1] == pytest.approx(values[-1])
