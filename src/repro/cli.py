@@ -24,10 +24,17 @@ Subcommands mirror what a user of the paper's flow would do:
     graceful SIGTERM drain.  ``--oneshot FILE`` is the batch reference
     path: execute request lines in-process and print each canonical
     design payload.
+``serve-router``
+    Front a fleet of ``serve`` replicas with one endpoint (see
+    :mod:`repro.serve.cluster`): lease-based membership with healthz
+    probes and automatic eject/readmit, hedged dispatch after a
+    P95-derived delay, single-flight coalescing of same-digest requests,
+    and cluster-honest backpressure.  Speaks the same ``repro.serve/1``
+    protocol, so clients need no changes.
 ``loadgen``
     Replay seeded concurrent synthetic clients against a running server
-    and assert zero lost / zero incorrect responses (byte-compared
-    against the batch reference).
+    (or router) over keep-alive connections and assert zero lost / zero
+    incorrect responses (byte-compared against the batch reference).
 ``conformance``
     Differential-oracle conformance (see :mod:`repro.conformance`):
     ``run`` checks the fixed corpus stage-by-stage against brute-force
@@ -58,6 +65,8 @@ Examples::
     python -m repro --trace spans.jsonl figures fig5
     python -m repro bench --out BENCH_pipeline.json
     python -m repro serve --port 7477 --workers 4
+    python -m repro serve-router --port 7478 \\
+        --replicas 127.0.0.1:7477,127.0.0.1:7479
     python -m repro loadgen --port 7477 --clients 64 --requests 2 --wait 30
     echo '{"trace":"000010001011110111101111","order":2}' | \\
         python -m repro serve --oneshot -
@@ -431,6 +440,88 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return asyncio.run(_serve())
 
 
+def _cmd_serve_router(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+    import os
+    import signal
+
+    from repro.serve.cluster.config import RouterConfig, parse_replica_spec
+
+    replicas = None
+    if args.replicas is not None:
+        try:
+            replicas = parse_replica_spec(args.replicas)
+        except ValueError as exc:
+            print(f"repro: error: {exc}", file=sys.stderr)
+            return 2
+    try:
+        config = RouterConfig.from_env(
+            host=args.host,
+            port=args.port,
+            replicas=replicas,
+            queue_limit=args.queue,
+            probe_interval=args.probe_interval,
+            eject_fails=args.eject_fails,
+            retries=args.retries,
+            hedge_floor=args.hedge_floor,
+            hedge_cap=args.hedge_cap,
+        )
+    except ValueError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    if not config.replicas:
+        print(
+            "repro: error: serve-router needs --replicas host:port[,...] "
+            "(or REPRO_ROUTER_REPLICAS)",
+            file=sys.stderr,
+        )
+        return 2
+
+    async def _serve() -> int:
+        from repro.obs.metrics import metrics
+        from repro.serve.cluster.router import ClusterRouter
+
+        router = ClusterRouter(config)
+        await router.start()
+        loop = asyncio.get_running_loop()
+
+        def _begin_drain() -> None:
+            asyncio.ensure_future(router.shutdown())
+
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, _begin_drain)
+            except (NotImplementedError, ValueError, OSError):
+                pass
+        print(
+            json.dumps(
+                {
+                    "event": "listening",
+                    "role": "router",
+                    "host": config.host,
+                    "port": router.port,
+                    "pid": os.getpid(),
+                    "replicas": [f"{h}:{p}" for h, p in config.replicas],
+                    "queue_limit": config.queue_limit,
+                },
+                sort_keys=True,
+            ),
+            flush=True,
+        )
+        await router.serve_until_shutdown()
+        print(
+            json.dumps(
+                {"event": "drained", "counters": metrics().snapshot()},
+                sort_keys=True,
+            ),
+            flush=True,
+        )
+        return 0
+
+    return asyncio.run(_serve())
+
+
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     import asyncio
     import json
@@ -466,6 +557,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 requests=args.requests,
                 seed=args.seed,
                 check=not args.no_check,
+                timeout_s=args.timeout,
             )
         finally:
             if server is not None:
@@ -669,6 +761,70 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.set_defaults(func=_cmd_serve)
 
+    router = sub.add_parser(
+        "serve-router",
+        help="front N serve replicas with one endpoint (probes, hedging, "
+        "request coalescing, aggregated backpressure)",
+    )
+    router.add_argument("--host", default=None, help="listen address")
+    router.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="listen port (0 = ephemeral; default $REPRO_ROUTER_PORT or 7478)",
+    )
+    router.add_argument(
+        "--replicas",
+        default=None,
+        metavar="HOST:PORT[,...]",
+        help="replica endpoints (default $REPRO_ROUTER_REPLICAS)",
+    )
+    router.add_argument(
+        "--queue",
+        type=int,
+        default=None,
+        help="router admission bound before load shedding "
+        "(default $REPRO_ROUTER_QUEUE or 256)",
+    )
+    router.add_argument(
+        "--probe-interval",
+        type=float,
+        default=None,
+        metavar="S",
+        help="seconds between replica healthz probes "
+        "(default $REPRO_ROUTER_PROBE_INTERVAL or 1.0)",
+    )
+    router.add_argument(
+        "--eject-fails",
+        type=int,
+        default=None,
+        help="consecutive probe failures before a replica is ejected "
+        "(default $REPRO_ROUTER_EJECT_FAILS or 2)",
+    )
+    router.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="upstream dispatch attempts per request "
+        "(default $REPRO_ROUTER_RETRIES or 3)",
+    )
+    router.add_argument(
+        "--hedge-floor",
+        type=float,
+        default=None,
+        metavar="S",
+        help="minimum hedge delay (default $REPRO_ROUTER_HEDGE_FLOOR or 0.05)",
+    )
+    router.add_argument(
+        "--hedge-cap",
+        type=float,
+        default=None,
+        metavar="S",
+        help="maximum hedge delay and pre-sample default "
+        "(default $REPRO_ROUTER_HEDGE_CAP or 2.0)",
+    )
+    router.set_defaults(func=_cmd_serve_router)
+
     loadgen = sub.add_parser(
         "loadgen",
         help="replay seeded concurrent clients against a running server",
@@ -695,6 +851,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         metavar="S",
         help="poll healthz for up to S seconds before starting",
+    )
+    loadgen.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        metavar="S",
+        help="per-attempt response read timeout in seconds (default 120)",
     )
     loadgen.add_argument(
         "--selfhost",

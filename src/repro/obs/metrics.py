@@ -9,7 +9,8 @@ worker exited.  The :class:`MetricsRegistry` unifies them:
 * **dotted counter names** namespace the producers (``cache.hits``,
   ``cache.lock_acquired``, ``parallel.retries``, ``parallel.interrupts``,
   ``faults.fired.worker_crash``, ``journal.appends``,
-  ``durable.replayed``, ``ga.resumed``, ...);
+  ``durable.replayed``, ``ga.resumed``, ``serve.router.hedges``,
+  ``serve.coalesce.hits``, ``serve.client.reconnects``, ...);
 * **snapshot / diff / merge** make the counters *transportable*: a pool
   worker snapshots the registry around each task, ships the per-task
   delta back through the ``parallel_map`` result channel, and the parent

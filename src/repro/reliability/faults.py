@@ -33,6 +33,8 @@ Fault points currently wired in:
 ``hopcroft_offby1`` Hopcroft output gets one transition bumped off by one
 ``serve_worker_crash`` a serve pool worker SIGKILLs itself before a job
 ``serve_worker_hang``  a serve pool worker stalls past the stall timeout
+``router_probe_fail``  a cluster router health probe is dropped (probe loss)
+``replica_partition``  a router->replica request hits a simulated partition
 =================  ==========================================================
 """
 
@@ -58,6 +60,8 @@ KNOWN_POINTS = frozenset(
         "hopcroft_offby1",
         "serve_worker_crash",
         "serve_worker_hang",
+        "router_probe_fail",
+        "replica_partition",
     }
 )
 

@@ -15,6 +15,9 @@ HDL, and area come out.  The layer cake, bottom to top:
               degradation, graceful drain
 ``loadgen``   seeded concurrent clients proving zero-lost /
               zero-incorrect under armed chaos
+``cluster``   multi-replica serving: ``serve-router`` front end with
+              lease-based membership, hedged dispatch, single-flight
+              request coalescing, and aggregated backpressure
 """
 
 from repro.serve.config import ServeConfig

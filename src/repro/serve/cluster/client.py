@@ -1,0 +1,199 @@
+"""Resilient keep-alive client for the ``repro.serve/1`` protocol.
+
+Every earlier consumer of the wire protocol (loadgen, CI scripts) opened
+one fresh TCP connection per request -- fine at 64 closed-loop clients,
+a syscall storm beyond that.  :class:`ResilientClient` keeps a small pool
+of persistent connections to one endpoint and layers the failure
+handling every caller was reimplementing by hand:
+
+* **connection pooling** -- completed requests return their connection
+  to an idle pool (LIFO, bounded); the next request reuses it instead of
+  paying connect + slow-start again.  One request owns one connection at
+  a time, so responses never need wire-level correlation.
+* **reconnect with jittered exponential backoff** -- a dead connection
+  (reset, refused, EOF, read timeout) is closed and the request retried
+  on a fresh dial after ``base * 2^n`` plus up to 50% jitter, capped.
+  Safe because the design flow is idempotent: a request that died
+  mid-flight and is re-sent recomputes (or cache-hits) the same bytes.
+* **per-request retry budget** -- after ``max_attempts`` dead
+  connections the request gives up and returns ``None``; the caller
+  decides whether that is a lost request (loadgen) or a replica to
+  eject (router).
+
+The ``replica_partition`` fault point fires here: an armed plan makes a
+request behave exactly like a network partition (the connection "dies"
+before the line is written), which is how the chaos suite proves the
+router's retry/hedge path without touching real sockets.
+
+Counters land in the process registry (``serve.client.*``) and are also
+kept per-instance in :attr:`counters` so the loadgen can report them
+per-run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+from typing import Any, Deque, Dict, Optional, Tuple
+
+import collections
+
+from repro.obs.metrics import metrics
+from repro.reliability import faults
+from repro.serve import protocol
+
+#: Upper bound on idle pooled connections per client.
+DEFAULT_POOL_SIZE = 4
+#: Dead-connection retries per request before giving up.
+DEFAULT_MAX_ATTEMPTS = 8
+_BACKOFF_BASE_S = 0.05
+_BACKOFF_CAP_S = 1.0
+
+
+class ResilientClient:
+    """Keep-alive client to one ``host:port`` serve endpoint."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        pool_size: int = DEFAULT_POOL_SIZE,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        connect_timeout_s: float = 1.0,
+        backoff_base_s: float = _BACKOFF_BASE_S,
+        backoff_cap_s: float = _BACKOFF_CAP_S,
+        rng: Optional[random.Random] = None,
+    ):
+        self.host = host
+        self.port = port
+        self.pool_size = max(1, pool_size)
+        self.max_attempts = max(1, max_attempts)
+        self.connect_timeout_s = connect_timeout_s
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self._rng = rng if rng is not None else random.Random()
+        self._idle: Deque[Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = (
+            collections.deque()
+        )
+        self.counters: Dict[str, int] = {
+            "dials": 0,
+            "reuses": 0,
+            "reconnects": 0,
+            "exhausted": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    async def _acquire(
+        self,
+    ) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        while self._idle:
+            reader, writer = self._idle.pop()
+            if writer.is_closing() or reader.at_eof():
+                self._close(writer)
+                continue
+            self._count("reuses")
+            return reader, writer
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(
+                self.host, self.port, limit=protocol.MAX_LINE_BYTES
+            ),
+            timeout=self.connect_timeout_s,
+        )
+        self._count("dials")
+        return reader, writer
+
+    def _release(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if writer.is_closing() or len(self._idle) >= self.pool_size:
+            self._close(writer)
+            return
+        self._idle.append((reader, writer))
+
+    @staticmethod
+    def _close(writer: asyncio.StreamWriter) -> None:
+        try:
+            writer.close()
+        except (OSError, RuntimeError):
+            pass
+
+    def _count(self, name: str) -> None:
+        self.counters[name] += 1
+        metrics().incr(f"serve.client.{name}")
+
+    async def _backoff(self, attempt: int) -> None:
+        delay = min(
+            self.backoff_base_s * (2 ** max(0, attempt - 1)),
+            self.backoff_cap_s,
+        )
+        await asyncio.sleep(delay * (1.0 + 0.5 * self._rng.random()))
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    async def request(
+        self,
+        obj: Any,
+        timeout_s: float = 60.0,
+        max_attempts: Optional[int] = None,
+    ) -> Optional[Dict[str, Any]]:
+        """Send one request (dict or pre-encoded line bytes) and return
+        its envelope; ``None`` after the reconnect budget is exhausted.
+
+        A cancelled request (the router's hedging loser) closes its
+        connection instead of pooling it -- the response, when it
+        eventually arrives, would desynchronise the next request.
+        """
+        line = obj if isinstance(obj, bytes) else protocol.canonical_json(obj)
+        budget = max_attempts if max_attempts is not None else self.max_attempts
+        for attempt in range(1, budget + 1):
+            conn = None
+            try:
+                if faults.should_fire("replica_partition"):
+                    raise ConnectionResetError("injected replica partition")
+                conn = await self._acquire()
+                reader, writer = conn
+                writer.write(line + b"\n")
+                await writer.drain()
+                raw = await asyncio.wait_for(
+                    reader.readline(), timeout=timeout_s
+                )
+                if not raw:
+                    raise ConnectionResetError("connection closed mid-request")
+                envelope = json.loads(raw)
+                self._release(reader, writer)
+                return envelope
+            except asyncio.CancelledError:
+                if conn is not None:
+                    self._close(conn[1])
+                raise
+            except (
+                OSError,
+                asyncio.TimeoutError,
+                asyncio.IncompleteReadError,
+                json.JSONDecodeError,
+                ValueError,
+            ):
+                if conn is not None:
+                    self._close(conn[1])
+                if attempt >= budget:
+                    break
+                self._count("reconnects")
+                await self._backoff(attempt)
+        self._count("exhausted")
+        return None
+
+    async def close(self) -> None:
+        """Close every pooled connection (the client stays usable; the
+        next request simply dials fresh)."""
+        while self._idle:
+            _reader, writer = self._idle.pop()
+            self._close(writer)
+            try:
+                await writer.wait_closed()
+            except (OSError, ConnectionResetError):
+                pass

@@ -1,0 +1,82 @@
+"""In-router single-flight request coalescing.
+
+The on-disk cache already deduplicates *sequential* same-digest work,
+and its single-flight file locks deduplicate concurrent work *across
+processes* -- but N concurrent identical requests arriving at the router
+would still fan out as N upstream calls (N socket round trips, N pool
+dispatches) that all block on the same cache lock.  :class:`SingleFlight`
+collapses them at the door: the first request becomes the **leader** and
+runs the real upstream call; everyone else becomes a **waiter** parked
+on the leader's future.  When the leader's envelope lands it is fanned
+back out to every waiter.
+
+Correctness details the tests pin down:
+
+* every caller gets a **deep copy** of the envelope -- the router
+  rewrites the ``id`` field per waiter, and a shared mutable dict would
+  cross-deliver one waiter's id to another;
+* the flight key is removed from the table **before** the result is
+  published, so a request arriving after completion starts a fresh
+  flight instead of reading a stale one;
+* a leader that fails with an *exception* propagates it to every waiter
+  exactly once and clears the flight -- nobody hangs.  (The router's
+  upstream call converts failures into error envelopes, so this path is
+  a defensive backstop, but it must still never wedge a waiter.)
+
+Counters: ``serve.coalesce.leaders`` (upstream calls actually made),
+``serve.coalesce.hits`` (requests answered from another flight's work).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import copy
+from typing import Any, Awaitable, Callable, Dict, Tuple
+
+from repro.obs.metrics import metrics
+
+
+class SingleFlight:
+    """Coalesce concurrent calls that share a key into one execution."""
+
+    def __init__(self) -> None:
+        self._inflight: Dict[Any, "asyncio.Future[Dict[str, Any]]"] = {}
+
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    async def run(
+        self,
+        key: Any,
+        supplier: Callable[[], Awaitable[Dict[str, Any]]],
+    ) -> Tuple[Dict[str, Any], bool]:
+        """Return ``(envelope_copy, coalesced)``.  ``coalesced`` is True
+        when this caller rode an already-in-flight call instead of
+        executing ``supplier`` itself."""
+        existing = self._inflight.get(key)
+        if existing is not None:
+            metrics().incr("serve.coalesce.hits")
+            # shield(): a cancelled waiter must not cancel the leader's
+            # upstream call out from under the other waiters.
+            envelope = await asyncio.shield(existing)
+            return copy.deepcopy(envelope), True
+        future: "asyncio.Future[Dict[str, Any]]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._inflight[key] = future
+        metrics().incr("serve.coalesce.leaders")
+        try:
+            envelope = await supplier()
+        except BaseException as exc:
+            self._inflight.pop(key, None)
+            if not future.done():
+                future.set_exception(exc)
+                # The waiters consume the exception; if there are none,
+                # keep the event loop's "exception never retrieved"
+                # warning out of the logs.
+                future.exception()
+            raise
+        self._inflight.pop(key, None)
+        if not future.done():
+            future.set_result(envelope)
+        return copy.deepcopy(envelope), False

@@ -1,0 +1,192 @@
+"""Cluster-router knobs.
+
+Same discipline as :mod:`repro.serve.config`: every knob re-reads the
+environment at call time, and the CLI's ``serve-router`` flags override
+per-field through :meth:`RouterConfig.from_env`.
+
+===============================  =========  ================================
+``REPRO_ROUTER_HOST``            127.0.0.1  router listen address
+``REPRO_ROUTER_PORT``            7478       router listen port (0=ephemeral)
+``REPRO_ROUTER_REPLICAS``        (none)     comma-separated ``host:port``
+                                            replica endpoints
+``REPRO_ROUTER_QUEUE``           256        admitted-but-unresolved bound;
+                                            beyond it requests shed with 503
+``REPRO_ROUTER_PROBE_INTERVAL``  1.0        seconds between healthz probes
+                                            per replica
+``REPRO_ROUTER_LEASE``           3x probe   seconds one successful probe
+                                            keeps a replica admitted
+``REPRO_ROUTER_EJECT_FAILS``     2          consecutive probe failures
+                                            before a replica is ejected
+``REPRO_ROUTER_RETRIES``         3          upstream dispatch attempts per
+                                            request before giving up
+``REPRO_ROUTER_HEDGE_FLOOR``     0.05       minimum hedge delay (seconds)
+``REPRO_ROUTER_HEDGE_CAP``       2.0        maximum hedge delay (seconds);
+                                            also the pre-sample default
+``REPRO_ROUTER_CONNECT_TIMEOUT`` 1.0        seconds to wait for a replica
+                                            TCP connect
+``REPRO_ROUTER_DRAIN``           30         graceful-drain budget (s)
+===============================  =========  ================================
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.serve.config import _env_float, _env_int
+
+
+def parse_replica_spec(spec: str) -> Tuple[Tuple[str, int], ...]:
+    """``"host:port,host:port"`` -> ``(("host", port), ...)``.  Raises
+    :class:`ValueError` on anything that is not a host:port list."""
+    endpoints = []
+    for clause in spec.split(","):
+        clause = clause.strip()
+        if not clause:
+            continue
+        host, sep, raw_port = clause.rpartition(":")
+        if not sep or not host:
+            raise ValueError(
+                f"replica {clause!r} is not host:port (e.g. 127.0.0.1:7477)"
+            )
+        try:
+            port = int(raw_port)
+        except ValueError:
+            raise ValueError(
+                f"replica {clause!r} has a non-integer port"
+            ) from None
+        if not 0 < port < 65536:
+            raise ValueError(f"replica {clause!r} port out of range")
+        endpoints.append((host, port))
+    return tuple(endpoints)
+
+
+def router_host() -> str:
+    return os.environ.get("REPRO_ROUTER_HOST", "").strip() or "127.0.0.1"
+
+
+def router_port() -> int:
+    return _env_int("REPRO_ROUTER_PORT", 7478, minimum=0)
+
+
+def router_replicas() -> Tuple[Tuple[str, int], ...]:
+    return parse_replica_spec(os.environ.get("REPRO_ROUTER_REPLICAS", ""))
+
+
+def router_queue_limit() -> int:
+    return _env_int("REPRO_ROUTER_QUEUE", 256)
+
+
+def probe_interval_s() -> float:
+    return _env_float("REPRO_ROUTER_PROBE_INTERVAL", 1.0)
+
+
+def lease_s() -> Optional[float]:
+    """Lease length; ``None`` means "3x the probe interval"."""
+    raw = os.environ.get("REPRO_ROUTER_LEASE", "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
+
+def eject_after() -> int:
+    return _env_int("REPRO_ROUTER_EJECT_FAILS", 2)
+
+
+def retry_budget() -> int:
+    return _env_int("REPRO_ROUTER_RETRIES", 3)
+
+
+def hedge_floor_s() -> float:
+    return _env_float("REPRO_ROUTER_HEDGE_FLOOR", 0.05)
+
+
+def hedge_cap_s() -> float:
+    return _env_float("REPRO_ROUTER_HEDGE_CAP", 2.0)
+
+
+def connect_timeout_s() -> float:
+    return _env_float("REPRO_ROUTER_CONNECT_TIMEOUT", 1.0)
+
+
+def router_drain_s() -> float:
+    return _env_float("REPRO_ROUTER_DRAIN", 30.0)
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """One resolved router configuration (env defaults + CLI overrides)."""
+
+    host: str = "127.0.0.1"
+    port: int = 7478
+    replicas: Tuple[Tuple[str, int], ...] = ()
+    queue_limit: int = 256
+    probe_interval_s: float = 1.0
+    lease_s: float = 3.0
+    eject_after: int = 2
+    retry_budget: int = 3
+    hedge_floor_s: float = 0.05
+    hedge_cap_s: float = 2.0
+    connect_timeout_s: float = 1.0
+    drain_timeout_s: float = 30.0
+
+    @classmethod
+    def from_env(
+        cls,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        replicas: Optional[Sequence[Tuple[str, int]]] = None,
+        queue_limit: Optional[int] = None,
+        probe_interval: Optional[float] = None,
+        lease: Optional[float] = None,
+        eject_fails: Optional[int] = None,
+        retries: Optional[int] = None,
+        hedge_floor: Optional[float] = None,
+        hedge_cap: Optional[float] = None,
+        connect_timeout: Optional[float] = None,
+        drain_timeout: Optional[float] = None,
+    ) -> "RouterConfig":
+        interval = (
+            probe_interval if probe_interval is not None else probe_interval_s()
+        )
+        lease_value = lease if lease is not None else lease_s()
+        if lease_value is None:
+            lease_value = 3.0 * interval
+        return cls(
+            host=host if host is not None else router_host(),
+            port=port if port is not None else router_port(),
+            replicas=tuple(
+                replicas if replicas is not None else router_replicas()
+            ),
+            queue_limit=max(
+                1,
+                queue_limit
+                if queue_limit is not None
+                else router_queue_limit(),
+            ),
+            probe_interval_s=interval,
+            lease_s=max(interval, lease_value),
+            eject_after=max(
+                1, eject_fails if eject_fails is not None else eject_after()
+            ),
+            retry_budget=max(
+                1, retries if retries is not None else retry_budget()
+            ),
+            hedge_floor_s=(
+                hedge_floor if hedge_floor is not None else hedge_floor_s()
+            ),
+            hedge_cap_s=hedge_cap if hedge_cap is not None else hedge_cap_s(),
+            connect_timeout_s=(
+                connect_timeout
+                if connect_timeout is not None
+                else connect_timeout_s()
+            ),
+            drain_timeout_s=(
+                drain_timeout if drain_timeout is not None else router_drain_s()
+            ),
+        )

@@ -1,0 +1,269 @@
+"""Replica membership: probes, leases, eject/readmit.
+
+The router must keep answering while replicas die, hang, and come back.
+Membership is **lease-based**: a replica is routable only while it holds
+a fresh lease, and the only way to hold a lease is to keep answering
+``healthz`` probes.  That makes the failure detector's state derivable
+from live evidence instead of accumulated bookkeeping:
+
+* every ``probe_interval_s`` the registry sends the replica a shallow
+  ``healthz`` through its own :class:`ResilientClient` (one reconnect
+  attempt -- a probe that needs backoff is a failed probe);
+* a ready answer renews the lease for ``lease_s`` and resets the failure
+  streak; a replica whose lease lapses stops receiving traffic even if
+  the eject threshold was never hit (e.g. the probe loop itself is
+  starved);
+* ``eject_after`` consecutive failures ejects the replica
+  (``serve.router.ejects``); probing continues, and the first ready
+  answer readmits it (``serve.router.readmits``) -- recovery requires no
+  operator action;
+* request-path evidence feeds the same detector: a connection-level
+  failure during a real dispatch counts as a probe failure
+  (:meth:`ReplicaRegistry.record_dead`), so a partitioned replica is
+  ejected at traffic speed, not probe speed.
+
+Backpressure aggregation lives here too: a replica that answers 503
+with a ``retry_after_s`` hint is put on *hold* for that long and is not
+picked; when every admitted replica is on hold the router sheds with the
+soonest hold expiry as its own ``retry_after_s`` -- cluster-honest
+admission instead of one replica's opinion.
+
+The ``router_probe_fail`` fault point drops probes (the probe is never
+sent), which is how the chaos suite proves eject/readmit without killing
+real processes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.metrics import metrics
+from repro.reliability import faults
+from repro.serve.cluster.client import ResilientClient
+from repro.serve.cluster.config import RouterConfig
+
+_EMA_ALPHA = 0.2
+
+
+@dataclass
+class Replica:
+    """One replica endpoint and everything the router knows about it."""
+
+    host: str
+    port: int
+    client: ResilientClient
+    admitted: bool = False
+    was_admitted: bool = False
+    lease_until: float = 0.0
+    probe_failures: int = 0
+    inflight: int = 0
+    hold_until: float = 0.0
+    ema_s: float = 0.5
+    ok_count: int = 0
+    error_count: int = 0
+    last_error: str = ""
+    picked: int = field(default=0)
+
+    @property
+    def name(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def up(self, now: Optional[float] = None) -> bool:
+        now = time.monotonic() if now is None else now
+        return self.admitted and now < self.lease_until
+
+    def held(self, now: Optional[float] = None) -> bool:
+        now = time.monotonic() if now is None else now
+        return now < self.hold_until
+
+
+class ReplicaRegistry:
+    """Probe loop + routable-replica selection for one router."""
+
+    def __init__(self, config: RouterConfig):
+        self.config = config
+        self.replicas: List[Replica] = [
+            Replica(
+                host=host,
+                port=port,
+                client=ResilientClient(
+                    host,
+                    port,
+                    connect_timeout_s=config.connect_timeout_s,
+                ),
+            )
+            for host, port in config.replicas
+        ]
+        self._probe_tasks: List[asyncio.Task] = []
+        self._rotor = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, initial_probe: bool = True) -> None:
+        """Kick off one probe loop per replica.  ``initial_probe`` runs
+        the first probe of each replica before returning, so a router
+        whose replicas are already up starts routable."""
+        if initial_probe:
+            await asyncio.gather(
+                *(self.probe_once(replica) for replica in self.replicas)
+            )
+        self._probe_tasks = [
+            asyncio.ensure_future(self._probe_loop(replica))
+            for replica in self.replicas
+        ]
+
+    async def stop(self) -> None:
+        for task in self._probe_tasks:
+            task.cancel()
+        for task in self._probe_tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        self._probe_tasks = []
+        for replica in self.replicas:
+            await replica.client.close()
+
+    async def _probe_loop(self, replica: Replica) -> None:
+        while True:
+            await asyncio.sleep(self.config.probe_interval_s)
+            await self.probe_once(replica)
+
+    # ------------------------------------------------------------------
+    # Probing
+    # ------------------------------------------------------------------
+    async def probe_once(self, replica: Replica) -> bool:
+        """One shallow healthz probe; updates membership.  Returns the
+        probe verdict."""
+        metrics().incr("serve.router.probes")
+        envelope = None
+        if not faults.should_fire("router_probe_fail"):
+            try:
+                envelope = await replica.client.request(
+                    {"op": "healthz"},
+                    timeout_s=max(
+                        self.config.probe_interval_s,
+                        self.config.connect_timeout_s,
+                    ),
+                    max_attempts=1,
+                )
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # noqa: BLE001 - a broken probe is a failed probe
+                envelope = None
+        if envelope is not None and envelope.get("ready"):
+            self._mark_probe_ok(replica)
+            return True
+        replica.last_error = (
+            "probe dropped"
+            if envelope is None
+            else f"not ready: {envelope.get('error', envelope.get('status'))}"
+        )
+        self._mark_probe_failure(replica)
+        return False
+
+    def _mark_probe_ok(self, replica: Replica) -> None:
+        replica.lease_until = time.monotonic() + self.config.lease_s
+        replica.probe_failures = 0
+        if not replica.admitted:
+            replica.admitted = True
+            if replica.was_admitted:
+                metrics().incr("serve.router.readmits")
+            else:
+                metrics().incr("serve.router.admits")
+            replica.was_admitted = True
+
+    def _mark_probe_failure(self, replica: Replica) -> None:
+        replica.probe_failures += 1
+        metrics().incr("serve.router.probe_failures")
+        if replica.admitted and replica.probe_failures >= self.config.eject_after:
+            replica.admitted = False
+            metrics().incr("serve.router.ejects")
+
+    # ------------------------------------------------------------------
+    # Request-path evidence
+    # ------------------------------------------------------------------
+    def record_dead(self, replica: Replica, reason: str = "request failed") -> None:
+        """A real dispatch hit a dead/partitioned connection: count it
+        like a failed probe so traffic evidence accelerates ejection."""
+        replica.last_error = reason
+        replica.error_count += 1
+        self._mark_probe_failure(replica)
+
+    def record_ok(self, replica: Replica, latency_s: float) -> None:
+        replica.ok_count += 1
+        replica.ema_s = (1 - _EMA_ALPHA) * replica.ema_s + _EMA_ALPHA * latency_s
+
+    def record_backpressure(self, replica: Replica, retry_after_s: float) -> None:
+        """A replica shed with a 503 hint: hold it out of selection until
+        the hint expires (the hint is its own queue-drain estimate)."""
+        replica.hold_until = time.monotonic() + max(0.05, retry_after_s)
+        metrics().incr("serve.router.backpressure_holds")
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def up_replicas(self) -> List[Replica]:
+        now = time.monotonic()
+        return [r for r in self.replicas if r.up(now)]
+
+    def available(self) -> List[Replica]:
+        now = time.monotonic()
+        return [r for r in self.replicas if r.up(now) and not r.held(now)]
+
+    def earliest_hold_expiry_s(self) -> float:
+        """Seconds until the soonest held-but-up replica frees up."""
+        now = time.monotonic()
+        holds = [
+            r.hold_until - now
+            for r in self.replicas
+            if r.up(now) and r.held(now)
+        ]
+        return max(0.05, min(holds)) if holds else 0.05
+
+    def pick(
+        self, exclude: Sequence[Replica] = ()
+    ) -> Optional[Replica]:
+        """Least-inflight admitted replica not on hold (round-robin tie
+        break), preferring replicas not in ``exclude``; falls back to an
+        excluded one rather than returning nothing while the cluster is
+        still up."""
+        candidates = self.available()
+        if not candidates:
+            return None
+        fresh = [r for r in candidates if r not in exclude]
+        pool = fresh or candidates
+        self._rotor += 1
+        best = min(
+            pool,
+            key=lambda r: (r.inflight, (r.picked + self._rotor) % (2 ** 31)),
+        )
+        best.picked += 1
+        return best
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        now = time.monotonic()
+        return {
+            replica.name: {
+                "admitted": replica.admitted,
+                "up": replica.up(now),
+                "held": replica.held(now),
+                "lease_remaining_s": round(
+                    max(0.0, replica.lease_until - now), 3
+                ),
+                "probe_failures": replica.probe_failures,
+                "inflight": replica.inflight,
+                "ok": replica.ok_count,
+                "errors": replica.error_count,
+                "ema_latency_s": round(replica.ema_s, 4),
+                "last_error": replica.last_error,
+            }
+            for replica in self.replicas
+        }

@@ -7,6 +7,12 @@ serving guarantees instead of eyeballing them:
 * **zero lost** -- every request eventually receives exactly one
   envelope; a connection cut mid-request is retried on a fresh
   connection (the design flow is idempotent, so retries are safe).
+  Each synthetic client holds one keep-alive connection through a
+  :class:`~repro.serve.cluster.client.ResilientClient` (reused across
+  its whole request sequence, reconnect-with-backoff on reset), so the
+  harness scales past the old one-dial-per-request ceiling; the summary
+  reports ``connections_opened``/``connection_reuses`` alongside
+  ``reconnects``.
 * **zero incorrect** -- with ``check=True`` every ``ok`` payload is
   byte-compared (canonical JSON) against :func:`execute_request` run
   in-process, i.e. against exactly what the batch CLI would print.  A
@@ -28,13 +34,13 @@ summary dict that the CI job uploads as an artifact.
 from __future__ import annotations
 
 import asyncio
-import json
 import random
 import time
 from typing import Any, Dict, List, Optional
 
 from repro.conformance import fuzz
 from repro.serve import protocol
+from repro.serve.cluster.client import ResilientClient
 from repro.serve.jobs import DesignRequest, execute_request
 
 #: Reconnect attempts per request after a dropped connection.
@@ -90,32 +96,27 @@ def reference_payload_bytes(payload: Dict[str, Any]) -> bytes:
     return protocol.canonical_json(execute_request(request))
 
 
-async def _roundtrip(
-    host: str, port: int, line: bytes, timeout_s: float
-) -> Optional[Dict[str, Any]]:
-    """One request on a fresh connection; None when the connection died."""
-    try:
-        reader, writer = await asyncio.open_connection(host, port)
-    except OSError:
-        return None
-    try:
-        writer.write(line + b"\n")
-        await writer.drain()
-        raw = await asyncio.wait_for(reader.readline(), timeout=timeout_s)
-    except (OSError, asyncio.TimeoutError, asyncio.IncompleteReadError):
-        return None
-    finally:
-        writer.close()
-        try:
-            await writer.wait_closed()
-        except (OSError, ConnectionResetError):
-            pass
-    if not raw:
-        return None
-    try:
-        return json.loads(raw)
-    except json.JSONDecodeError:
-        return {"status": "error", "code": 500, "error": "unparsable response"}
+def _make_client(
+    host: str, port: int, *, seed_tag: str = "", pool_size: int = 1
+) -> ResilientClient:
+    """A keep-alive client with a seeded backoff-jitter RNG, so a given
+    loadgen run's reconnect timing is replayable."""
+    return ResilientClient(
+        host,
+        port,
+        pool_size=pool_size,
+        max_attempts=MAX_RECONNECTS,
+        connect_timeout_s=5.0,
+        rng=random.Random(f"repro-loadgen-client:{seed_tag}"),
+    )
+
+
+def _fold_client_counters(
+    stats: Dict[str, Any], client: ResilientClient
+) -> None:
+    stats["reconnects"] += client.counters["reconnects"]
+    stats["connections_opened"] += client.counters["dials"]
+    stats["connection_reuses"] += client.counters["reuses"]
 
 
 async def _client(
@@ -128,73 +129,79 @@ async def _client(
     timeout_s: float,
     stats: Dict[str, Any],
 ) -> None:
-    for i in range(requests):
-        case_index = client_id * requests + i
-        payload = build_request_payload(seed, case_index)
-        line = protocol.canonical_json(payload)
-        envelope: Optional[Dict[str, Any]] = None
-        reconnects = 0
-        sheds = 0
-        started = time.monotonic()
-        while True:
-            envelope = await _roundtrip(host, port, line, timeout_s)
-            if envelope is None:
-                reconnects += 1
-                stats["reconnects"] += 1
-                if reconnects > MAX_RECONNECTS:
+    # One keep-alive connection per synthetic client, reused across its
+    # whole request sequence; ResilientClient handles reconnect-with-
+    # backoff when a crash or restart resets it.
+    client = _make_client(host, port, seed_tag=f"{seed}:{client_id}")
+    try:
+        for i in range(requests):
+            case_index = client_id * requests + i
+            payload = build_request_payload(seed, case_index)
+            line = protocol.canonical_json(payload)
+            envelope: Optional[Dict[str, Any]] = None
+            sheds = 0
+            started = time.monotonic()
+            while True:
+                envelope = await client.request(line, timeout_s=timeout_s)
+                if envelope is None:
+                    # The client's whole reconnect budget is spent.
                     break
-                await asyncio.sleep(min(0.05 * reconnects, 0.5))
+                if envelope.get("status") == "rejected":
+                    sheds += 1
+                    stats["shed"] += 1
+                    if sheds > MAX_SHED_RETRIES:
+                        break
+                    await asyncio.sleep(
+                        min(float(envelope.get("retry_after_s", 0.1)), 2.0)
+                    )
+                    continue
+                break
+            latency = time.monotonic() - started
+            if envelope is None or envelope.get("status") == "rejected":
+                stats["lost"].append(payload["id"])
                 continue
-            if envelope.get("status") == "rejected":
-                sheds += 1
-                stats["shed"] += 1
-                if sheds > MAX_SHED_RETRIES:
-                    break
-                await asyncio.sleep(
-                    min(float(envelope.get("retry_after_s", 0.1)), 2.0)
+            stats["latencies"].append(latency)
+            status = envelope.get("status")
+            if status != "ok":
+                stats["failed"].append(
+                    {
+                        "id": payload["id"],
+                        "code": envelope.get("code"),
+                        "error": envelope.get("error"),
+                    }
                 )
                 continue
-            break
-        latency = time.monotonic() - started
-        if envelope is None or envelope.get("status") == "rejected":
-            stats["lost"].append(payload["id"])
-            continue
-        stats["latencies"].append(latency)
-        status = envelope.get("status")
-        if status != "ok":
-            stats["failed"].append(
-                {
-                    "id": payload["id"],
-                    "code": envelope.get("code"),
-                    "error": envelope.get("error"),
-                }
-            )
-            continue
-        stats["ok"] += 1
-        if envelope.get("degraded"):
-            stats["degraded"] += 1
-        if check:
-            got = protocol.canonical_json(envelope.get("payload"))
-            want = await asyncio.get_running_loop().run_in_executor(
-                None, reference_payload_bytes, payload
-            )
-            if got != want:
-                stats["incorrect"].append(payload["id"])
+            stats["ok"] += 1
+            if envelope.get("degraded"):
+                stats["degraded"] += 1
+            if check:
+                got = protocol.canonical_json(envelope.get("payload"))
+                want = await asyncio.get_running_loop().run_in_executor(
+                    None, reference_payload_bytes, payload
+                )
+                if got != want:
+                    stats["incorrect"].append(payload["id"])
+    finally:
+        _fold_client_counters(stats, client)
+        await client.close()
 
 
 async def _sample_queue_depth(
     host: str, port: int, stop: asyncio.Event, samples: List[int]
 ) -> None:
-    while not stop.is_set():
-        envelope = await _roundtrip(
-            host, port, protocol.canonical_json({"op": "metrics"}), 5.0
-        )
-        if envelope and "queue_depth" in envelope:
-            samples.append(int(envelope["queue_depth"]))
-        try:
-            await asyncio.wait_for(stop.wait(), timeout=0.2)
-        except asyncio.TimeoutError:
-            pass
+    client = _make_client(host, port, seed_tag="sampler")
+    probe = protocol.canonical_json({"op": "metrics"})
+    try:
+        while not stop.is_set():
+            envelope = await client.request(probe, timeout_s=5.0, max_attempts=1)
+            if envelope and "queue_depth" in envelope:
+                samples.append(int(envelope["queue_depth"]))
+            try:
+                await asyncio.wait_for(stop.wait(), timeout=0.2)
+            except asyncio.TimeoutError:
+                pass
+    finally:
+        await client.close()
 
 
 def _quantile(sorted_values: List[float], q: float) -> float:
@@ -231,6 +238,8 @@ async def run_loadgen(
         "ok": 0,
         "shed": 0,
         "reconnects": 0,
+        "connections_opened": 0,
+        "connection_reuses": 0,
         "degraded": 0,
         "lost": [],
         "failed": [],
@@ -266,6 +275,8 @@ async def run_loadgen(
         "incorrect": stats["incorrect"],
         "shed_retries": stats["shed"],
         "reconnects": stats["reconnects"],
+        "connections_opened": stats["connections_opened"],
+        "connection_reuses": stats["connection_reuses"],
         "degraded_responses": stats["degraded"],
         "checked": bool(check),
         "wall_s": round(wall_s, 3),
@@ -301,9 +312,13 @@ async def wait_until_ready(
     """Poll ``healthz`` until the server reports ready (CI startup gate)."""
     deadline = time.monotonic() + timeout_s
     probe = protocol.canonical_json({"op": "healthz"})
-    while time.monotonic() < deadline:
-        envelope = await _roundtrip(host, port, probe, 5.0)
-        if envelope and envelope.get("ready"):
-            return True
-        await asyncio.sleep(0.2)
-    return False
+    client = _make_client(host, port, seed_tag="ready-probe")
+    try:
+        while time.monotonic() < deadline:
+            envelope = await client.request(probe, timeout_s=5.0, max_attempts=1)
+            if envelope and envelope.get("ready"):
+                return True
+            await asyncio.sleep(0.2)
+        return False
+    finally:
+        await client.close()

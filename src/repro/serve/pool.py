@@ -58,6 +58,32 @@ _BACKOFF_MAX = 2.0
 _WATCHDOG_TICK_S = 0.1
 _DEADLINE_GRACE_S = 0.25
 
+#: Listener fds (registered by the servers that own them) that forked
+#: workers must close first thing.  A ``fork`` child inherits every open
+#: fd, so a worker spawned -- or *respawned after a crash* -- while a
+#: listening socket is open would keep that port bound even after the
+#: owning server closed it, and a restarted server could never rebind.
+_CLOSE_IN_CHILD: set = set()
+
+
+def close_fd_after_fork(fd: int) -> None:
+    """Register ``fd`` to be closed in every subsequently forked worker."""
+    _CLOSE_IN_CHILD.add(fd)
+
+
+def forget_fd_after_fork(fd: int) -> None:
+    """Unregister ``fd`` (the owner closed it; the number may be reused)."""
+    _CLOSE_IN_CHILD.discard(fd)
+
+
+def _close_inherited_fds() -> None:
+    for fd in list(_CLOSE_IN_CHILD):
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+    _CLOSE_IN_CHILD.clear()
+
 
 def worker_main(conn) -> None:
     """Worker process body: recv job -> execute -> send envelope, forever.
@@ -73,6 +99,7 @@ def worker_main(conn) -> None:
     """
     from repro.reliability import faults
 
+    _close_inherited_fds()
     try:
         signal.signal(signal.SIGTERM, signal.SIG_DFL)
         signal.signal(signal.SIGINT, signal.SIG_IGN)

@@ -48,7 +48,11 @@ from repro.serve.jobs import (
     DesignRequest,
     classify_error,
 )
-from repro.serve.pool import SupervisedPool
+from repro.serve.pool import (
+    SupervisedPool,
+    close_fd_after_fork,
+    forget_fd_after_fork,
+)
 
 _EMA_ALPHA = 0.2
 _EMA_INITIAL_S = 0.5
@@ -73,6 +77,7 @@ class DesignServer:
         self._ema_s = _EMA_INITIAL_S
         self._connections: Set[asyncio.StreamWriter] = set()
         self._active_requests = 0
+        self._listener_fds: Set[int] = set()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -85,6 +90,14 @@ class DesignServer:
             port=self.config.port,
             limit=protocol.MAX_LINE_BYTES,
         )
+        # Workers forked (or respawned) from here on must not inherit
+        # the listener: a held fd would keep the port bound after this
+        # server exits, blocking a restart on the same port.
+        self._listener_fds = {
+            sock.fileno() for sock in self._server.sockets
+        }
+        for fd in self._listener_fds:
+            close_fd_after_fork(fd)
 
     @property
     def port(self) -> int:
@@ -106,6 +119,9 @@ class DesignServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        for fd in self._listener_fds:
+            forget_fd_after_fork(fd)
+        self._listener_fds = set()
         drained = await self.pool.drain(self.config.drain_timeout_s)
         if not drained:
             metrics().incr("serve.drain_abandoned")
@@ -132,20 +148,33 @@ class DesignServer:
     # Connection handling
     # ------------------------------------------------------------------
     async def _handle_connection(self, reader, writer) -> None:
+        """Read request lines and answer them **concurrently**.
+
+        Requests on one connection used to be awaited serially, so a
+        slow ``design`` stalled a pipelined ``healthz``/``metrics`` on
+        the same socket -- exactly the probe a router needs answered
+        while the replica is busy.  Each parsed line now runs in its own
+        task; only the *writes* are serialized (one response line at a
+        time), and responses carry the request ``id``, so clients that
+        pipeline correlate by id, not by arrival order.
+        """
         self._connections.add(writer)
+        write_lock = asyncio.Lock()
+        tasks: Set[asyncio.Task] = set()
         try:
             while True:
                 try:
                     line = await reader.readline()
                 except (ValueError, asyncio.LimitOverrunError):
-                    await self._send(
-                        writer,
-                        protocol.error_response(
-                            400,
-                            f"request line exceeds {protocol.MAX_LINE_BYTES}"
-                            " bytes",
-                        ),
-                    )
+                    async with write_lock:
+                        await self._send(
+                            writer,
+                            protocol.error_response(
+                                400,
+                                "request line exceeds "
+                                f"{protocol.MAX_LINE_BYTES} bytes",
+                            ),
+                        )
                     break
                 if not line:
                     break
@@ -153,11 +182,15 @@ class DesignServer:
                 if not line:
                     continue
                 self._active_requests += 1
-                try:
-                    envelope = await self._handle_line(line)
-                    await self._send(writer, envelope)
-                finally:
-                    self._active_requests -= 1
+                task = asyncio.ensure_future(
+                    self._serve_line(line, writer, write_lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            if tasks:
+                # EOF on the read side must not drop responses still in
+                # flight: a half-closing client is owed its envelopes.
+                await asyncio.gather(*tasks, return_exceptions=True)
         except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
             pass
         finally:
@@ -167,6 +200,16 @@ class DesignServer:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
+
+    async def _serve_line(self, line: bytes, writer, write_lock) -> None:
+        try:
+            envelope = await self._handle_line(line)
+            async with write_lock:
+                await self._send(writer, envelope)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._active_requests -= 1
 
     async def _send(self, writer, envelope: Dict[str, Any]) -> None:
         writer.write(protocol.canonical_json(envelope) + b"\n")
@@ -293,23 +336,31 @@ class DesignServer:
             "queue_depth": self.pool.depth(),
         }
         if obj.get("deep") and ready:
-            # Deep probe: the selfcheck battery's paper trace, designed
-            # and verified end-to-end through the real pool.
-            from repro.reliability.selfcheck import PAPER_TRACE
+            if self.pool.depth() >= self.config.queue_limit:
+                # The probe must yield to admission control: submitting
+                # straight to a saturated pool would add load exactly
+                # when the server is overloaded (and the shallow fields
+                # above already answer "is it alive").
+                body["deep"] = "skipped_overloaded"
+                metrics().incr("serve.deep_probe_skipped")
+            else:
+                # Deep probe: the selfcheck battery's paper trace,
+                # designed and verified end-to-end through the real pool.
+                from repro.reliability.selfcheck import PAPER_TRACE
 
-            probe = DesignRequest(
-                trace="".join(str(b) for b in PAPER_TRACE * 4),
-                order=2,
-                verify=True,
-                emit=(),
-            )
-            envelope = await self.pool.submit(
-                probe, deadline_s=self.config.deadline_s
-            )
-            body["deep"] = envelope.get("status") == "ok"
-            if not body["deep"]:
-                body["deep_error"] = envelope.get("error", "probe failed")
-                ready = body["ready"] = False
+                probe = DesignRequest(
+                    trace="".join(str(b) for b in PAPER_TRACE * 4),
+                    order=2,
+                    verify=True,
+                    emit=(),
+                )
+                envelope = await self.pool.submit(
+                    probe, deadline_s=self.config.deadline_s
+                )
+                body["deep"] = envelope.get("status") == "ok"
+                if not body["deep"]:
+                    body["deep_error"] = envelope.get("error", "probe failed")
+                    ready = body["ready"] = False
         return protocol.response(
             "ok" if ready else "error",
             200 if ready else 503,

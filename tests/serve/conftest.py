@@ -35,6 +35,18 @@ def serve_scratch_env(monkeypatch, tmp_path):
         "REPRO_SERVE_BREAKER_FAILS",
         "REPRO_SERVE_BREAKER_RESET",
         "REPRO_SERVE_DRAIN",
+        "REPRO_ROUTER_HOST",
+        "REPRO_ROUTER_PORT",
+        "REPRO_ROUTER_REPLICAS",
+        "REPRO_ROUTER_QUEUE",
+        "REPRO_ROUTER_PROBE_INTERVAL",
+        "REPRO_ROUTER_LEASE",
+        "REPRO_ROUTER_EJECT_FAILS",
+        "REPRO_ROUTER_RETRIES",
+        "REPRO_ROUTER_HEDGE_FLOOR",
+        "REPRO_ROUTER_HEDGE_CAP",
+        "REPRO_ROUTER_CONNECT_TIMEOUT",
+        "REPRO_ROUTER_DRAIN",
     ):
         monkeypatch.delenv(name, raising=False)
     return tmp_path

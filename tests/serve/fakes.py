@@ -1,0 +1,155 @@
+"""Scripted in-process replicas for the cluster-router suite.
+
+A :class:`FakeReplica` speaks just enough ``repro.serve/1`` to stand in
+for a :class:`~repro.serve.server.DesignServer` behind the router, with
+failure behaviour injected per instance instead of per process:
+
+* ``ready`` (mutable) -- what ``healthz`` reports, so membership tests
+  toggle a replica "down" without tearing sockets;
+* ``drop_designs`` -- the next N design requests close the connection
+  without answering (a crash / partition as the router sees it);
+* ``design_delay_s`` -- served designs stall first (hedge-delay bait);
+* ``reject_all`` -- every design answers 503 with ``retry_after_s``
+  (a saturated replica, for backpressure aggregation tests).
+
+Designs that *are* answered run :func:`execute_envelope` in-process, so
+responses carry the same canonical payload bytes a real replica would --
+byte-identity assertions stay meaningful against fakes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional, Set
+
+from repro.serve import protocol
+from repro.serve.jobs import DesignRequest, execute_envelope
+
+
+class FakeReplica:
+    """One scripted replica endpoint on an ephemeral port."""
+
+    def __init__(
+        self,
+        *,
+        ready: bool = True,
+        design_delay_s: float = 0.0,
+        drop_designs: int = 0,
+        reject_all: bool = False,
+        retry_after_s: float = 0.5,
+    ):
+        self.ready = ready
+        self.design_delay_s = design_delay_s
+        self.drop_designs = drop_designs
+        self.reject_all = reject_all
+        self.retry_after_s = retry_after_s
+        self.design_calls = 0
+        self.healthz_calls = 0
+        self.dropped = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._handlers: Set[asyncio.Task] = set()
+
+    async def start(self) -> "FakeReplica":
+        self._server = await asyncio.start_server(
+            self._handle,
+            host="127.0.0.1",
+            port=0,
+            limit=protocol.MAX_LINE_BYTES,
+        )
+        return self
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None and self._server.sockets
+        return self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        # Cancel stalled handlers (a slow fake mid-``design_delay_s``)
+        # instead of waiting them out at teardown.
+        for task in list(self._handlers):
+            task.cancel()
+        await asyncio.gather(*self._handlers, return_exceptions=True)
+        try:
+            await asyncio.wait_for(self._server.wait_closed(), timeout=1.0)
+        except asyncio.TimeoutError:
+            pass
+        self._server = None
+
+    async def _handle(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                obj = json.loads(line)
+                op = obj.get("op", "design")
+                request_id = obj.get("id")
+                if op == "healthz":
+                    self.healthz_calls += 1
+                    envelope = protocol.response(
+                        "ok" if self.ready else "error",
+                        200 if self.ready else 503,
+                        request_id,
+                        op="healthz",
+                        ready=self.ready,
+                    )
+                elif op == "ping":
+                    envelope = protocol.response(
+                        "ok", 200, request_id, op="ping"
+                    )
+                elif op == "metrics":
+                    envelope = protocol.response(
+                        "ok", 200, request_id, op="metrics", counters={}
+                    )
+                else:
+                    self.design_calls += 1
+                    if self.drop_designs > 0:
+                        self.drop_designs -= 1
+                        self.dropped += 1
+                        writer.close()
+                        return
+                    if self.design_delay_s:
+                        await asyncio.sleep(self.design_delay_s)
+                    if self.reject_all:
+                        envelope = protocol.rejected_response(
+                            "fake overloaded", self.retry_after_s, request_id
+                        )
+                    else:
+                        request = DesignRequest.from_payload(obj)
+                        envelope = execute_envelope(
+                            request, deadline_s=request.deadline_s
+                        )
+                        envelope.pop("id", None)
+                        if request_id is not None:
+                            envelope["id"] = request_id
+                writer.write(protocol.canonical_json(envelope) + b"\n")
+                await writer.drain()
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.CancelledError,
+        ):
+            pass
+        finally:
+            if task is not None:
+                self._handlers.discard(task)
+            try:
+                writer.close()
+            except OSError:
+                pass
+
+
+def free_port() -> int:
+    """A TCP port with no listener (bound, inspected, released)."""
+    import socket
+
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]

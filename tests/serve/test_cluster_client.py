@@ -1,0 +1,132 @@
+"""ResilientClient: pooling, reconnect-with-backoff, retry budget."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.reliability import faults
+from repro.serve.cluster.client import ResilientClient
+from tests.serve.fakes import FakeReplica, free_port
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_client(port, **overrides):
+    defaults = dict(
+        pool_size=1,
+        max_attempts=3,
+        connect_timeout_s=1.0,
+        backoff_base_s=0.001,
+        backoff_cap_s=0.01,
+    )
+    defaults.update(overrides)
+    return ResilientClient("127.0.0.1", port, **defaults)
+
+
+class TestPooling:
+    def test_sequential_requests_reuse_one_connection(self):
+        async def scenario():
+            fake = await FakeReplica().start()
+            client = make_client(fake.port)
+            try:
+                for _ in range(3):
+                    env = await client.request({"op": "ping"})
+                    assert env["status"] == "ok"
+                assert client.counters["dials"] == 1
+                assert client.counters["reuses"] == 2
+            finally:
+                await client.close()
+                await fake.stop()
+
+        run(scenario())
+
+    def test_close_keeps_client_usable(self):
+        async def scenario():
+            fake = await FakeReplica().start()
+            client = make_client(fake.port)
+            try:
+                assert (await client.request({"op": "ping"}))["status"] == "ok"
+                await client.close()
+                # The pool is empty but the next request just dials fresh.
+                assert (await client.request({"op": "ping"}))["status"] == "ok"
+                assert client.counters["dials"] == 2
+            finally:
+                await client.close()
+                await fake.stop()
+
+        run(scenario())
+
+
+class TestReconnect:
+    def test_dropped_connection_is_retried_on_a_fresh_dial(self):
+        async def scenario():
+            fake = await FakeReplica(drop_designs=1).start()
+            client = make_client(fake.port)
+            try:
+                payload = {"op": "ping"}
+                # Prime a pooled connection, then have the fake kill it
+                # mid-design: the retry must transparently redial.
+                assert (await client.request(payload))["status"] == "ok"
+                env = await client.request(
+                    {"trace": "0101" * 16, "order": 1, "id": "retry-me"}
+                )
+                assert env["status"] == "ok"
+                assert env["id"] == "retry-me"
+                assert client.counters["reconnects"] >= 1
+                assert client.counters["dials"] >= 2
+                assert fake.dropped == 1
+            finally:
+                await client.close()
+                await fake.stop()
+
+        run(scenario())
+
+    def test_budget_exhaustion_returns_none(self):
+        async def scenario():
+            client = make_client(free_port(), max_attempts=2)
+            try:
+                env = await client.request({"op": "ping"}, timeout_s=1.0)
+                assert env is None
+                assert client.counters["exhausted"] == 1
+                assert client.counters["reconnects"] == 1
+            finally:
+                await client.close()
+
+        run(scenario())
+
+    def test_per_request_budget_overrides_client_default(self):
+        async def scenario():
+            client = make_client(free_port(), max_attempts=8)
+            try:
+                env = await client.request(
+                    {"op": "ping"}, timeout_s=1.0, max_attempts=1
+                )
+                assert env is None
+                # One attempt: no reconnect ever happened.
+                assert client.counters["reconnects"] == 0
+            finally:
+                await client.close()
+
+        run(scenario())
+
+
+class TestPartitionFault:
+    def test_replica_partition_fault_exhausts_then_recovers(self):
+        async def scenario():
+            fake = await FakeReplica().start()
+            client = make_client(fake.port, max_attempts=2)
+            try:
+                with faults.inject_faults("replica_partition:2"):
+                    env = await client.request({"op": "ping"}, timeout_s=1.0)
+                    assert env is None  # both attempts hit the partition
+                # The partition fires before the dial: no socket was used.
+                assert client.counters["dials"] == 0
+                env = await client.request({"op": "ping"})
+                assert env["status"] == "ok"
+            finally:
+                await client.close()
+                await fake.stop()
+
+        run(scenario())

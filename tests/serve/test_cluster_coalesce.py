@@ -1,0 +1,168 @@
+"""SingleFlight: one upstream call per key, copies out, no wedged waiters."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.obs.metrics import metrics
+from repro.serve.cluster.coalesce import SingleFlight
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestCoalescing:
+    def test_concurrent_same_key_runs_supplier_once(self):
+        async def scenario():
+            flights = SingleFlight()
+            calls = {"n": 0}
+            release = asyncio.Event()
+
+            async def supplier():
+                calls["n"] += 1
+                await release.wait()
+                return {"status": "ok", "payload": {"x": 1}}
+
+            hits_before = metrics().get("serve.coalesce.hits")
+            tasks = [
+                asyncio.ensure_future(flights.run(b"key", supplier))
+                for _ in range(5)
+            ]
+            await asyncio.sleep(0.01)  # let every waiter park
+            release.set()
+            results = await asyncio.gather(*tasks)
+            assert calls["n"] == 1
+            coalesced_flags = sorted(flag for _env, flag in results)
+            assert coalesced_flags == [False, True, True, True, True]
+            assert all(
+                env == {"status": "ok", "payload": {"x": 1}}
+                for env, _flag in results
+            )
+            assert metrics().get("serve.coalesce.hits") - hits_before == 4
+            assert flights.inflight() == 0
+
+        run(scenario())
+
+    def test_distinct_keys_do_not_coalesce(self):
+        async def scenario():
+            flights = SingleFlight()
+            calls = []
+
+            def supplier_for(key):
+                async def supplier():
+                    calls.append(key)
+                    await asyncio.sleep(0.01)
+                    return {"status": "ok", "key": key}
+
+                return supplier
+
+            results = await asyncio.gather(
+                flights.run("a", supplier_for("a")),
+                flights.run("b", supplier_for("b")),
+            )
+            assert sorted(calls) == ["a", "b"]
+            assert {env["key"] for env, _flag in results} == {"a", "b"}
+            assert [flag for _env, flag in results] == [False, False]
+
+        run(scenario())
+
+    def test_waiters_get_independent_copies(self):
+        async def scenario():
+            flights = SingleFlight()
+            release = asyncio.Event()
+
+            async def supplier():
+                await release.wait()
+                return {"status": "ok", "payload": {"nested": [1, 2]}}
+
+            tasks = [
+                asyncio.ensure_future(flights.run(b"k", supplier))
+                for _ in range(3)
+            ]
+            await asyncio.sleep(0.01)
+            release.set()
+            results = await asyncio.gather(*tasks)
+            first = results[0][0]
+            first["id"] = "mutated"
+            first["payload"]["nested"].append(99)
+            for env, _flag in results[1:]:
+                assert "id" not in env
+                assert env["payload"]["nested"] == [1, 2]
+
+        run(scenario())
+
+    def test_completed_flight_does_not_serve_late_arrivals(self):
+        async def scenario():
+            flights = SingleFlight()
+            calls = {"n": 0}
+
+            async def supplier():
+                calls["n"] += 1
+                return {"status": "ok", "call": calls["n"]}
+
+            env1, flag1 = await flights.run(b"k", supplier)
+            env2, flag2 = await flights.run(b"k", supplier)
+            # Sequential calls each run the supplier: coalescing is for
+            # *concurrent* work; memoization is the cache's job.
+            assert (flag1, flag2) == (False, False)
+            assert (env1["call"], env2["call"]) == (1, 2)
+
+        run(scenario())
+
+
+class TestFailurePropagation:
+    def test_leader_exception_reaches_every_waiter_then_clears(self):
+        async def scenario():
+            flights = SingleFlight()
+            release = asyncio.Event()
+
+            async def boom():
+                await release.wait()
+                raise RuntimeError("upstream died")
+
+            tasks = [
+                asyncio.ensure_future(flights.run(b"k", boom))
+                for _ in range(4)
+            ]
+            await asyncio.sleep(0.01)
+            release.set()
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            assert len(results) == 4
+            assert all(isinstance(r, RuntimeError) for r in results)
+            assert flights.inflight() == 0
+
+            # The table is clean: a new call runs fresh and succeeds.
+            async def fine():
+                return {"status": "ok"}
+
+            env, coalesced = await flights.run(b"k", fine)
+            assert env == {"status": "ok"}
+            assert coalesced is False
+
+        run(scenario())
+
+    def test_cancelled_waiter_does_not_kill_the_leader(self):
+        async def scenario():
+            flights = SingleFlight()
+            release = asyncio.Event()
+
+            async def supplier():
+                await release.wait()
+                return {"status": "ok"}
+
+            leader = asyncio.ensure_future(flights.run(b"k", supplier))
+            await asyncio.sleep(0.01)
+            waiter = asyncio.ensure_future(flights.run(b"k", supplier))
+            await asyncio.sleep(0.01)
+            waiter.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await waiter
+            release.set()
+            env, coalesced = await leader
+            assert env == {"status": "ok"}
+            assert coalesced is False
+
+        run(scenario())

@@ -109,6 +109,74 @@ class TestServerBasics:
 
         run(scenario())
 
+    def test_pipelined_requests_are_not_head_of_line_blocked(self):
+        async def scenario():
+            server = await boot(workers=1)
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                # A slow design followed by a ping on the SAME
+                # connection: the ping's answer must not wait for the
+                # design (responses correlate by id, not by order).
+                writer.write(
+                    protocol.canonical_json(
+                        {"trace": PAPER * 40, "order": 4, "id": "slow"}
+                    )
+                    + b"\n"
+                    + protocol.canonical_json({"op": "ping", "id": "fast"})
+                    + b"\n"
+                )
+                await writer.drain()
+                first = json.loads(
+                    await asyncio.wait_for(reader.readline(), timeout=60)
+                )
+                second = json.loads(
+                    await asyncio.wait_for(reader.readline(), timeout=120)
+                )
+                assert first["id"] == "fast"
+                assert first["op"] == "ping"
+                assert second["id"] == "slow"
+                assert second["status"] == "ok"
+                writer.close()
+            finally:
+                await server.shutdown()
+
+        run(scenario())
+
+    def test_half_closed_pipelined_client_still_gets_every_answer(self):
+        async def scenario():
+            server = await boot(workers=1)
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(
+                    protocol.canonical_json(
+                        {"trace": PAPER * 2, "order": 1, "id": "a"}
+                    )
+                    + b"\n"
+                    + protocol.canonical_json(
+                        {"trace": PAPER * 3, "order": 1, "id": "b"}
+                    )
+                    + b"\n"
+                )
+                await writer.drain()
+                writer.write_eof()  # done sending; still owed 2 envelopes
+                got = set()
+                for _ in range(2):
+                    env = json.loads(
+                        await asyncio.wait_for(reader.readline(), timeout=60)
+                    )
+                    assert env["status"] == "ok"
+                    got.add(env["id"])
+                assert got == {"a", "b"}
+                writer.close()
+            finally:
+                await server.shutdown()
+
+        run(scenario())
+
     def test_malformed_line_gets_400_and_connection_survives(self):
         async def scenario():
             server = await boot()
@@ -173,6 +241,34 @@ class TestAdmissionAndDeadlines:
                 assert (shed["status"], shed["code"]) == ("rejected", 503)
                 assert shed["reason"] == "queue full"
                 assert shed["retry_after_s"] > 0
+                first = await slow
+                assert first["status"] == "ok"
+            finally:
+                await server.shutdown()
+
+        run(scenario())
+
+    def test_deep_healthz_yields_to_admission_when_saturated(self):
+        async def scenario():
+            server = await boot(workers=1, queue_limit=1)
+            try:
+                slow = asyncio.ensure_future(
+                    roundtrip(
+                        server.port,
+                        {"trace": PAPER * 40, "order": 4, "id": "slow"},
+                    )
+                )
+                for _ in range(200):
+                    if server.pool.depth() >= 1:
+                        break
+                    await asyncio.sleep(0.01)
+                health = await roundtrip(
+                    server.port, {"op": "healthz", "deep": True}
+                )
+                # The probe must not jump the admission queue: shallow
+                # readiness is still reported, the deep design is not run.
+                assert health["ready"] is True
+                assert health["deep"] == "skipped_overloaded"
                 first = await slow
                 assert first["status"] == "ok"
             finally:
