@@ -10,6 +10,12 @@ Subcommands mirror what a user of the paper's flow would do:
     report the customized architecture's miss rate vs the baselines.
 ``figures``
     Regenerate a paper figure (fig1/fig2/fig4/fig5/fig67) and print it.
+    fig2/fig5 also accept ``--source SPEC`` to run the figure over any
+    registered trace source instead of a bundled benchmark.
+``trace``
+    Generate a branch trace from a registered ``TraceSource`` spec
+    (``--source kmp:pattern=ab,text=iid``) and print it as a 0/1 stream
+    (or ``--pcs`` lines); ``--list`` names the registered sources.
 ``selfcheck``
     Run the full reliability battery: oracle equivalence, cache round
     trip, parallel determinism, fault-injection smoke, metrics
@@ -61,6 +67,8 @@ Examples::
     python -m repro design --order 4 --trace-file trace.txt --verify
     python -m repro customize gsm --branches 6
     python -m repro figures fig5 --benchmark ijpeg
+    python -m repro trace --source kmp:pattern=ab,text=iid --length 4096
+    python -m repro figures fig2 --source pybytecode:program=sort
     python -m repro --profile figures fig2 --benchmark gcc
     python -m repro --trace spans.jsonl figures fig5
     python -m repro bench --out BENCH_pipeline.json
@@ -183,23 +191,45 @@ def _cmd_customize(args: argparse.Namespace) -> int:
     return 0
 
 
-def _figures_run_id(args: argparse.Namespace) -> Optional[str]:
+def _figures_run_id(
+    args: argparse.Namespace, *extra: str
+) -> Optional[str]:
     """The run id figure sweeps journal under.
 
-    ``--run-id``/``--resume`` win; otherwise ``--all`` derives a
+    ``--run-id``/``--resume`` win; otherwise ``--all`` (and ``--source``,
+    which passes the canonical spec via ``extra``) derives a
     deterministic id from the figure name so a plain re-run of the same
     command after a crash resumes automatically (same id -> same
-    journal).  Single-panel invocations are short enough that we don't
-    journal them unless asked."""
+    journal).  Single-panel benchmark invocations are short enough that
+    we don't journal them unless asked."""
     from repro.reliability import durability
 
     rid = durability.current_run_id()
-    if rid is None and args.all and durability.durability_enabled():
-        rid = durability.derive_run_id("figures", args.figure, "all")
-        durability.set_run_id(rid)
+    if rid is None and durability.durability_enabled():
+        if extra:
+            rid = durability.derive_run_id("figures", args.figure, *extra)
+            durability.set_run_id(rid)
+        elif args.all:
+            rid = durability.derive_run_id("figures", args.figure, "all")
+            durability.set_run_id(rid)
     if rid is not None:
         print(f"repro: run id {rid}", file=sys.stderr)
     return rid
+
+
+def _resolved_source(args: argparse.Namespace):
+    """Canonicalize ``--source``/``--length``/``--seed`` once, so run-id
+    derivation, fingerprints, and generation all agree."""
+    from repro.workloads.sources import (
+        create_source,
+        source_length,
+        source_seed,
+    )
+
+    source = create_source(args.source)
+    length = source_length() if args.length is None else int(args.length)
+    seed = source_seed() if args.seed is None else int(args.seed)
+    return source, source.spec_string(), length, seed
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -209,9 +239,26 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         print(result.summary())
         print(result.machine.describe())
     elif args.figure == "fig2":
-        from repro.harness.fig2 import run_fig2, run_fig2_benchmark
+        from repro.harness.fig2 import (
+            run_fig2,
+            run_fig2_benchmark,
+            run_fig2_source,
+        )
 
-        if args.all:
+        if args.source:
+            _source, spec_string, length, seed = _resolved_source(args)
+            run_id = _figures_run_id(
+                args, "source", spec_string, str(length), str(seed)
+            )
+            result = run_fig2_source(
+                spec_string,
+                length=length,
+                seed=seed,
+                gap_kmax=args.gap_k,
+                run_id=run_id,
+            )
+            print(result.render())
+        elif args.all:
             from repro.harness.reporting import write_report
 
             panels = run_fig2(
@@ -229,10 +276,20 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
         print(run_fig4(run_id=_figures_run_id(args)).render())
     elif args.figure == "fig5":
-        from repro.harness.fig5 import run_fig5, run_fig5_benchmark
+        from repro.harness.fig5 import (
+            run_fig5,
+            run_fig5_benchmark,
+            run_fig5_source,
+        )
 
         modern = False if args.no_modern else None
-        if args.all:
+        if args.source:
+            _source, spec_string, length, seed = _resolved_source(args)
+            result = run_fig5_source(
+                spec_string, length=length, seed=seed, modern=modern
+            )
+            print(result.render())
+        elif args.all:
             from repro.harness.reporting import write_report
 
             panels = run_fig5(modern=modern, run_id=_figures_run_id(args))
@@ -249,6 +306,39 @@ def _cmd_figures(args: argparse.Namespace) -> int:
             print(example.render())
     else:
         raise SystemExit(f"unknown figure {args.figure!r}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.workloads.sources import list_sources, source_trace
+
+    if args.list:
+        for name in list_sources():
+            print(name)
+        return 0
+    if not args.source:
+        raise SystemExit("repro trace needs --source SPEC (or --list)")
+    _source, spec_string, length, seed = _resolved_source(args)
+    trace = source_trace(spec_string, length, seed)
+    if args.pcs:
+        body = "".join(
+            f"{pc} {bit}\n" for pc, bit in zip(trace.pcs, trace.outcomes)
+        )
+    else:
+        body = "".join(str(bit) for bit in trace.outcomes) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(body)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(body)
+    taken = sum(trace.outcomes)
+    print(
+        f"repro: source {spec_string}: {len(trace)} events, "
+        f"{len(set(trace.pcs))} static pcs, taken rate "
+        f"{taken / len(trace):.4f}",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -338,6 +428,21 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
         print(f"optimal {issue}")
     if not oracle_issues:
         print("optimal oracle bound ok")
+    # Check #11: KMP analytic sources must hit their closed-form rates.
+    from repro.conformance.kmp_check import check_kmp_corpus
+
+    kmp_issues = check_kmp_corpus()
+    for issue in kmp_issues:
+        failures += 1
+        print(f"kmp     {issue}")
+    if not kmp_issues:
+        print("kmp     closed-form rates ok")
+    source_issues = golden_mod.check_golden_sources(golden_dir)
+    for issue in source_issues:
+        failures += 1
+        print(f"sources {issue}")
+    if not source_issues:
+        print("sources golden vectors ok")
     return 1 if failures else 0
 
 
@@ -661,7 +766,64 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="fig5: omit the modern-regime tage/perceptron series",
     )
+    figures.add_argument(
+        "--source",
+        metavar="SPEC",
+        default=None,
+        help="fig2/fig5: run the figure over a registered trace source "
+        "(e.g. kmp:pattern=ab,text=iid); see `repro trace --list`",
+    )
+    figures.add_argument(
+        "--length",
+        type=int,
+        default=None,
+        help="--source event count (default $REPRO_SOURCE_LENGTH or 20000)",
+    )
+    figures.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="--source generation seed (default $REPRO_SOURCE_SEED or 0)",
+    )
     figures.set_defaults(func=_cmd_figures)
+
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="generate a branch trace from a registered source spec",
+    )
+    trace_cmd.add_argument(
+        "--source",
+        metavar="SPEC",
+        default=None,
+        help="source spec: name or name:key=value,... "
+        "(kmp:pattern=ab,text=iid)",
+    )
+    trace_cmd.add_argument(
+        "--length",
+        type=int,
+        default=None,
+        help="number of branch events (default $REPRO_SOURCE_LENGTH or 20000)",
+    )
+    trace_cmd.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="generation seed (default $REPRO_SOURCE_SEED or 0)",
+    )
+    trace_cmd.add_argument(
+        "--pcs",
+        action="store_true",
+        help="emit 'pc bit' lines instead of a bare 0/1 stream",
+    )
+    trace_cmd.add_argument(
+        "--out", metavar="FILE", help="write the trace to FILE, not stdout"
+    )
+    trace_cmd.add_argument(
+        "--list",
+        action="store_true",
+        help="list the registered source names and exit",
+    )
+    trace_cmd.set_defaults(func=_cmd_trace)
 
     selfcheck = sub.add_parser(
         "selfcheck",

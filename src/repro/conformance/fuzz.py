@@ -26,7 +26,7 @@ import os
 import random
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.conformance.diff import Divergence, check_conformance, minimize_counterexample
 from repro.obs.metrics import metrics
@@ -36,8 +36,19 @@ FUZZ_SCHEMA = "repro.fuzz/1"
 COUNTEREXAMPLE_SCHEMA = "repro.counterexample/1"
 DEFAULT_BUDGET = 25
 
-#: Trace families, in the order the generator cycles through them.
-FAMILIES = ("uniform", "periodic", "bursty", "markov", "adversarial")
+#: Trace families, in the order the generator cycles through them.  The
+#: ``source_*`` families draw their bits from registered trace sources
+#: (:mod:`repro.workloads.sources`) and record the generating spec as
+#: provenance in the replay file.
+FAMILIES = (
+    "uniform",
+    "periodic",
+    "bursty",
+    "markov",
+    "adversarial",
+    "source_kmp",
+    "source_pybc",
+)
 
 _ORDERS = (1, 2, 3, 4, 5)
 _THRESHOLDS = (0.5, 0.5, 0.6, 0.75, 0.9)  # 0.5 twice: the common case
@@ -141,6 +152,46 @@ _GENERATORS = {
 }
 
 
+def gen_source_kmp(rng: random.Random, length: int) -> "Tuple[List[int], str]":
+    """Bits from a randomly configured KMP analytic source; returns the
+    bits plus a provenance string (canonical spec + generation seed)."""
+    from repro.workloads.sources import create_source
+
+    pattern = rng.choice(("b", "ab", "aab", "abb", "aabab"))
+    variant = rng.choice(("mp", "kmp"))
+    if rng.random() < 0.5:
+        q = rng.choice(("1/5", "3/10", "1/2", "7/10"))
+        spec = f"kmp:pattern={pattern},q={q},text=iid,variant={variant}"
+    else:
+        word = rng.choice(("ab", "aab", "abb"))
+        spec = (
+            f"kmp:pattern={pattern},text=periodic,"
+            f"variant={variant},word={word}"
+        )
+    seed = rng.randrange(1 << 16)
+    source = create_source(spec)
+    bits = source.generate(length, seed).outcome_bits()
+    return bits, f"{source.spec_string()}#seed={seed}"
+
+
+def gen_source_pybc(rng: random.Random, length: int) -> "Tuple[List[int], str]":
+    """Bits from a bytecode-interpreter source program."""
+    from repro.workloads.sources import create_source
+
+    program = rng.choice(("sort", "dictprobe", "tokenize"))
+    seed = rng.randrange(1 << 16)
+    source = create_source(f"pybytecode:program={program}")
+    bits = source.generate(length, seed).outcome_bits()
+    return bits, f"{source.spec_string()}#seed={seed}"
+
+
+#: Source-derived families: generators returning (bits, provenance).
+_SOURCE_GENERATORS = {
+    "source_kmp": gen_source_kmp,
+    "source_pybc": gen_source_pybc,
+}
+
+
 # ----------------------------------------------------------------------
 # Cases
 # ----------------------------------------------------------------------
@@ -156,13 +207,18 @@ class FuzzCase:
     bias_threshold: float
     dont_care_fraction: float
     bits: str
+    #: Provenance for source-derived cases: "spec#seed=N" naming the
+    #: registered source that generated the bits ("" for the classic
+    #: families, and then omitted from the JSON so their replay lines
+    #: are unchanged).
+    source: str = ""
 
     @property
     def trace(self) -> List[int]:
         return [int(ch) for ch in self.bits]
 
     def to_json(self) -> Dict[str, Any]:
-        return {
+        record = {
             "schema": FUZZ_SCHEMA,
             "index": self.index,
             "family": self.family,
@@ -171,6 +227,9 @@ class FuzzCase:
             "dont_care_fraction": self.dont_care_fraction,
             "bits": self.bits,
         }
+        if self.source:
+            record["source"] = self.source
+        return record
 
     @classmethod
     def from_json(cls, record: Dict[str, Any]) -> "FuzzCase":
@@ -184,6 +243,7 @@ class FuzzCase:
             bias_threshold=float(record.get("bias_threshold", 0.5)),
             dont_care_fraction=float(record.get("dont_care_fraction", 0.0)),
             bits=str(record["bits"]),
+            source=str(record.get("source", "")),
         )
 
     def run(self) -> Optional[Divergence]:
@@ -202,7 +262,11 @@ def generate_case(seed: int, index: int) -> FuzzCase:
     family = FAMILIES[index % len(FAMILIES)]
     order = rng.choice(_ORDERS)
     length = max(order + 1, rng.randint(32, 220))
-    bits = _GENERATORS[family](rng, length)
+    provenance = ""
+    if family in _SOURCE_GENERATORS:
+        bits, provenance = _SOURCE_GENERATORS[family](rng, length)
+    else:
+        bits = _GENERATORS[family](rng, length)
     return FuzzCase(
         index=index,
         family=family,
@@ -210,6 +274,7 @@ def generate_case(seed: int, index: int) -> FuzzCase:
         bias_threshold=rng.choice(_THRESHOLDS),
         dont_care_fraction=rng.choice(_DC_FRACTIONS),
         bits="".join(str(b) for b in bits),
+        source=provenance,
     )
 
 

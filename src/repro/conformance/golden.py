@@ -29,6 +29,7 @@ from repro.conformance.diff import run_stages
 from repro.conformance.oracles import oracle_prediction_counts
 
 GOLDEN_SCHEMA = "repro.golden/1"
+GOLDEN_SOURCES_SCHEMA = "repro.golden-sources/1"
 
 #: The paper's worked trace (Section 4.2).
 PAPER_TRACE_BITS = "000010001011110111101111"
@@ -176,7 +177,152 @@ def write_golden_vectors(directory: Optional[Path] = None) -> List[Path]:
         path = directory / f"golden_{group}.json"
         path.write_text(_render(group, vectors))
         written.append(path)
+    written.append(write_golden_sources(directory))
     return written
+
+
+# ----------------------------------------------------------------------
+# Source golden vectors (repro.golden-sources/1)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SourceGoldenCase:
+    """One pinned (source spec, length, seed, design order) tuple."""
+
+    name: str
+    spec: str
+    length: int
+    seed: int
+    order: int
+
+
+def sources_corpus() -> List[SourceGoldenCase]:
+    """Every registered source family, pinned: trace digests freeze the
+    generators byte-for-byte, designed state counts freeze what the
+    pipeline builds from them, and the KMP entries also pin their
+    closed-form rates as exact fractions."""
+    return [
+        SourceGoldenCase("minivm_gsm", "minivm:benchmark=gsm,variant=eval", 2000, 0, 4),
+        SourceGoldenCase("minivm_vortex", "minivm:benchmark=vortex,variant=train", 2000, 0, 3),
+        SourceGoldenCase("pybc_sort", "pybytecode:program=sort", 1500, 7, 4),
+        SourceGoldenCase("pybc_dictprobe", "pybytecode:program=dictprobe", 1500, 7, 3),
+        SourceGoldenCase("pybc_tokenize", "pybytecode:program=tokenize", 1500, 7, 4),
+        SourceGoldenCase("kmp_ab_iid", "kmp:pattern=ab,q=1/2,text=iid,variant=mp", 1024, 5, 4),
+        SourceGoldenCase("kmp_aab_kmp", "kmp:pattern=aab,q=3/10,text=iid,variant=kmp", 1024, 5, 4),
+        SourceGoldenCase("kmp_periodic", "kmp:pattern=b,text=periodic,variant=mp,word=ab", 512, 0, 2),
+    ]
+
+
+def _trace_digest(trace: Any) -> str:
+    import hashlib
+
+    body = ",".join(
+        f"{pc}:{bit}" for pc, bit in zip(trace.pcs, trace.outcomes)
+    )
+    return hashlib.sha256(body.encode("ascii")).hexdigest()
+
+
+def compute_source_vector(case: SourceGoldenCase) -> Dict[str, Any]:
+    """Generate the case's trace (uncached) and freeze its identity plus
+    what the design pipeline builds from it."""
+    from repro.workloads.sources import KMPSource, create_source
+
+    source = create_source(case.spec)
+    trace = source.generate(case.length, case.seed)
+    bits = trace.outcome_bits()
+    art = run_stages(bits, case.order, bias_threshold=0.5)
+    vector: Dict[str, Any] = {
+        "name": case.name,
+        "spec": source.spec_string(),
+        "length": case.length,
+        "seed": case.seed,
+        "order": case.order,
+        "trace_sha256": _trace_digest(trace),
+        "taken": sum(trace.outcomes),
+        "static_pcs": len(set(trace.pcs)),
+        "states": {
+            "minimized": art.minimized.num_states,
+            "final": art.final.num_states,
+        },
+    }
+    if source.spec.name == "pybytecode":
+        from repro.workloads.pybc import python_tag
+
+        # Bytecode offsets are a property of the CPython version; the
+        # tag lets the checker skip (not fail) on other interpreters.
+        vector["python"] = python_tag()
+    if isinstance(source, KMPSource):
+        rate, k_needed = source.closed_form()
+        vector["closed_form"] = str(rate)
+        vector["k_needed"] = k_needed
+    return vector
+
+
+def _render_sources(vectors: List[Dict[str, Any]]) -> str:
+    document = {"schema": GOLDEN_SOURCES_SCHEMA, "vectors": vectors}
+    return json.dumps(document, sort_keys=True, indent=2) + "\n"
+
+
+def write_golden_sources(directory: Optional[Path] = None) -> Path:
+    directory = golden_dir() if directory is None else Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    vectors = [compute_source_vector(case) for case in sources_corpus()]
+    path = directory / "golden_sources.json"
+    path.write_text(_render_sources(vectors))
+    return path
+
+
+def check_golden_sources(directory: Optional[Path] = None) -> List[str]:
+    """Recompute every source vector and diff against the stored file.
+
+    Vectors carrying a ``python`` tag for a different interpreter are
+    skipped, not failed -- bytecode offsets legitimately differ across
+    CPython versions -- and the byte-level drift check only runs when
+    nothing was skipped (a partial regeneration cannot be byte-compared).
+    """
+    from repro.workloads.pybc import python_tag
+
+    directory = golden_dir() if directory is None else Path(directory)
+    path = directory / "golden_sources.json"
+    issues: List[str] = []
+    if not path.exists():
+        return [f"missing golden file {path} (run: conformance regen)"]
+    try:
+        stored = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        return [f"{path.name}: unparseable ({exc})"]
+    if stored.get("schema") != GOLDEN_SOURCES_SCHEMA:
+        return [
+            f"{path.name}: schema {stored.get('schema')!r} != "
+            f"{GOLDEN_SOURCES_SCHEMA!r}"
+        ]
+    by_name = {v.get("name"): v for v in stored.get("vectors", [])}
+    skipped = 0
+    for case in sources_corpus():
+        got = by_name.pop(case.name, None)
+        if got is None:
+            issues.append(f"{path.name}: vector {case.name!r} missing")
+            continue
+        tagged = got.get("python")
+        if tagged is not None and tagged != python_tag():
+            skipped += 1
+            continue
+        want = compute_source_vector(case)
+        if got != want:
+            keys = [k for k in want if got.get(k) != want[k]]
+            issues.append(
+                f"{path.name}: vector {case.name!r} differs in {keys}"
+            )
+    for stale in by_name:
+        issues.append(f"{path.name}: stale vector {stale!r}")
+    if not issues and not skipped:
+        fresh = _render_sources(
+            [compute_source_vector(case) for case in sources_corpus()]
+        )
+        if fresh != path.read_text():
+            issues.append(f"{path.name}: byte-level drift (re-run regen)")
+    return issues
 
 
 def check_oracle_corpus(kmax: Optional[int] = None) -> List[str]:

@@ -162,6 +162,48 @@ def _resolve_gap_kmax(gap_kmax: Optional[int]) -> int:
     return min(gap_kmax, MAX_KMAX)
 
 
+def _fsm_curve(
+    model: MarkovModel,
+    history: int,
+    indices: List[int],
+    bits: List[int],
+    bias_thresholds: Sequence[float],
+    gap_kmax: int,
+    optimal_rates: Dict[int, float],
+) -> List[ConfidencePoint]:
+    """One accuracy/coverage curve: sweep the bias threshold at a fixed
+    history length, designing from ``model`` and evaluating on
+    ``(indices, bits)``.  Shared by the benchmark and source drivers."""
+    curve: List[ConfidencePoint] = []
+    for threshold in bias_thresholds:
+        config = DesignConfig(
+            order=history,
+            bias_threshold=threshold,
+            dont_care_fraction=0.01,
+        )
+        result = FSMDesigner(config).design_from_model(model)
+        label = f"h{history}-t{threshold:g}"
+        stats = evaluate_fsm_confidence(
+            indices, bits, result.machine, label=label
+        )
+        point = ConfidencePoint(
+            label=label, accuracy=stats.accuracy, coverage=stats.coverage
+        )
+        if gap_kmax and bits:
+            from repro.predictors.optimal import machine_mispredicts
+
+            num_states = result.machine.num_states
+            misses = machine_mispredicts(result.machine, bits)
+            point.num_states = num_states
+            point.machine_miss_rate = misses / len(bits)
+            point.gap_to_optimal = (
+                point.machine_miss_rate
+                - optimal_rates[min(num_states, gap_kmax)]
+            )
+        curve.append(point)
+    return curve
+
+
 def run_fig2_benchmark(
     benchmark: str,
     traces: Optional[Dict[str, Tuple[List[int], List[int]]]] = None,
@@ -203,39 +245,126 @@ def run_fig2_benchmark(
     max_order = max(history_lengths)
     full_model = _cross_trained_model(traces, benchmark, max_order)
     for history in history_lengths:
-        model = full_model.truncated(history)
-        curve: List[ConfidencePoint] = []
-        for threshold in bias_thresholds:
-            config = DesignConfig(
-                order=history,
-                bias_threshold=threshold,
-                dont_care_fraction=0.01,
-            )
-            result = FSMDesigner(config).design_from_model(model)
-            label = f"h{history}-t{threshold:g}"
-            stats = evaluate_fsm_confidence(
-                indices, bits, result.machine, label=label
-            )
-            point = ConfidencePoint(
-                label=label, accuracy=stats.accuracy, coverage=stats.coverage
-            )
-            if gap_kmax and bits:
-                from repro.predictors.optimal import machine_mispredicts
-
-                num_states = result.machine.num_states
-                misses = machine_mispredicts(result.machine, bits)
-                point.num_states = num_states
-                point.machine_miss_rate = misses / len(bits)
-                point.gap_to_optimal = (
-                    point.machine_miss_rate
-                    - optimal_rates[min(num_states, gap_kmax)]
-                )
-            curve.append(point)
-        fsm_curves[history] = curve
+        fsm_curves[history] = _fsm_curve(
+            full_model.truncated(history),
+            history,
+            indices,
+            bits,
+            bias_thresholds,
+            gap_kmax,
+            optimal_rates,
+        )
     return FigureTwoResult(
         benchmark=benchmark,
         sud_points=sud_points,
         fsm_curves=fsm_curves,
+        optimal_rates=optimal_rates,
+    )
+
+
+def _fig2_source_shard(
+    history: int,
+    model: MarkovModel,
+    indices: List[int],
+    bits: List[int],
+    bias_thresholds: Sequence[float],
+    gap_kmax: int,
+    optimal_rates: Dict[int, float],
+) -> List[ConfidencePoint]:
+    """One durable shard of the source panel: the curve at one history
+    length (module-level so the process pool can pickle it)."""
+    return _fsm_curve(
+        model.truncated(history),
+        history,
+        indices,
+        bits,
+        bias_thresholds,
+        gap_kmax,
+        optimal_rates,
+    )
+
+
+def run_fig2_source(
+    spec: str,
+    length: Optional[int] = None,
+    seed: Optional[int] = None,
+    history_lengths: Sequence[int] = DEFAULT_HISTORY_LENGTHS,
+    bias_thresholds: Sequence[float] = DEFAULT_BIAS_THRESHOLDS,
+    gap_kmax: Optional[int] = None,
+    run_id: Optional[str] = None,
+) -> FigureTwoResult:
+    """The Figure 2 panel over an arbitrary registered trace source
+    (``repro.workloads.sources``): the source's outcome stream stands in
+    for the correctness trace, its PCs index the confidence table, and
+    the FSMs are *self-trained* on the same stream -- the specialization
+    limit case, which is exactly what a known-optimal source (e.g. a KMP
+    family with a closed-form rate) wants measured.
+
+    The durable sweep fingerprint folds the canonical spec string plus
+    ``(length, seed)`` and the design knobs, so journals from different
+    sources or configurations can never replay into each other.
+    """
+    from repro.workloads.sources import (
+        create_source,
+        source_length,
+        source_seed,
+        source_trace,
+    )
+
+    source = create_source(spec)
+    spec_string = source.spec_string()
+    length = source_length() if length is None else int(length)
+    seed = source_seed() if seed is None else int(seed)
+    trace = source_trace(spec_string, length, seed)
+    indices = list(trace.pcs)
+    bits = trace.outcome_bits()
+
+    gap_kmax = _resolve_gap_kmax(gap_kmax)
+    optimal_rates: Dict[int, float] = {}
+    if gap_kmax:
+        from repro.predictors.optimal import optimal_predictors
+
+        optima = optimal_predictors(bits, kmax=gap_kmax, run_id=run_id)
+        optimal_rates = {k: r.miss_rate for k, r in optima.items()}
+
+    sud_points: List[ConfidencePoint] = []
+    for label, factory in sud_configurations():
+        stats = evaluate_counter_confidence(indices, bits, factory, label=label)
+        sud_points.append(
+            ConfidencePoint(
+                label=label, accuracy=stats.accuracy, coverage=stats.coverage
+            )
+        )
+
+    full_model = MarkovModel(order=max(history_lengths))
+    full_model.update_from_trace(bits)
+    histories = list(history_lengths)
+    curves = durable_map(
+        partial(
+            _fig2_source_shard,
+            model=full_model,
+            indices=indices,
+            bits=bits,
+            bias_thresholds=tuple(bias_thresholds),
+            gap_kmax=gap_kmax,
+            optimal_rates=optimal_rates,
+        ),
+        histories,
+        run_id=run_id,
+        sweep="fig2.source",
+        fingerprint=digest_of(
+            spec_string,
+            length,
+            seed,
+            tuple(histories),
+            tuple(bias_thresholds),
+            gap_kmax,
+        ),
+    )
+    return FigureTwoResult(
+        benchmark=f"source:{spec_string}",
+        sud_points=sud_points,
+        fsm_curves=dict(zip(histories, curves)),
         optimal_rates=optimal_rates,
     )
 

@@ -185,22 +185,20 @@ def evaluate_custom_curve(
 # Full driver
 # ----------------------------------------------------------------------
 
-def run_fig5_benchmark(
-    benchmark: str,
-    max_branches: int = 120_000,
-    gshare_bits: Sequence[int] = DEFAULT_GSHARE_BITS,
-    lgc_bits: Sequence[int] = DEFAULT_LGC_BITS,
-    custom_counts: Sequence[int] = DEFAULT_CUSTOM_COUNTS,
-    history_length: int = CUSTOM_HISTORY_LENGTH,
-    modern: Optional[bool] = None,
-    tage_bits: Sequence[int] = DEFAULT_TAGE_BITS,
-    perceptron_rows: Sequence[int] = DEFAULT_PERCEPTRON_ROWS,
-) -> FigureFiveResult:
-    """All five paper series of one Figure 5 panel, plus the modern-regime
-    ``tage``/``perceptron`` series unless disabled."""
-    if modern is None:
-        modern = modern_default()
-    eval_trace = branch_trace(benchmark, "eval", max_branches)
+def _panel_series(
+    eval_trace: BranchTrace,
+    diff_train_trace: BranchTrace,
+    gshare_bits: Sequence[int],
+    lgc_bits: Sequence[int],
+    custom_counts: Sequence[int],
+    history_length: int,
+    modern: bool,
+    tage_bits: Sequence[int],
+    perceptron_rows: Sequence[int],
+) -> Dict[str, Series]:
+    """Every series of one panel, given the evaluation trace and the
+    different-input training trace for ``custom-diff``.  Shared by the
+    benchmark driver and the trace-source driver."""
     series: Dict[str, Series] = {}
 
     xscale = XScalePredictor()
@@ -269,15 +267,10 @@ def run_fig5_benchmark(
         series["perceptron"] = perceptron_series
 
     max_count = max(custom_counts)
-    for variant_name, train_variant in (
-        ("custom-same", "eval"),
-        ("custom-diff", "train"),
+    for variant_name, train_trace in (
+        ("custom-same", eval_trace),
+        ("custom-diff", diff_train_trace),
     ):
-        train_trace = (
-            eval_trace
-            if train_variant == "eval"
-            else branch_trace(benchmark, train_variant, max_branches)
-        )
         ranked = rank_branches_by_misses(train_trace)
         models = collect_branch_models(train_trace, order=history_length)
         candidate_pcs = [pc for pc, _misses in ranked[: 2 * max_count]]
@@ -295,7 +288,91 @@ def run_fig5_benchmark(
         series[variant_name] = evaluate_custom_curve(
             eval_trace, top_pcs, machines, custom_counts, area_model, variant_name
         )
+    return series
+
+
+def run_fig5_benchmark(
+    benchmark: str,
+    max_branches: int = 120_000,
+    gshare_bits: Sequence[int] = DEFAULT_GSHARE_BITS,
+    lgc_bits: Sequence[int] = DEFAULT_LGC_BITS,
+    custom_counts: Sequence[int] = DEFAULT_CUSTOM_COUNTS,
+    history_length: int = CUSTOM_HISTORY_LENGTH,
+    modern: Optional[bool] = None,
+    tage_bits: Sequence[int] = DEFAULT_TAGE_BITS,
+    perceptron_rows: Sequence[int] = DEFAULT_PERCEPTRON_ROWS,
+) -> FigureFiveResult:
+    """All five paper series of one Figure 5 panel, plus the modern-regime
+    ``tage``/``perceptron`` series unless disabled."""
+    if modern is None:
+        modern = modern_default()
+    eval_trace = branch_trace(benchmark, "eval", max_branches)
+    train_trace = branch_trace(benchmark, "train", max_branches)
+    series = _panel_series(
+        eval_trace,
+        train_trace,
+        gshare_bits,
+        lgc_bits,
+        custom_counts,
+        history_length,
+        modern,
+        tage_bits,
+        perceptron_rows,
+    )
     return FigureFiveResult(benchmark=benchmark, series=series)
+
+
+def run_fig5_source(
+    spec: str,
+    length: Optional[int] = None,
+    seed: Optional[int] = None,
+    gshare_bits: Sequence[int] = DEFAULT_GSHARE_BITS,
+    lgc_bits: Sequence[int] = DEFAULT_LGC_BITS,
+    custom_counts: Sequence[int] = DEFAULT_CUSTOM_COUNTS,
+    history_length: int = CUSTOM_HISTORY_LENGTH,
+    modern: Optional[bool] = None,
+    tage_bits: Sequence[int] = DEFAULT_TAGE_BITS,
+    perceptron_rows: Sequence[int] = DEFAULT_PERCEPTRON_ROWS,
+) -> FigureFiveResult:
+    """One Figure 5 panel over a registered trace source.
+
+    The ``custom-diff`` training trace comes from the source's
+    :meth:`training_counterpart` -- a different input variant when the
+    source has one (MiniVM train/eval), otherwise the same spec at
+    ``seed + 1`` -- so the honest cross-input series keeps its meaning
+    for purely seeded sources.
+    """
+    from repro.workloads.sources import (
+        create_source,
+        source_length,
+        source_seed,
+        source_trace,
+    )
+
+    if modern is None:
+        modern = modern_default()
+    source = create_source(spec)
+    spec_string = source.spec_string()
+    length = source_length() if length is None else int(length)
+    seed = source_seed() if seed is None else int(seed)
+    eval_trace = source_trace(spec_string, length, seed)
+    counterpart = source.training_counterpart()
+    train_seed = seed
+    if counterpart.spec_string() == spec_string:
+        train_seed = seed + 1
+    train_trace = source_trace(counterpart.spec_string(), length, train_seed)
+    series = _panel_series(
+        eval_trace,
+        train_trace,
+        gshare_bits,
+        lgc_bits,
+        custom_counts,
+        history_length,
+        modern,
+        tage_bits,
+        perceptron_rows,
+    )
+    return FigureFiveResult(benchmark=f"source:{spec_string}", series=series)
 
 
 def run_fig5(

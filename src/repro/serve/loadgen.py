@@ -52,6 +52,17 @@ MAX_SHED_RETRIES = 32
 #: chaos; deadline behaviour has its own targeted tests.
 REQUEST_DEADLINE_S = 240.0
 
+def _source_bits(family: str):
+    """Adapt a (bits, provenance) source-family generator to the plain
+    bits interface the request builder wants."""
+
+    def gen(rng: random.Random, length: int) -> List[int]:
+        bits, _provenance = fuzz._SOURCE_GENERATORS[family](rng, length)
+        return bits
+
+    return gen
+
+
 _GENERATORS = dict(
     zip(
         fuzz.FAMILIES,
@@ -63,6 +74,9 @@ _GENERATORS = dict(
             fuzz.gen_adversarial,
         ),
     )
+)
+_GENERATORS.update(
+    {name: _source_bits(name) for name in fuzz._SOURCE_GENERATORS}
 )
 #: Low orders weighted up: order-4+ designs cost seconds each through
 #: the hit-validation oracle, and the loadgen needs volume, not depth.

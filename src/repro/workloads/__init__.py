@@ -15,6 +15,14 @@ exercises the same code paths:
 * :mod:`repro.workloads.values` -- load-value streams for the five
   value-prediction benchmarks (gcc, go, groff, li, perl);
 * :mod:`repro.workloads.trace` -- record types and trace containers.
+
+Beyond the fixed suite, :mod:`repro.workloads.sources` exposes the
+pluggable ``TraceSource`` registry (spec strings -> deterministic,
+cache-addressed branch streams) with the MiniVM adapter plus two new
+universes: :mod:`repro.workloads.pybc` (real Python functions on a
+restricted CPython-bytecode interpreter) and :mod:`repro.workloads.kmp`
+(Morris-Pratt/KMP comparison branches with closed-form optimal
+mispredict rates).
 """
 
 from repro.workloads.trace import BranchRecord, BranchTrace, LoadRecord, LoadTrace
@@ -25,6 +33,15 @@ from repro.workloads.programs import (
     build_program,
 )
 from repro.workloads.values import VALUE_BENCHMARKS, load_trace
+from repro.workloads.sources import (
+    SourceSpec,
+    TraceSource,
+    create_source,
+    list_sources,
+    parse_source_spec,
+    register_source,
+    source_trace,
+)
 
 __all__ = [
     "BranchRecord",
@@ -39,4 +56,11 @@ __all__ = [
     "build_program",
     "VALUE_BENCHMARKS",
     "load_trace",
+    "SourceSpec",
+    "TraceSource",
+    "create_source",
+    "list_sources",
+    "parse_source_spec",
+    "register_source",
+    "source_trace",
 ]

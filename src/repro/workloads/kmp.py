@@ -1,0 +1,463 @@
+"""Morris-Pratt / Knuth-Morris-Pratt comparison traces with closed-form
+optimal mispredict rates.
+
+String matching is the classic example of a loop whose branch behaviour
+is *exactly* analyzable: every character comparison in MP/KMP search is
+a two-way branch ("does text char ``c`` equal pattern char ``p[j]``?"),
+and the stream of comparison outcomes is a deterministic function of a
+finite Markov chain over matcher states (arxiv 2503.13694 studies
+precisely this structure).  That makes these traces *known-optimal
+workloads*: the asymptotic mispredict rate of the best possible
+predictor -- of any size at or above the chain's state count -- is an
+exact rational number we can compute without simulating anything.
+
+Two text families are supported:
+
+* ``iid``      -- text characters drawn IID over the binary alphabet
+  ``{a, b}`` with ``P(b) = q``; the outcome stream is a unifilar hidden
+  Markov chain and the optimal rate is ``sum_s pi(s) * min(p_s, 1-p_s)``
+  over the chain's stationary distribution (solved exactly with
+  :class:`fractions.Fraction`).
+* ``periodic`` -- the text is a word tiled forever; the outcome stream
+  is eventually periodic, the optimal rate is exactly 0, and the cycle
+  length bounds the predictor size needed to attain it.
+
+Both the plain Morris-Pratt failure function (``variant="mp"``) and the
+KMP strong failure function (``variant="kmp"``) are supported; they
+generate different comparison streams for patterns with repeated
+characters.
+
+The analytic chain shares its single-step transition logic with the
+trace generator (:func:`comparison_events`), so the closed form and the
+simulation cannot drift apart; independent cross-checks live in the
+conformance suite (naive-matcher differential, opt(k)-oracle bound).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.reliability.errors import TraceError
+
+ALPHABET = ("a", "b")
+
+#: Largest pattern the analytic machinery accepts -- the chain has at
+#: most ~3m states, so this is generosity, not a real limit.
+MAX_PATTERN_LENGTH = 16
+
+_STAGE = "workloads.kmp"
+
+
+def _check_word(word: str, what: str) -> str:
+    if not word:
+        raise TraceError(f"{what} must be non-empty", stage=_STAGE, value=word)
+    if len(word) > MAX_PATTERN_LENGTH:
+        raise TraceError(
+            f"{what} longer than {MAX_PATTERN_LENGTH} characters",
+            stage=_STAGE,
+            value=word,
+        )
+    for ch in word:
+        if ch not in ALPHABET:
+            raise TraceError(
+                f"{what} must be over the alphabet {{a, b}}",
+                stage=_STAGE,
+                value=word,
+            )
+    return word
+
+
+# ----------------------------------------------------------------------
+# Failure functions
+# ----------------------------------------------------------------------
+
+
+def mp_borders(pattern: str) -> List[int]:
+    """``border[j]`` = length of the longest proper border of
+    ``pattern[:j]``, for ``j`` in ``0..m`` (``border[0] = 0``)."""
+    m = len(pattern)
+    border = [0] * (m + 1)
+    k = 0
+    for j in range(1, m):
+        while k > 0 and pattern[j] != pattern[k]:
+            k = border[k]
+        if pattern[j] == pattern[k]:
+            k += 1
+        border[j + 1] = k
+    return border
+
+
+def failure_function(pattern: str, variant: str = "mp") -> List[int]:
+    """``fail[j]`` = pattern position to recompare after a mismatch at
+    position ``j``; ``-1`` means "consume the text character and restart
+    at 0 without recomparing".
+
+    ``"mp"`` uses the plain border (Morris-Pratt); ``"kmp"`` uses the
+    strong failure function, which additionally skips fallback positions
+    that are guaranteed to mismatch the same character.
+    """
+    border = mp_borders(pattern)
+    m = len(pattern)
+    fail = [-1] * m
+    if variant == "mp":
+        for j in range(1, m):
+            fail[j] = border[j]
+        return fail
+    if variant != "kmp":
+        raise TraceError(
+            "variant must be 'mp' or 'kmp'", stage=_STAGE, value=variant
+        )
+    for j in range(1, m):
+        k = border[j]
+        while k >= 0 and pattern[k] == pattern[j]:
+            k = fail[k] if k > 0 else -1
+        fail[j] = k
+    return fail
+
+
+# ----------------------------------------------------------------------
+# The matcher, as a comparison-event generator
+# ----------------------------------------------------------------------
+
+
+def comparison_events(
+    pattern: str, chars: Iterable[str], variant: str = "mp"
+) -> Iterator[Tuple[int, int]]:
+    """Run MP/KMP search of ``pattern`` over the text stream ``chars``
+    and yield one ``(pattern_position, outcome)`` event per character
+    comparison -- ``outcome`` is 1 when the comparison matched (the
+    "taken" direction of the matcher's branch).
+
+    After a full match the matcher restarts from the pattern's longest
+    proper border (search-all-occurrences semantics), so the stream
+    never terminates early on a periodic text.
+    """
+    pattern = _check_word(pattern, "pattern")
+    fail = failure_function(pattern, variant)
+    wrap = mp_borders(pattern)[len(pattern)]
+    m = len(pattern)
+    j = 0
+    for c in chars:
+        while True:
+            if c == pattern[j]:
+                yield (j, 1)
+                j += 1
+                if j == m:
+                    j = wrap
+                break  # char consumed
+            yield (j, 0)
+            f = fail[j]
+            if f < 0:
+                j = 0
+                break  # char consumed without further comparison
+            j = f  # recompare the same char at the fallback position
+
+
+def naive_comparison_events(
+    pattern: str, chars: Sequence[str], variant: str = "mp"
+) -> List[Tuple[int, int]]:
+    """Reference implementation for differential testing: textbook
+    scan-with-fallback written independently of the generator above
+    (explicit text index, no streaming), truncated to the same event
+    semantics.  Kept deliberately naive."""
+    pattern = _check_word(pattern, "pattern")
+    fail = failure_function(pattern, variant)
+    wrap = mp_borders(pattern)[len(pattern)]
+    m = len(pattern)
+    events: List[Tuple[int, int]] = []
+    i = 0
+    j = 0
+    while i < len(chars):
+        if chars[i] == pattern[j]:
+            events.append((j, 1))
+            i += 1
+            j += 1
+            if j == m:
+                j = wrap
+        else:
+            events.append((j, 0))
+            if fail[j] < 0:
+                i += 1
+                j = 0
+            else:
+                j = fail[j]
+    return events
+
+
+# ----------------------------------------------------------------------
+# Text families
+# ----------------------------------------------------------------------
+
+
+def iid_chars(q: Fraction, seed: int) -> Iterator[str]:
+    """IID text over ``{a, b}`` with ``P(b) = q``, seeded."""
+    threshold = float(q)
+    rng = random.Random(f"repro-kmp:{seed}")
+    while True:
+        yield "b" if rng.random() < threshold else "a"
+
+
+def periodic_chars(word: str) -> Iterator[str]:
+    """The word tiled forever."""
+    while True:
+        for ch in word:
+            yield ch
+
+
+def parse_q(raw: str) -> Fraction:
+    """Parse a probability parameter exactly (``"0.3"``, ``"2/5"``)."""
+    try:
+        q = Fraction(raw)
+    except (ValueError, ZeroDivisionError) as exc:
+        raise TraceError(
+            f"unparseable probability {raw!r}", stage=_STAGE
+        ) from exc
+    if not 0 < q < 1:
+        raise TraceError(
+            "probability q must satisfy 0 < q < 1", stage=_STAGE, value=raw
+        )
+    return q
+
+
+# ----------------------------------------------------------------------
+# Analytic chain (iid texts)
+# ----------------------------------------------------------------------
+
+#: Chain states.  ``("fresh", j)``: about to compare a *new* text char
+#: against ``pattern[j]``.  ``("forced", j, c)``: about to recompare the
+#: already-seen char ``c`` against ``pattern[j]`` after a fallback.
+State = Tuple
+
+
+@dataclass(frozen=True)
+class AnalyticChain:
+    """The outcome process of MP/KMP search over an IID binary text,
+    as an exact finite Markov chain.
+
+    ``transitions[s]`` lists ``(probability, outcome, next_state)``;
+    ``p_match[s]`` is the probability the comparison at ``s`` matches.
+    The chain is *unifilar*: ``(state, outcome)`` determines the next
+    state, so an outcome-driven automaton with ``len(states)`` states
+    predicts as well as anything that sees the whole past.
+    """
+
+    pattern: str
+    variant: str
+    q: Fraction
+    states: Tuple[State, ...]
+    transitions: Dict[State, Tuple[Tuple[Fraction, int, State], ...]]
+    p_match: Dict[State, Fraction]
+
+    @property
+    def num_states(self) -> int:
+        return len(self.states)
+
+    def stationary(self) -> Dict[State, Fraction]:
+        return _stationary_distribution(self.states, self.transitions)
+
+    def optimal_rate(self) -> Fraction:
+        """Exact asymptotic mispredict rate of the best predictor: at
+        each chain state, predict the more likely outcome."""
+        pi = self.stationary()
+        rate = Fraction(0)
+        for s in self.states:
+            p = self.p_match[s]
+            rate += pi[s] * min(p, 1 - p)
+        return rate
+
+
+def _char_prob(q: Fraction, c: str) -> Fraction:
+    return q if c == "b" else 1 - q
+
+
+def _other(c: str) -> str:
+    return "a" if c == "b" else "b"
+
+
+def analytic_chain(
+    pattern: str, q: Fraction, variant: str = "mp"
+) -> AnalyticChain:
+    """Build the exact outcome chain of ``pattern`` over IID text with
+    ``P(b) = q``, by closure from the initial state ``("fresh", 0)``.
+
+    The single-step logic mirrors :func:`comparison_events` exactly:
+    a fresh comparison matches with the probability of the pattern char
+    and otherwise forces the (known) complement char through the failure
+    chain; forced comparisons are deterministic.
+    """
+    pattern = _check_word(pattern, "pattern")
+    if not 0 < q < 1:
+        raise TraceError(
+            "analytic chain needs 0 < q < 1", stage=_STAGE, value=str(q)
+        )
+    fail = failure_function(pattern, variant)
+    wrap = mp_borders(pattern)[len(pattern)]
+    m = len(pattern)
+
+    def after_match(j: int) -> State:
+        nxt = j + 1
+        return ("fresh", wrap if nxt == m else nxt)
+
+    def after_mismatch(j: int, c: str) -> State:
+        f = fail[j]
+        if f < 0:
+            return ("fresh", 0)
+        return ("forced", f, c)
+
+    transitions: Dict[State, Tuple[Tuple[Fraction, int, State], ...]] = {}
+    p_match: Dict[State, Fraction] = {}
+    pending: List[State] = [("fresh", 0)]
+    while pending:
+        s = pending.pop()
+        if s in transitions:
+            continue
+        if s[0] == "fresh":
+            _, j = s
+            p = _char_prob(q, pattern[j])
+            edges = (
+                (p, 1, after_match(j)),
+                (1 - p, 0, after_mismatch(j, _other(pattern[j]))),
+            )
+        else:
+            _, j, c = s
+            if c == pattern[j]:
+                edges = ((Fraction(1), 1, after_match(j)),)
+            else:
+                edges = ((Fraction(1), 0, after_mismatch(j, c)),)
+        transitions[s] = edges
+        p_match[s] = sum(
+            (pr for pr, outcome, _ in edges if outcome == 1), Fraction(0)
+        )
+        for _, _, nxt in edges:
+            if nxt not in transitions:
+                pending.append(nxt)
+    states = tuple(sorted(transitions))
+    return AnalyticChain(
+        pattern=pattern,
+        variant=variant,
+        q=q,
+        states=states,
+        transitions=transitions,
+        p_match=p_match,
+    )
+
+
+def _stationary_distribution(
+    states: Sequence[State],
+    transitions: Dict[State, Tuple[Tuple[Fraction, int, State], ...]],
+) -> Dict[State, Fraction]:
+    """Solve ``pi P = pi``, ``sum pi = 1`` exactly with Fractions.
+
+    The chain is irreducible on its reachable closure (every state has a
+    positive-probability path back to ``("fresh", 0)`` because a fresh
+    mismatch cascade always ends there and forced chains are finite), so
+    the solution is unique.
+    """
+    n = len(states)
+    index = {s: i for i, s in enumerate(states)}
+    # Rows 0..n-1: balance equations pi_j - sum_i pi_i P[i][j] = 0; the
+    # last is replaced by normalization sum_i pi_i = 1.
+    rows: List[List[Fraction]] = [
+        [Fraction(0)] * (n + 1) for _ in range(n)
+    ]
+    for j in range(n - 1):
+        rows[j][j] = Fraction(1)
+    for s in states:
+        i = index[s]
+        for prob, _outcome, nxt in transitions[s]:
+            j = index[nxt]
+            if j < n - 1:
+                rows[j][i] -= prob
+    rows[n - 1] = [Fraction(1)] * n + [Fraction(1)]
+    # Gaussian elimination with exact arithmetic.
+    for col in range(n):
+        pivot = next(r for r in range(col, n) if rows[r][col] != 0)
+        rows[col], rows[pivot] = rows[pivot], rows[col]
+        inv = 1 / rows[col][col]
+        rows[col] = [v * inv for v in rows[col]]
+        for r in range(n):
+            if r != col and rows[r][col] != 0:
+                factor = rows[r][col]
+                rows[r] = [
+                    a - factor * b for a, b in zip(rows[r], rows[col])
+                ]
+    return {s: rows[index[s]][n] for s in states}
+
+
+# ----------------------------------------------------------------------
+# Periodic texts: cycle structure
+# ----------------------------------------------------------------------
+
+
+def periodic_cycle(
+    pattern: str, word: str, variant: str = "mp"
+) -> Tuple[List[int], List[int]]:
+    """Decompose the outcome stream of ``pattern`` over the tiled
+    ``word`` into ``(prefix_outcomes, cycle_outcomes)``.
+
+    The matcher state at each word boundary is ``(pattern position,
+    word phase)`` -- a finite set -- so the stream is eventually
+    periodic; the optimal mispredict rate is exactly 0, attainable by
+    any predictor with at least ``len(cycle_outcomes)`` states.
+    """
+    pattern = _check_word(pattern, "pattern")
+    word = _check_word(word, "word")
+    fail = failure_function(pattern, variant)
+    wrap = mp_borders(pattern)[len(pattern)]
+    m = len(pattern)
+    j = 0
+    phase = 0
+    seen: Dict[Tuple[int, int], int] = {}
+    outcomes: List[int] = []
+    boundaries: List[int] = []  # event count at each char boundary
+    while True:
+        key = (j, phase)
+        if key in seen:
+            start = seen[key]
+            return outcomes[:start], outcomes[start:]
+        seen[key] = len(outcomes)
+        boundaries.append(len(outcomes))
+        c = word[phase]
+        phase = (phase + 1) % len(word)
+        while True:
+            if c == pattern[j]:
+                outcomes.append(1)
+                j += 1
+                if j == m:
+                    j = wrap
+                break
+            outcomes.append(0)
+            f = fail[j]
+            if f < 0:
+                j = 0
+                break
+            j = f
+
+
+def closed_form_rate(
+    pattern: str,
+    text: str,
+    variant: str = "mp",
+    q: Fraction = Fraction(1, 2),
+    word: str = "ab",
+) -> Tuple[Fraction, int]:
+    """``(optimal mispredict rate, states needed to attain it)`` for a
+    KMP source configuration.  ``text`` is ``"iid"`` or ``"periodic"``.
+
+    For IID texts the rate is the exact stationary-chain value and the
+    state count is the chain's size (the chain is unifilar, so it *is*
+    an optimal predictor of that size).  For periodic texts the rate is
+    exactly 0 and the state count is the outcome cycle length.
+    """
+    if text == "iid":
+        chain = analytic_chain(pattern, q, variant)
+        return chain.optimal_rate(), chain.num_states
+    if text == "periodic":
+        _prefix, cycle = periodic_cycle(pattern, word, variant)
+        return Fraction(0), max(1, len(cycle))
+    raise TraceError(
+        "text family must be 'iid' or 'periodic'", stage=_STAGE, value=text
+    )

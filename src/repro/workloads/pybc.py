@@ -1,0 +1,495 @@
+"""A restricted CPython-bytecode interpreter that records branch events.
+
+MiniVM traces are synthetic by construction; this module gets *real*
+program branch behaviour into the harness without any external tooling:
+it executes actual Python functions instruction-by-instruction on the
+CPython 3.11 bytecode (via :mod:`dis`) and records every conditional
+jump -- ``POP_JUMP_*``, ``JUMP_IF_*_OR_POP``, ``FOR_ITER`` -- as a
+branch event whose PC is the instruction's bytecode offset.  The result
+is the same ``BranchTrace`` shape the MiniVM produces, so the whole
+design pipeline runs on interpreter-loop branches (bounds checks, hash
+probes, character classification) rather than hand-tiled patterns.
+
+Only the opcode subset the bundled workloads compile to is implemented;
+anything else raises a structured :class:`TraceError` naming the opcode
+(so a CPython bytecode change fails loudly, not wrongly).  The three
+workloads -- insertion sort, dictionary probing, a character-class
+tokenizer -- are written in the supported subset and their interpreted
+return values are cross-checked against native execution in the tests.
+
+Bytecode offsets are stable for a fixed CPython version; golden vectors
+derived from this source carry a ``python`` version tag and are skipped
+(not failed) on other interpreters.
+"""
+
+from __future__ import annotations
+
+import dis
+import operator
+import random
+import sys
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.reliability.errors import TraceError
+from repro.workloads.trace import BranchTrace
+
+_STAGE = "workloads.pybc"
+
+#: Hard per-call step budget: no bundled workload is remotely close, so
+#: hitting it means a broken transfer of control, not a big input.
+MAX_STEPS = 4_000_000
+
+
+class _Null:
+    """The interpreter's NULL sentinel (PUSH_NULL / LOAD_GLOBAL flag)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<NULL>"
+
+
+_NULL = _Null()
+
+
+class _BudgetReached(Exception):
+    """Internal: the requested number of branch events was recorded."""
+
+
+_BINARY_OPS: Dict[str, Callable[[Any, Any], Any]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+    "//": operator.floordiv,
+    "%": operator.mod,
+    "**": operator.pow,
+    "<<": operator.lshift,
+    ">>": operator.rshift,
+    "&": operator.and_,
+    "|": operator.or_,
+    "^": operator.xor,
+    "+=": operator.iadd,
+    "-=": operator.isub,
+    "*=": operator.imul,
+    "//=": operator.ifloordiv,
+    "%=": operator.imod,
+    "&=": operator.iand,
+    "|=": operator.ior,
+    "^=": operator.ixor,
+}
+
+_COMPARE_OPS: Dict[str, Callable[[Any, Any], bool]] = {
+    "<": operator.lt,
+    "<=": operator.le,
+    "==": operator.eq,
+    "!=": operator.ne,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+#: Conditional-jump opnames and the predicate deciding "jump taken".
+_COND_JUMPS: Dict[str, Callable[[Any], bool]] = {
+    "POP_JUMP_FORWARD_IF_TRUE": lambda v: bool(v),
+    "POP_JUMP_BACKWARD_IF_TRUE": lambda v: bool(v),
+    "POP_JUMP_FORWARD_IF_FALSE": lambda v: not v,
+    "POP_JUMP_BACKWARD_IF_FALSE": lambda v: not v,
+    "POP_JUMP_FORWARD_IF_NONE": lambda v: v is None,
+    "POP_JUMP_BACKWARD_IF_NONE": lambda v: v is None,
+    "POP_JUMP_FORWARD_IF_NOT_NONE": lambda v: v is not None,
+    "POP_JUMP_BACKWARD_IF_NOT_NONE": lambda v: v is not None,
+}
+
+
+@dataclass(frozen=True)
+class _Code:
+    """Pre-decoded instruction stream of one function."""
+
+    name: str
+    instructions: Tuple[dis.Instruction, ...]
+    index_of: Dict[int, int]  # bytecode offset -> instruction index
+    max_offset: int
+
+
+_CODE_CACHE: Dict[Any, _Code] = {}
+
+
+def _decode(func: Callable) -> _Code:
+    code = func.__code__
+    cached = _CODE_CACHE.get(code)
+    if cached is not None:
+        return cached
+    instructions = tuple(dis.get_instructions(code))
+    decoded = _Code(
+        name=code.co_name,
+        instructions=instructions,
+        index_of={ins.offset: i for i, ins in enumerate(instructions)},
+        max_offset=instructions[-1].offset if instructions else 0,
+    )
+    _CODE_CACHE[code] = decoded
+    return decoded
+
+
+def run_function(
+    func: Callable,
+    args: Sequence[Any],
+    trace: Optional[BranchTrace] = None,
+    pc_base: int = 0,
+    max_events: Optional[int] = None,
+) -> Any:
+    """Interpret ``func(*args)`` on its CPython bytecode, appending one
+    branch event per conditional jump to ``trace`` (PC = ``pc_base`` +
+    instruction offset).  Returns the function's return value, or raises
+    :class:`TraceError` on an unsupported opcode.
+
+    With ``max_events`` the call aborts cleanly (returning ``None``) as
+    soon as the trace has recorded that many events in total.
+    """
+    decoded = _decode(func)
+    instructions = decoded.instructions
+    index_of = decoded.index_of
+    globals_ns = func.__globals__
+    builtins_ns = globals_ns.get("__builtins__", __builtins__)
+    if not isinstance(builtins_ns, dict):
+        builtins_ns = vars(builtins_ns)
+
+    local_names = func.__code__.co_varnames
+    locals_: Dict[str, Any] = {
+        name: value for name, value in zip(local_names, args)
+    }
+    stack: List[Any] = []
+    push = stack.append
+    pop = stack.pop
+
+    def record(offset: int, taken: bool) -> None:
+        if trace is None:
+            return
+        trace.append(pc_base + offset, taken)
+        if max_events is not None and len(trace) >= max_events:
+            raise _BudgetReached()
+
+    def unsupported(ins: dis.Instruction) -> TraceError:
+        return TraceError(
+            f"unsupported opcode {ins.opname} in {decoded.name!r}",
+            stage=_STAGE,
+            opcode=ins.opname,
+            offset=ins.offset,
+        )
+
+    i = 0
+    steps = 0
+    try:
+        while True:
+            steps += 1
+            if steps > MAX_STEPS:
+                raise TraceError(
+                    f"step budget exceeded interpreting {decoded.name!r}",
+                    stage=_STAGE,
+                    steps=steps,
+                )
+            ins = instructions[i]
+            op = ins.opname
+            if op in ("RESUME", "PRECALL", "NOP", "CACHE"):
+                pass
+            elif op == "LOAD_CONST":
+                push(ins.argval)
+            elif op == "LOAD_FAST":
+                try:
+                    push(locals_[ins.argval])
+                except KeyError:
+                    raise UnboundLocalError(ins.argval) from None
+            elif op == "STORE_FAST":
+                locals_[ins.argval] = pop()
+            elif op == "LOAD_GLOBAL":
+                # In 3.11 the low oparg bit asks for a leading NULL
+                # (plain-call convention).
+                if ins.arg is not None and ins.arg & 1:
+                    push(_NULL)
+                name = ins.argval
+                if name in globals_ns:
+                    push(globals_ns[name])
+                elif name in builtins_ns:
+                    push(builtins_ns[name])
+                else:
+                    raise NameError(name)
+            elif op == "PUSH_NULL":
+                push(_NULL)
+            elif op == "POP_TOP":
+                pop()
+            elif op == "SWAP":
+                n = ins.arg or 0
+                stack[-n], stack[-1] = stack[-1], stack[-n]
+            elif op == "COPY":
+                n = ins.arg or 0
+                push(stack[-n])
+            elif op == "BINARY_OP":
+                fn = _BINARY_OPS.get(ins.argrepr)
+                if fn is None:
+                    raise unsupported(ins)
+                rhs = pop()
+                lhs = pop()
+                push(fn(lhs, rhs))
+            elif op == "COMPARE_OP":
+                fn = _COMPARE_OPS.get(str(ins.argval))
+                if fn is None:
+                    raise unsupported(ins)
+                rhs = pop()
+                lhs = pop()
+                push(fn(lhs, rhs))
+            elif op == "IS_OP":
+                rhs = pop()
+                lhs = pop()
+                push((lhs is rhs) ^ bool(ins.arg))
+            elif op == "CONTAINS_OP":
+                container = pop()
+                item = pop()
+                push((item in container) ^ bool(ins.arg))
+            elif op == "UNARY_NOT":
+                push(not pop())
+            elif op == "UNARY_NEGATIVE":
+                push(-pop())
+            elif op == "UNARY_INVERT":
+                push(~pop())
+            elif op == "BINARY_SUBSCR":
+                key = pop()
+                container = pop()
+                push(container[key])
+            elif op == "STORE_SUBSCR":
+                key = pop()
+                container = pop()
+                value = pop()
+                container[key] = value
+            elif op == "BUILD_LIST":
+                n = ins.arg or 0
+                items = stack[len(stack) - n :] if n else []
+                del stack[len(stack) - n :]
+                push(list(items))
+            elif op == "BUILD_TUPLE":
+                n = ins.arg or 0
+                items = stack[len(stack) - n :] if n else []
+                del stack[len(stack) - n :]
+                push(tuple(items))
+            elif op == "BUILD_MAP":
+                n = ins.arg or 0
+                entries = stack[len(stack) - 2 * n :] if n else []
+                del stack[len(stack) - 2 * n :]
+                push(
+                    {
+                        entries[2 * k]: entries[2 * k + 1]
+                        for k in range(n)
+                    }
+                )
+            elif op == "GET_ITER":
+                push(iter(pop()))
+            elif op == "FOR_ITER":
+                iterator = stack[-1]
+                try:
+                    value = next(iterator)
+                except StopIteration:
+                    record(ins.offset, False)
+                    pop()  # 3.11 pops the exhausted iterator
+                    i = index_of[ins.argval]
+                    continue
+                record(ins.offset, True)
+                push(value)
+            elif op in _COND_JUMPS:
+                taken = _COND_JUMPS[op](pop())
+                record(ins.offset, taken)
+                if taken:
+                    i = index_of[ins.argval]
+                    continue
+            elif op in ("JUMP_IF_TRUE_OR_POP", "JUMP_IF_FALSE_OR_POP"):
+                want = op == "JUMP_IF_TRUE_OR_POP"
+                taken = bool(stack[-1]) == want
+                record(ins.offset, taken)
+                if taken:
+                    i = index_of[ins.argval]
+                    continue
+                pop()
+            elif op in (
+                "JUMP_FORWARD",
+                "JUMP_BACKWARD",
+                "JUMP_BACKWARD_NO_INTERRUPT",
+            ):
+                i = index_of[ins.argval]
+                continue
+            elif op == "LOAD_METHOD":
+                obj = pop()
+                name = ins.argval
+                attr = getattr(obj, name)
+                bound_self = getattr(attr, "__self__", None)
+                func_attr = getattr(attr, "__func__", None)
+                if bound_self is obj and func_attr is not None:
+                    push(func_attr)
+                    push(obj)
+                else:
+                    push(_NULL)
+                    push(attr)
+            elif op == "CALL":
+                n = ins.arg or 0
+                call_args = stack[len(stack) - n :] if n else []
+                del stack[len(stack) - n :]
+                second = pop()
+                first = pop()
+                if first is _NULL:
+                    push(second(*call_args))
+                else:
+                    push(first(second, *call_args))
+            elif op == "UNPACK_SEQUENCE":
+                values = list(pop())
+                if len(values) != (ins.arg or 0):
+                    raise ValueError("unpack length mismatch")
+                for value in reversed(values):
+                    push(value)
+            elif op == "RETURN_VALUE":
+                return pop()
+            elif op == "RETURN_CONST":  # pragma: no cover - 3.12 forward
+                return ins.argval
+            else:
+                raise unsupported(ins)
+            i += 1
+    except _BudgetReached:
+        return None
+
+
+# ----------------------------------------------------------------------
+# Workload programs (written in the supported opcode subset)
+# ----------------------------------------------------------------------
+
+
+def _w_sort(values, n):
+    i = 1
+    while i < n:
+        key = values[i]
+        j = i - 1
+        while j >= 0 and values[j] > key:
+            values[j + 1] = values[j]
+            j = j - 1
+        values[j + 1] = key
+        i = i + 1
+    return values
+
+
+def _w_dictprobe(keys, queries):
+    table = {}
+    i = 0
+    n = len(keys)
+    while i < n:
+        table[keys[i]] = i
+        i = i + 1
+    hits = 0
+    i = 0
+    m = len(queries)
+    while i < m:
+        if queries[i] in table:
+            hits = hits + 1
+        i = i + 1
+    return hits
+
+
+def _w_tokenize(text, n):
+    words = 0
+    numbers = 0
+    kind = 0
+    i = 0
+    while i < n:
+        ch = text[i]
+        if ch == " ":
+            if kind == 1:
+                words = words + 1
+            if kind == 2:
+                numbers = numbers + 1
+            kind = 0
+        elif "0" <= ch <= "9":
+            if kind == 1:
+                words = words + 1
+            kind = 2
+        else:
+            if kind == 2:
+                numbers = numbers + 1
+            kind = 1
+        i = i + 1
+    if kind == 1:
+        words = words + 1
+    if kind == 2:
+        numbers = numbers + 1
+    return words * 1000 + numbers
+
+
+def _inputs_sort(rng: random.Random) -> Tuple[Any, ...]:
+    n = rng.randint(24, 48)
+    return ([rng.randrange(1000) for _ in range(n)], n)
+
+
+def _inputs_dictprobe(rng: random.Random) -> Tuple[Any, ...]:
+    keys = [rng.randrange(500) for _ in range(rng.randint(40, 80))]
+    queries = [rng.randrange(700) for _ in range(rng.randint(60, 120))]
+    return (keys, queries)
+
+
+def _inputs_tokenize(rng: random.Random) -> Tuple[Any, ...]:
+    pieces: List[str] = []
+    for _ in range(rng.randint(20, 40)):
+        kind = rng.randrange(3)
+        if kind == 0:
+            pieces.append(" " * rng.randint(1, 3))
+        elif kind == 1:
+            pieces.append(
+                "".join(
+                    rng.choice("abcdefgh") for _ in range(rng.randint(1, 6))
+                )
+            )
+        else:
+            pieces.append(
+                "".join(
+                    rng.choice("0123456789") for _ in range(rng.randint(1, 4))
+                )
+            )
+    text = "".join(pieces)
+    return (text, len(text))
+
+
+#: program name -> (function, seeded input factory)
+PROGRAMS: Dict[str, Tuple[Callable, Callable[[random.Random], Tuple]]] = {
+    "sort": (_w_sort, _inputs_sort),
+    "dictprobe": (_w_dictprobe, _inputs_dictprobe),
+    "tokenize": (_w_tokenize, _inputs_tokenize),
+}
+
+
+def python_tag() -> str:
+    """``"3.11"``-style tag identifying the bytecode dialect in use."""
+    return f"{sys.version_info[0]}.{sys.version_info[1]}"
+
+
+def program_trace(program: str, length: int, seed: int) -> BranchTrace:
+    """Run ``program`` round after round on fresh seeded inputs until
+    exactly ``length`` branch events have been recorded."""
+    if program not in PROGRAMS:
+        raise TraceError(
+            f"unknown pybytecode program {program!r}",
+            stage=_STAGE,
+            known=sorted(PROGRAMS),
+        )
+    func, make_inputs = PROGRAMS[program]
+    trace = BranchTrace()
+    round_index = 0
+    while len(trace) < length:
+        rng = random.Random(f"repro-pybc:{program}:{seed}:{round_index}")
+        run_function(
+            func, make_inputs(rng), trace=trace, max_events=length
+        )
+        round_index += 1
+    return trace
+
+
+def program_pc_range(program: str) -> Tuple[int, int]:
+    """Inclusive PC bounds for a program's events: bytecode offsets of
+    its (single) function."""
+    if program not in PROGRAMS:
+        raise TraceError(
+            f"unknown pybytecode program {program!r}",
+            stage=_STAGE,
+            known=sorted(PROGRAMS),
+        )
+    decoded = _decode(PROGRAMS[program][0])
+    return (0, decoded.max_offset)

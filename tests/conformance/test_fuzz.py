@@ -103,3 +103,42 @@ class TestCounterexampleArtifacts:
             divergence = case.run()
         assert divergence is not None
         assert divergence.stage == "automata.hopcroft"
+
+
+class TestSourceFamilies:
+    def test_source_families_are_registered(self):
+        assert "source_kmp" in FAMILIES
+        assert "source_pybc" in FAMILIES
+
+    def _source_cases(self, seed, count=60):
+        cases = [generate_case(seed, i) for i in range(count)]
+        return [c for c in cases if c.family.startswith("source_")]
+
+    def test_source_cases_carry_provenance(self):
+        cases = self._source_cases(3)
+        assert cases, "the cycle must reach the source families"
+        for case in cases:
+            spec, _, rest = case.source.partition("#")
+            assert spec.split(":", 1)[0] in ("kmp", "pybytecode")
+            assert rest.startswith("seed=")
+
+    def test_source_cases_replay_byte_identically(self):
+        for case in self._source_cases(9, count=30):
+            again = FuzzCase.from_json(case.to_json())
+            assert again == case
+            assert again.bits == case.bits
+            assert again.source == case.source
+
+    def test_provenance_regenerates_the_same_bits(self):
+        from repro.workloads.sources import create_source
+
+        for case in self._source_cases(5, count=30):
+            spec, _, tail = case.source.partition("#")
+            seed = int(tail.split("=", 1)[1])
+            trace = create_source(spec).generate(len(case.bits), seed)
+            assert "".join(map(str, trace.outcome_bits())) == case.bits
+
+    def test_non_source_cases_omit_the_field(self):
+        case = generate_case(0, 0)
+        assert case.family == FAMILIES[0]
+        assert "source" not in case.to_json()

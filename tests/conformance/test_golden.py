@@ -48,7 +48,10 @@ class TestCheckedInVectors:
         # golden_optimal.json is the oracle-bound family with its own
         # schema (see tests/predictors/test_optimal.py); every other
         # golden file is a pipeline vector under GOLDEN_SCHEMA.
-        schemas = {"golden_optimal.json": "repro.golden-optimal/1"}
+        schemas = {
+            "golden_optimal.json": "repro.golden-optimal/1",
+            "golden_sources.json": "repro.golden-sources/1",
+        }
         paths = sorted(golden_dir().glob("golden_*.json"))
         assert paths, "no golden files checked in"
         for path in paths:

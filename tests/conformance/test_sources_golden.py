@@ -1,0 +1,116 @@
+"""Golden vectors for the TraceSource registry: the checked-in
+``golden_sources.json`` reproduces byte-for-byte on a clean tree and any
+tamper or drift is reported with the vector's name."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.conformance.golden import (
+    GOLDEN_SOURCES_SCHEMA,
+    check_golden_sources,
+    compute_source_vector,
+    golden_dir,
+    sources_corpus,
+    write_golden_sources,
+)
+from repro.workloads.pybc import python_tag
+
+
+def _checked_in_matches_this_interpreter() -> bool:
+    stored = json.loads((golden_dir() / "golden_sources.json").read_text())
+    tags = {v.get("python") for v in stored["vectors"]} - {None}
+    return tags <= {python_tag()}
+
+
+class TestCorpus:
+    def test_corpus_covers_every_registered_source(self):
+        prefixes = {case.spec.split(":", 1)[0] for case in sources_corpus()}
+        assert prefixes == {"minivm", "pybytecode", "kmp"}
+
+    def test_names_are_unique(self):
+        names = [case.name for case in sources_corpus()]
+        assert len(names) == len(set(names))
+
+    def test_kmp_vectors_pin_their_closed_form(self):
+        case = next(c for c in sources_corpus() if c.name == "kmp_ab_iid")
+        vector = compute_source_vector(case)
+        assert vector["closed_form"] == "2/5"
+        assert vector["k_needed"] == 3
+
+    def test_pybytecode_vectors_carry_the_dialect_tag(self):
+        case = next(c for c in sources_corpus() if c.name == "pybc_sort")
+        assert compute_source_vector(case)["python"] == python_tag()
+
+
+class TestCheckedInVectors:
+    def test_clean_tree_round_trips(self):
+        # The acceptance criterion: regen on clean main produces no diff.
+        assert check_golden_sources() == []
+
+    def test_checked_in_file_carries_schema(self):
+        stored = json.loads(
+            (golden_dir() / "golden_sources.json").read_text()
+        )
+        assert stored["schema"] == GOLDEN_SOURCES_SCHEMA
+
+    def test_regen_is_byte_identical(self, tmp_path):
+        if not _checked_in_matches_this_interpreter():
+            pytest.skip("checked-in vectors are for another bytecode dialect")
+        fresh = write_golden_sources(tmp_path)
+        checked_in = golden_dir() / fresh.name
+        assert fresh.read_bytes() == checked_in.read_bytes()
+
+
+class TestTamperDetection:
+    def test_missing_file_reported(self, tmp_path):
+        issues = check_golden_sources(tmp_path)
+        assert issues and "missing golden file" in issues[0]
+
+    def test_tampered_digest_reported(self, tmp_path):
+        write_golden_sources(tmp_path)
+        path = tmp_path / "golden_sources.json"
+        document = json.loads(path.read_text())
+        document["vectors"][0]["trace_sha256"] = "0" * 64
+        path.write_text(json.dumps(document, sort_keys=True, indent=2) + "\n")
+        issues = check_golden_sources(tmp_path)
+        assert any("differs" in issue for issue in issues)
+
+    def test_stale_vector_reported(self, tmp_path):
+        write_golden_sources(tmp_path)
+        path = tmp_path / "golden_sources.json"
+        document = json.loads(path.read_text())
+        document["vectors"].append(dict(document["vectors"][0], name="ghost"))
+        path.write_text(json.dumps(document, sort_keys=True, indent=2) + "\n")
+        issues = check_golden_sources(tmp_path)
+        assert any("stale vector 'ghost'" in issue for issue in issues)
+
+    def test_missing_vector_reported(self, tmp_path):
+        write_golden_sources(tmp_path)
+        path = tmp_path / "golden_sources.json"
+        document = json.loads(path.read_text())
+        dropped = document["vectors"].pop()
+        path.write_text(json.dumps(document, sort_keys=True, indent=2) + "\n")
+        issues = check_golden_sources(tmp_path)
+        assert any(dropped["name"] in issue and "missing" in issue for issue in issues)
+
+    def test_wrong_schema_reported(self, tmp_path):
+        write_golden_sources(tmp_path)
+        path = tmp_path / "golden_sources.json"
+        document = json.loads(path.read_text())
+        document["schema"] = "repro.golden-sources/0"
+        path.write_text(json.dumps(document, sort_keys=True, indent=2) + "\n")
+        assert any("schema" in issue for issue in check_golden_sources(tmp_path))
+
+    def test_foreign_dialect_vectors_are_skipped_not_failed(self, tmp_path):
+        write_golden_sources(tmp_path)
+        path = tmp_path / "golden_sources.json"
+        document = json.loads(path.read_text())
+        for vector in document["vectors"]:
+            if vector.get("python") is not None:
+                vector["python"] = "0.0"
+                vector["trace_sha256"] = "0" * 64  # would fail if compared
+        path.write_text(json.dumps(document, sort_keys=True, indent=2) + "\n")
+        assert check_golden_sources(tmp_path) == []

@@ -1,0 +1,102 @@
+"""The fig2/fig5 source drivers: panel shape over a registered
+TraceSource and byte-identical resumption from the durable journal."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.fig2 import run_fig2_source
+from repro.harness.fig5 import run_fig5_source
+from repro.obs.metrics import metrics
+
+SPEC = "kmp:pattern=ab,q=1/2,text=iid,variant=mp"
+
+
+def _run(run_id=None, spec=SPEC):
+    return run_fig2_source(
+        spec,
+        length=1024,
+        seed=3,
+        history_lengths=(1, 2),
+        bias_thresholds=(0.5, 0.9),
+        gap_kmax=2,
+        run_id=run_id,
+    )
+
+
+@pytest.fixture(autouse=True)
+def _isolated_dirs(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_RUN_DIR", str(tmp_path / "runs"))
+
+
+_PANEL = {}
+
+
+@pytest.fixture
+def result():
+    # Computed once, after the autouse env isolation is in place.
+    if "panel" not in _PANEL:
+        _PANEL["panel"] = _run()
+    return _PANEL["panel"]
+
+
+class TestPanelShape:
+    def test_panel_is_labeled_with_the_canonical_spec(self, result):
+        assert result.benchmark == f"source:{SPEC}"
+
+    def test_one_curve_per_history_length(self, result):
+        assert sorted(result.fsm_curves) == [1, 2]
+        assert all(len(curve) == 2 for curve in result.fsm_curves.values())
+
+    def test_sud_sweep_present(self, result):
+        assert result.sud_points
+
+    def test_gap_column_uses_the_oracle(self, result):
+        assert sorted(result.optimal_rates) == [1, 2]
+        for curve in result.fsm_curves.values():
+            for point in curve:
+                if point.num_states <= 2:
+                    assert point.gap_to_optimal is not None
+                    assert point.gap_to_optimal >= -1e-12
+
+    def test_render_mentions_the_source(self, result):
+        assert SPEC in result.render()
+
+
+class TestDurableResume:
+    def test_resume_replays_and_is_byte_identical(self):
+        first = _run(run_id="fig2-src-test")
+        before = metrics().snapshot().get("durable.replayed", 0)
+        second = _run(run_id="fig2-src-test")
+        after = metrics().snapshot().get("durable.replayed", 0)
+        assert after > before, "second run must replay from the journal"
+        assert repr(first) == repr(second)
+        assert first.render() == second.render()
+
+    def test_fingerprint_keeps_specs_out_of_each_others_shards(self):
+        # Same run_id, different spec: the journal must NOT replay the
+        # first spec's shards into the second's results.
+        _run(run_id="fig2-src-fp")
+        before = metrics().snapshot().get("durable.replayed", 0)
+        other = _run(run_id="fig2-src-fp", spec="kmp:pattern=aab,q=1/2,text=iid,variant=mp")
+        after = metrics().snapshot().get("durable.replayed", 0)
+        assert after == before, "a different spec replayed stale shards"
+        assert other.benchmark.endswith("pattern=aab,q=1/2,text=iid,variant=mp")
+
+
+class TestFig5Source:
+    def test_panel_has_every_series(self):
+        result = run_fig5_source(
+            "pybytecode:program=sort",
+            length=2000,
+            seed=1,
+            custom_counts=(1, 2),
+        )
+        series = set(result.series)
+        assert {"gshare", "lgc", "custom-same", "custom-diff"} <= series
+
+    def test_seeded_counterpart_still_yields_points(self):
+        result = run_fig5_source(SPEC, length=2000, seed=1, custom_counts=(1,))
+        assert result.series["custom-same"].points
+        assert result.series["custom-diff"].points

@@ -32,6 +32,7 @@ from repro.perf import parallel as parallel_mod
 from repro.reliability import durability as durability_mod
 from repro.reliability import faults as faults_mod
 from repro.serve import config as serve_config_mod
+from repro.workloads import sources as sources_mod
 
 #: (env var, flipped value, accessor, expectation on the flipped value).
 #: Each accessor is a zero-arg callable evaluated after the flip.
@@ -137,6 +138,18 @@ KNOB_CASES = [
         "{tmp}/knob-golden",
         golden_mod.golden_dir,
         lambda value: str(value).endswith("knob-golden"),
+    ),
+    (
+        "REPRO_SOURCE_SEED",
+        "42",
+        sources_mod.source_seed,
+        lambda value: value == 42,
+    ),
+    (
+        "REPRO_SOURCE_LENGTH",
+        "1234",
+        sources_mod.source_length,
+        lambda value: value == 1234,
     ),
     (
         "REPRO_SERVE_HOST",

@@ -169,3 +169,89 @@ class TestConformance:
         )
         out = capsys.readouterr().out
         assert "case 0" in out and "ok" in out
+
+
+class TestTrace:
+    def test_list_prints_registered_sources(self, capsys):
+        assert main(["trace", "--list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert out == ["kmp", "minivm", "pybytecode"]
+
+    def test_bit_stream_on_stdout(self, monkeypatch, tmp_path, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert (
+            main(
+                [
+                    "trace", "--source", "kmp:pattern=ab,text=iid",
+                    "--length", "64", "--seed", "1",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        bits = captured.out.strip()
+        assert len(bits) == 64 and set(bits) <= {"0", "1"}
+        assert "64 events" in captured.err
+
+    def test_pcs_mode_and_out_file(self, monkeypatch, tmp_path, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        out = tmp_path / "trace.txt"
+        assert (
+            main(
+                [
+                    "trace", "--source", "pybytecode:program=sort",
+                    "--length", "32", "--seed", "2",
+                    "--pcs", "--out", str(out),
+                ]
+            )
+            == 0
+        )
+        lines = out.read_text().splitlines()
+        assert len(lines) == 32
+        pc, bit = lines[0].split()
+        assert pc.isdigit() and bit in ("0", "1")
+
+    def test_unknown_source_is_exit_2(self, capsys):
+        assert main(["trace", "--source", "bogus"]) == 2
+        assert "unknown source" in capsys.readouterr().err
+
+    def test_malformed_spec_is_exit_2(self, capsys):
+        assert main(["trace", "--source", "kmp:pattern"]) == 2
+        assert "malformed" in capsys.readouterr().err
+
+    def test_source_needed_without_list(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["trace"])
+
+
+class TestFiguresSource:
+    def test_fig2_over_a_source(self, monkeypatch, tmp_path, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_RUN_DIR", str(tmp_path / "runs"))
+        assert (
+            main(
+                [
+                    "figures", "fig2",
+                    "--source", "kmp:pattern=ab,text=iid",
+                    "--length", "1024", "--seed", "3", "--gap-k", "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "source:kmp:pattern=ab,q=1/2,text=iid,variant=mp" in out
+
+    def test_bad_source_spec_is_exit_2(self, capsys):
+        assert main(["figures", "fig2", "--source", "bogus"]) == 2
+        assert "unknown source" in capsys.readouterr().err
+
+
+class TestConformanceSourceChecks:
+    def test_run_reports_kmp_and_sources_checks(self, monkeypatch, tmp_path, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["conformance", "run"]) == 0
+        out = capsys.readouterr().out
+        assert "kmp     closed-form rates ok" in out
+        assert "sources golden vectors ok" in out

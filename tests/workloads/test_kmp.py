@@ -1,0 +1,170 @@
+"""The KMP analytic workload: failure functions, the streaming event
+generator vs the naive reference matcher, and the exact closed forms."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import islice
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.reliability.errors import TraceError
+from repro.workloads.kmp import (
+    MAX_PATTERN_LENGTH,
+    analytic_chain,
+    closed_form_rate,
+    comparison_events,
+    failure_function,
+    iid_chars,
+    mp_borders,
+    naive_comparison_events,
+    parse_q,
+    periodic_chars,
+    periodic_cycle,
+)
+
+patterns = st.text(alphabet="ab", min_size=1, max_size=6)
+texts = st.text(alphabet="ab", min_size=0, max_size=200)
+variants = st.sampled_from(["mp", "kmp"])
+
+
+class TestFailureFunctions:
+    def test_borders_of_textbook_pattern(self):
+        # borders of "" , a, ab, aba, abab, ababa
+        assert mp_borders("ababa") == [0, 0, 0, 1, 2, 3]
+
+    def test_mp_failure_has_sentinel(self):
+        fail = failure_function("ab", "mp")
+        assert fail[0] == -1
+
+    def test_kmp_strong_rule_differs_where_chars_repeat(self):
+        # On "aaaa" the strong rule skips every interior fallback (a
+        # mismatch at j can only mismatch again at any border).
+        assert failure_function("aaaa", "kmp") != failure_function("aaaa", "mp")
+
+    def test_bad_variant_rejected(self):
+        with pytest.raises(TraceError):
+            failure_function("ab", "bogus")
+
+    def test_bad_pattern_rejected(self):
+        for bad in ("", "abc", "a" * (MAX_PATTERN_LENGTH + 1)):
+            with pytest.raises(TraceError):
+                list(comparison_events(bad, iter("ab")))
+
+
+class TestGeneratorVsNaive:
+    @given(pattern=patterns, text=texts, variant=variants)
+    def test_streaming_matches_reference(self, pattern, text, variant):
+        streamed = list(comparison_events(pattern, iter(text), variant))
+        assert streamed == naive_comparison_events(pattern, text, variant)
+
+    @given(pattern=patterns, text=texts)
+    def test_events_are_pattern_positions(self, pattern, text):
+        for j, outcome in comparison_events(pattern, iter(text), "mp"):
+            assert 0 <= j < len(pattern)
+            assert outcome in (0, 1)
+
+    def test_full_match_wraps_to_border(self):
+        # "aa" on "aaaa": after the first match at index 1 the matcher
+        # restarts from border 1, so every later char is one comparison.
+        events = list(comparison_events("aa", iter("aaaa"), "mp"))
+        assert events == [(0, 1), (1, 1), (1, 1), (1, 1)]
+
+
+class TestTextFamilies:
+    def test_iid_is_seed_deterministic(self):
+        q = Fraction(3, 10)
+        first = list(islice(iid_chars(q, 7), 64))
+        second = list(islice(iid_chars(q, 7), 64))
+        assert first == second
+        assert first != list(islice(iid_chars(q, 8), 64))
+
+    def test_periodic_cycles(self):
+        assert list(islice(periodic_chars("ab"), 6)) == list("ababab")
+
+    def test_parse_q_accepts_fractions_and_decimals(self):
+        assert parse_q("3/10") == Fraction(3, 10)
+        assert parse_q("0.25") == Fraction(1, 4)
+
+    @pytest.mark.parametrize("bad", ["0", "1", "3/2", "-1/2", "x", ""])
+    def test_parse_q_rejects_out_of_range(self, bad):
+        with pytest.raises(TraceError):
+            parse_q(bad)
+
+
+class TestAnalyticChain:
+    def test_single_char_pattern_is_bernoulli(self):
+        chain = analytic_chain("b", Fraction(3, 10), "mp")
+        assert chain.num_states == 1
+        assert chain.optimal_rate() == Fraction(3, 10)
+
+    def test_worked_example_ab_fair_coin(self):
+        chain = analytic_chain("ab", Fraction(1, 2), "mp")
+        assert chain.num_states == 3
+        assert chain.optimal_rate() == Fraction(2, 5)
+
+    @given(
+        pattern=patterns,
+        variant=variants,
+        q=st.sampled_from([Fraction(1, 5), Fraction(1, 2), Fraction(7, 10)]),
+    )
+    def test_stationary_distribution_is_a_distribution(
+        self, pattern, variant, q
+    ):
+        chain = analytic_chain(pattern, q, variant)
+        pi = chain.stationary()
+        assert sum(pi.values()) == 1
+        assert all(p >= 0 for p in pi.values())
+
+    @given(
+        pattern=patterns,
+        variant=variants,
+        q=st.sampled_from([Fraction(1, 5), Fraction(1, 2), Fraction(7, 10)]),
+    )
+    def test_optimal_rate_is_a_valid_rate(self, pattern, variant, q):
+        rate = analytic_chain(pattern, q, variant).optimal_rate()
+        assert 0 <= rate <= Fraction(1, 2)
+
+
+class TestClosedForm:
+    def test_pinned_iid_values(self):
+        assert closed_form_rate("b", "iid", q=Fraction(3, 10)) == (
+            Fraction(3, 10),
+            1,
+        )
+        assert closed_form_rate("ab", "iid", q=Fraction(1, 2)) == (
+            Fraction(2, 5),
+            3,
+        )
+
+    def test_periodic_rate_is_exactly_zero(self):
+        rate, k = closed_form_rate("b", "periodic", word="ab")
+        assert rate == 0
+        assert k == 2
+
+    @given(
+        pattern=patterns,
+        word=st.text(alphabet="ab", min_size=1, max_size=4),
+        variant=variants,
+    )
+    def test_periodic_cycle_reproduces_the_stream(self, pattern, word, variant):
+        prefix, cycle = periodic_cycle(pattern, word, variant)
+        assert cycle, "a periodic text must yield a periodic outcome stream"
+        want = list(
+            islice(
+                (
+                    o
+                    for _, o in comparison_events(
+                        pattern, periodic_chars(word), variant
+                    )
+                ),
+                len(prefix) + 3 * len(cycle),
+            )
+        )
+        assert want == list(prefix) + list(cycle) * 3
+
+    def test_bad_text_family_rejected(self):
+        with pytest.raises(TraceError):
+            closed_form_rate("ab", "gaussian")

@@ -1,0 +1,90 @@
+"""The restricted CPython-bytecode interpreter: interpreted results must
+equal native execution, traces must be deterministic and PC-bounded, and
+anything outside the supported opcode set must fail loudly."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.reliability.errors import TraceError
+from repro.workloads.pybc import (
+    PROGRAMS,
+    program_pc_range,
+    program_trace,
+    python_tag,
+    run_function,
+)
+from repro.workloads.trace import BranchTrace
+
+SEEDS = range(12)
+
+
+@pytest.mark.parametrize("program", sorted(PROGRAMS))
+class TestInterpreterFidelity:
+    def test_interpreted_equals_native(self, program):
+        func, make_inputs = PROGRAMS[program]
+        for seed in SEEDS:
+            args = make_inputs(random.Random(seed))
+            native = func(*make_inputs(random.Random(seed)))
+            assert run_function(func, args) == native
+
+    def test_tracing_does_not_change_the_result(self, program):
+        func, make_inputs = PROGRAMS[program]
+        args = make_inputs(random.Random(3))
+        bare = run_function(func, make_inputs(random.Random(3)))
+        trace = BranchTrace()
+        assert run_function(func, args, trace=trace) == bare
+        assert len(trace) > 0
+
+
+@pytest.mark.parametrize("program", sorted(PROGRAMS))
+class TestProgramTraces:
+    def test_deterministic_and_exact_length(self, program):
+        first = program_trace(program, 600, 5)
+        second = program_trace(program, 600, 5)
+        assert len(first) == 600
+        assert first.pcs == second.pcs
+        assert first.outcomes == second.outcomes
+
+    def test_seed_changes_the_stream(self, program):
+        base = program_trace(program, 600, 5)
+        other = program_trace(program, 600, 6)
+        assert base.outcomes != other.outcomes
+
+    def test_pcs_are_bytecode_offsets_in_range(self, program):
+        low, high = program_pc_range(program)
+        trace = program_trace(program, 600, 5)
+        assert all(low <= pc <= high for pc in trace.pcs)
+
+    def test_budget_truncates_mid_round(self, program):
+        # 600 is never an exact multiple of a round's event count, so
+        # this exercises the max_events abort path.
+        long = program_trace(program, 600, 5)
+        short = program_trace(program, 97, 5)
+        assert len(short) == 97
+        assert short.outcomes == long.outcomes[:97]
+
+
+class TestErrorTaxonomy:
+    def test_unknown_program_rejected(self):
+        with pytest.raises(TraceError):
+            program_trace("bogus", 100, 0)
+        with pytest.raises(TraceError):
+            program_pc_range("bogus")
+
+    def test_unsupported_opcode_is_named(self):
+        def raises(x):
+            raise ValueError(x)
+
+        with pytest.raises(TraceError, match="RAISE_VARARGS"):
+            run_function(raises, (1,))
+
+
+class TestPythonTag:
+    def test_tag_is_major_dot_minor(self):
+        import sys
+
+        major, minor = python_tag().split(".")
+        assert (int(major), int(minor)) == sys.version_info[:2]
